@@ -1,0 +1,186 @@
+// Package mrapid_test hosts the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation. Each benchmark
+// regenerates its experiment on the simulated cluster and reports the
+// headline numbers (virtual completion times and improvement percentages)
+// as custom benchmark metrics.
+//
+// Benchmarks default to a reduced input scale so `go test -bench=.` stays
+// responsive on a laptop; set MRAPID_BENCH_SCALE=1 to reproduce the paper's
+// full input sizes (the numbers recorded in EXPERIMENTS.md), or use
+// `go run ./cmd/mrapid-bench` which defaults to full scale.
+package mrapid_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"mrapid/internal/bench"
+)
+
+// benchScale reads MRAPID_BENCH_SCALE (default 0.25).
+func benchScale() float64 {
+	if s := os.Getenv("MRAPID_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.25
+}
+
+// runFigure drives one registered experiment b.N times and reports metrics.
+func runFigure(b *testing.B, id string) *bench.Figure {
+	b.Helper()
+	run, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opts := bench.Options{Scale: benchScale(), Seed: 1}
+	var fig *bench.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return fig
+}
+
+// reportModeMetrics attaches the figure's headline comparisons to the
+// benchmark output: mean completion seconds per mode (virtual) and the mean
+// improvement percentages the paper quotes.
+func reportModeMetrics(b *testing.B, fig *bench.Figure) {
+	b.Helper()
+	means := map[string]float64{}
+	for _, c := range fig.Columns {
+		var sum float64
+		for i := range fig.Points {
+			sum += fig.Get(i, c)
+		}
+		means[c] = sum / float64(len(fig.Points))
+		b.ReportMetric(means[c], c+"-vsec")
+	}
+	if h, okH := means["hadoop"]; okH && h > 0 {
+		if d, ok := means["dplus"]; ok {
+			b.ReportMetric((h-d)/h*100, "D+improv%")
+		}
+	}
+	if u, okU := means["uber"]; okU && u > 0 {
+		if up, ok := means["uplus"]; ok {
+			b.ReportMetric((u-up)/u*100, "U+improv%")
+		}
+	}
+}
+
+// BenchmarkTable2InstanceCatalog reproduces Table II (the Azure instance
+// catalog backing every cluster configuration).
+func BenchmarkTable2InstanceCatalog(b *testing.B) {
+	fig := runFigure(b, "table2")
+	if len(fig.Points) != 3 {
+		b.Fatalf("catalog rows = %d", len(fig.Points))
+	}
+}
+
+// BenchmarkFig07WordCountFileCount reproduces Figure 7: WordCount on the
+// A3 cluster with 10 MB files, file count 1→16, all four modes.
+func BenchmarkFig07WordCountFileCount(b *testing.B) {
+	reportModeMetrics(b, runFigure(b, "fig7"))
+}
+
+// BenchmarkFig08WordCountFileSize reproduces Figure 8: WordCount with 4
+// files of 5→40 MB.
+func BenchmarkFig08WordCountFileSize(b *testing.B) {
+	reportModeMetrics(b, runFigure(b, "fig8"))
+}
+
+// BenchmarkFig09WordCountFixedTotal reproduces Figure 9: 60 MB total input
+// split across 2→4 files.
+func BenchmarkFig09WordCountFixedTotal(b *testing.B) {
+	reportModeMetrics(b, runFigure(b, "fig9"))
+}
+
+// BenchmarkFig10TeraSort reproduces Figure 10: TeraSort over 100k→1600k
+// rows in 4 blocks.
+func BenchmarkFig10TeraSort(b *testing.B) {
+	reportModeMetrics(b, runFigure(b, "fig10"))
+}
+
+// BenchmarkFig11Pi reproduces Figure 11: PI over 100m→1600m samples.
+func BenchmarkFig11Pi(b *testing.B) {
+	reportModeMetrics(b, runFigure(b, "fig11"))
+}
+
+// BenchmarkFig12ContainersPerCore reproduces Figure 12: 1 vs 2 containers
+// per core on the A2 cluster.
+func BenchmarkFig12ContainersPerCore(b *testing.B) {
+	reportModeMetrics(b, runFigure(b, "fig12"))
+}
+
+// BenchmarkFig13ClusterShape reproduces Figure 13: equal-cost 10-node A2 vs
+// 5-node A3 clusters.
+func BenchmarkFig13ClusterShape(b *testing.B) {
+	fig := runFigure(b, "fig13")
+	for _, c := range fig.Columns {
+		var sum float64
+		for i := range fig.Points {
+			sum += fig.Get(i, c)
+		}
+		b.ReportMetric(sum/float64(len(fig.Points)), c+"-vsec")
+	}
+}
+
+// BenchmarkFig14DPlusAblation reproduces Figure 14: the contribution of
+// each D+ optimization (scheduler, AM pool, locality, communication).
+func BenchmarkFig14DPlusAblation(b *testing.B) {
+	fig := runFigure(b, "fig14")
+	base := fig.Points[0].Seconds["elapsed"]
+	final := fig.Points[len(fig.Points)-1].Seconds["elapsed"]
+	b.ReportMetric(base, "stock-vsec")
+	b.ReportMetric(final, "dplus-vsec")
+	if base > 0 {
+		b.ReportMetric((base-final)/base*100, "improv%")
+	}
+}
+
+// BenchmarkFig15UPlusAblation reproduces Figure 15: the contribution of
+// each U+ optimization (parallel maps, AM pool, memory cache,
+// communication).
+func BenchmarkFig15UPlusAblation(b *testing.B) {
+	fig := runFigure(b, "fig15")
+	base := fig.Points[0].Seconds["elapsed"]
+	final := fig.Points[len(fig.Points)-1].Seconds["elapsed"]
+	b.ReportMetric(base, "uber-vsec")
+	b.ReportMetric(final, "uplus-vsec")
+	if base > 0 {
+		b.ReportMetric((base-final)/base*100, "improv%")
+	}
+}
+
+// BenchmarkAblationEstimator validates the decision maker's cost model
+// (Equations 2–3, supplementary to §III-C): across the Figure 7 sweep it
+// reports how often the estimated winner matches the measured winner.
+func BenchmarkAblationEstimator(b *testing.B) {
+	fig := runFigure(b, "estimator")
+	for _, c := range fig.Columns {
+		var sum float64
+		for i := range fig.Points {
+			sum += fig.Get(i, c)
+		}
+		b.ReportMetric(sum/float64(len(fig.Points)), c)
+	}
+}
+
+// BenchmarkAblationSpeculation measures the cost/benefit of the speculative
+// dual-mode executor itself (not a paper figure; §III-C's mechanism):
+// first-run speculation vs a history-guided second run of the same program.
+func BenchmarkAblationSpeculation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		first, second, err := bench.SpeculationOverhead(bench.Options{Scale: benchScale(), Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(first, "speculative-vsec")
+		b.ReportMetric(second, "history-vsec")
+	}
+}

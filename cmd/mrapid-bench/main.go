@@ -1,0 +1,73 @@
+// Command mrapid-bench regenerates the paper's evaluation tables and
+// figures on the simulated cluster and prints them as text tables.
+//
+// Usage:
+//
+//	mrapid-bench                  # run every experiment at full scale
+//	mrapid-bench -run fig7,fig14  # run selected experiments
+//	mrapid-bench -scale 0.2       # shrink the inputs (faster, same code paths)
+//	mrapid-bench -list            # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mrapid/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale = flag.Float64("scale", 1.0, "input-size scale factor (1.0 = paper sizes)")
+		seed  = flag.Int64("seed", 1, "input synthesis / placement seed")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.Registry {
+			fmt.Printf("%-8s %s\n", r.ID, r.Short)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := bench.Lookup(id); !ok {
+				fmt.Fprintf(os.Stderr, "mrapid-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected[id] = true
+		}
+	}
+
+	opts := bench.Options{Scale: *scale, Seed: *seed}
+	failures := 0
+	for _, r := range bench.Registry {
+		if len(selected) > 0 && !selected[r.ID] {
+			continue
+		}
+		start := time.Now()
+		fig, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrapid-bench: %s failed: %v\n", r.ID, err)
+			failures++
+			continue
+		}
+		if err := bench.Render(os.Stdout, fig); err != nil {
+			fmt.Fprintf(os.Stderr, "mrapid-bench: rendering %s: %v\n", r.ID, err)
+			failures++
+			continue
+		}
+		fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", r.ID, time.Since(start).Seconds())
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

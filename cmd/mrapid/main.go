@@ -1,0 +1,208 @@
+// Command mrapid runs a single benchmark job on a freshly simulated Hadoop
+// cluster in a chosen execution mode and reports its timeline, task
+// profile, and resource metrics.
+//
+// Usage:
+//
+//	mrapid -job wordcount -mode dplus -files 8 -size-mb 10
+//	mrapid -job terasort  -mode uplus -rows 800000
+//	mrapid -job pi        -mode speculative -samples 400000000
+//	mrapid -job wordcount -mode hadoop -cluster A2x9 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mrapid/internal/bench"
+	"mrapid/internal/core"
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/metrics"
+	"mrapid/internal/profiler"
+	"mrapid/internal/sim"
+	"mrapid/internal/trace"
+	"mrapid/internal/workloads"
+	"mrapid/internal/yarn"
+)
+
+func main() {
+	var (
+		job     = flag.String("job", "wordcount", "workload: wordcount | terasort | pi")
+		mode    = flag.String("mode", "speculative", "mode: hadoop | uber | dplus | uplus | speculative")
+		cluster = flag.String("cluster", "A3x4", "cluster: A3x4 | A2x9")
+		files   = flag.Int("files", 4, "wordcount/terasort input files")
+		sizeMB  = flag.Float64("size-mb", 10, "wordcount file size in MB")
+		rows    = flag.Int64("rows", 400_000, "terasort rows")
+		samples = flag.Int64("samples", 400_000_000, "pi total samples")
+		maps    = flag.Int("maps", 4, "pi map tasks")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		verbose = flag.Bool("verbose", false, "print per-task profile")
+		traceN  = flag.Int("trace", 0, "print the last N scheduling/task trace events")
+	)
+	flag.Parse()
+
+	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *verbose, *traceN); err != nil {
+		fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, verbose bool, traceN int) error {
+	var setup bench.ClusterSetup
+	switch cluster {
+	case "A3x4":
+		setup = bench.A3x4()
+	case "A2x9":
+		setup = bench.A2x9()
+	default:
+		return fmt.Errorf("unknown cluster %q", cluster)
+	}
+	setup.Seed = seed
+
+	var variant bench.Variant
+	speculative := false
+	switch mode {
+	case "hadoop":
+		variant = bench.VariantHadoop()
+	case "uber":
+		variant = bench.VariantUber()
+	case "dplus":
+		variant = bench.VariantDPlus()
+	case "uplus":
+		variant = bench.VariantUPlus()
+	case "speculative":
+		variant = bench.VariantDPlus() // D+ scheduler + framework; both modes race
+		variant.UOpts = core.FullUPlus()
+		speculative = true
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	env, err := bench.NewEnv(setup, variant)
+	if err != nil {
+		return err
+	}
+	var tlog *trace.Log
+	if traceN > 0 {
+		tlog = trace.New(env.Eng, traceN)
+		env.RM.Trace = tlog
+		env.RT.Trace = tlog
+	}
+
+	var spec *mapreduce.JobSpec
+	switch job {
+	case "wordcount":
+		names, err := workloads.GenerateWordCountInput(env.DFS, env.Cluster, "/in/wc", workloads.WordCountConfig{
+			Files: files, FileBytes: int64(sizeMB * (1 << 20)), Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		spec = workloads.WordCountSpec("wordcount", names, "/out", false)
+	case "terasort":
+		names, err := workloads.TeraGen(env.DFS, env.Cluster, "/in/ts", workloads.TeraGenConfig{
+			Rows: rows, Files: files, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		spec, err = workloads.TeraSortSpec(env.DFS, "terasort", names, "/out", 1)
+		if err != nil {
+			return err
+		}
+	case "pi":
+		names, err := workloads.GeneratePiInput(env.DFS, env.Cluster, "/in/pi", workloads.PiConfig{
+			Maps: maps, Samples: samples / int64(maps),
+		})
+		if err != nil {
+			return err
+		}
+		spec = workloads.PiSpec(env.DFS, "pi", names, "/out")
+	default:
+		return fmt.Errorf("unknown job %q", job)
+	}
+
+	var prof *profiler.JobProfile
+	var winner string
+	if speculative {
+		var res *core.SpecResult
+		env.Eng.After(0, func() {
+			env.FW.SubmitSpeculative(spec, func(r *core.SpecResult) {
+				res = r
+				env.RM.Stop()
+			})
+		})
+		env.Eng.RunUntil(sim.Time(1 << 42))
+		if res == nil {
+			return fmt.Errorf("job did not finish")
+		}
+		if res.Result.Err != nil {
+			return res.Result.Err
+		}
+		prof = res.Result.Profile
+		winner = string(res.Winner)
+		fmt.Printf("speculative execution: winner=%s fromHistory=%v\n", res.Winner, res.FromHistory)
+		if res.EstimateD > 0 {
+			fmt.Printf("estimates: t_d=%.2fs t_u=%.2fs (decided at %s)\n",
+				res.EstimateD.Seconds(), res.EstimateU.Seconds(), res.DecidedAt)
+		}
+	} else {
+		r, err := env.Run(variant, spec)
+		if err != nil {
+			return err
+		}
+		prof = r.Profile
+		winner = r.Mode
+	}
+
+	fmt.Printf("job=%s mode=%s cluster=%s\n", job, winner, cluster)
+	fmt.Printf("completion time: %.2f virtual seconds\n", prof.Elapsed().Seconds())
+	fmt.Printf("timeline: submitted=%s amReady=%s firstTask=%s mapsDone=%s done=%s\n",
+		prof.SubmittedAt, prof.AMReadyAt, prof.FirstTaskAt, prof.MapsDoneAt, prof.DoneAt)
+	s := prof.Summarize()
+	fmt.Printf("profile: %s\n", s)
+
+	switch job {
+	case "pi":
+		if est, err := workloads.PiEstimate(env.DFS, "/out"); err == nil {
+			fmt.Printf("pi estimate: %.6f\n", est)
+		}
+	case "terasort":
+		if err := workloads.VerifyTeraSortOutput(env.DFS, "/out", 1, rows); err == nil {
+			fmt.Printf("terasort output verified: %d rows in total order\n", rows)
+		} else {
+			return fmt.Errorf("output verification failed: %w", err)
+		}
+	}
+
+	reg := metrics.New()
+	reg.Set("yarn.am_heartbeats", env.RM.Metrics.AMHeartbeats)
+	reg.Set("yarn.nm_heartbeats", env.RM.Metrics.NMHeartbeats)
+	reg.Set("yarn.allocations", env.RM.Metrics.Allocations)
+	reg.Set("yarn.node_local", env.RM.Metrics.ByLocality[yarn.NodeLocal])
+	reg.Set("yarn.rack_local", env.RM.Metrics.ByLocality[yarn.RackLocal])
+	reg.Set("yarn.any_locality", env.RM.Metrics.ByLocality[yarn.Any])
+	reg.Set("hdfs.bytes_read", env.DFS.BytesRead)
+	reg.Set("hdfs.bytes_written", env.DFS.BytesWritten)
+	reg.Set("hdfs.local_reads", env.DFS.LocalReads)
+	reg.Set("hdfs.rack_reads", env.DFS.RackReads)
+	reg.Set("hdfs.remote_reads", env.DFS.RemoteReads)
+	fmt.Println("metrics:")
+	reg.Dump(os.Stdout)
+
+	if tlog != nil {
+		fmt.Printf("trace (last %d events):\n", traceN)
+		tlog.Dump(os.Stdout)
+	}
+
+	if verbose {
+		fmt.Println("tasks:")
+		for _, tp := range prof.Tasks {
+			fmt.Printf("  %-7s %2d on %-8s read=%-8v compute=%-8v spill=%-8v merge=%-8v in=%-9d out=%-9d local=%v\n",
+				tp.Kind, tp.Index, tp.Node, tp.ReadDur.Round(1e6), tp.ComputeDur.Round(1e6),
+				tp.SpillDur.Round(1e6), tp.MergeDur.Round(1e6), tp.InputBytes, tp.OutputBytes, tp.NodeLocal)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// PI example: the compute-bound quasi-Monte-Carlo job of the paper's
+// Figure 11. Sweeping the sample count shows the stock-mode crossover
+// (Uber wins small jobs, distributed wins big ones) while MRapid's U+ mode
+// stays the best choice throughout — the paper's point that MRapid
+// "alleviates the limitation of the original Uber mode".
+//
+//	go run ./examples/pi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mrapid/internal/bench"
+	"mrapid/internal/workloads"
+)
+
+func runPi(v bench.Variant, samples int64) (secs, estimate float64, err error) {
+	env, err := bench.NewEnv(bench.A3x4(), v)
+	if err != nil {
+		return 0, 0, err
+	}
+	inputs, err := workloads.GeneratePiInput(env.DFS, env.Cluster, "/in/pi", workloads.PiConfig{
+		Maps: 4, Samples: samples / 4,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	spec := workloads.PiSpec(env.DFS, "pi-example", inputs, "/out/pi")
+	res, err := env.Run(v, spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	est, err := workloads.PiEstimate(env.DFS, "/out/pi")
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Elapsed(), est, nil
+}
+
+func main() {
+	variants := bench.StandardVariants()
+	fmt.Println("PI with 4 maps on the A3×4 cluster (virtual seconds per mode):")
+	fmt.Printf("%-10s", "samples")
+	for _, v := range variants {
+		fmt.Printf("  %8s", v.Name)
+	}
+	fmt.Println("   pi estimate")
+
+	for _, millions := range []int64{100, 200, 400, 800, 1600} {
+		samples := millions * 1_000_000
+		fmt.Printf("%-10s", fmt.Sprintf("%dm", millions))
+		var estimate float64
+		for _, v := range variants {
+			secs, est, err := runPi(v, samples)
+			if err != nil {
+				log.Fatalf("%s at %dm: %v", v.Name, millions, err)
+			}
+			estimate = est
+			fmt.Printf("  %8.2f", secs)
+		}
+		fmt.Printf("   %.6f (|err| %.2e)\n", estimate, math.Abs(estimate-math.Pi))
+	}
+
+	fmt.Println()
+	fmt.Println("reading the table:")
+	fmt.Println("  - at small sample counts the stock modes are close (Uber avoids container")
+	fmt.Println("    launches, distributed computes in parallel); as samples grow, sequential")
+	fmt.Println("    Uber falls hopelessly behind — the paper's stock-mode crossover;")
+	fmt.Println("  - U+ is best everywhere: parallel like distributed, overhead-free like Uber,")
+	fmt.Println("    which is why MRapid keeps a compute-bound job in U+ even at 1600m samples.")
+}

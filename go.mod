@@ -1,0 +1,3 @@
+module mrapid
+
+go 1.22

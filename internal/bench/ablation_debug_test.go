@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"testing"
+
+	"mrapid/internal/core"
+	"mrapid/internal/profiler"
+	"mrapid/internal/workloads"
+	"mrapid/internal/yarn"
+)
+
+func TestDebugSchedulerAblation(t *testing.T) {
+	run := func(v Variant) *profiler.JobProfile {
+		env, err := NewEnv(A3x4(), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names, err := workloads.GenerateWordCountInput(env.DFS, env.Cluster, "/in/wc", workloads.WordCountConfig{
+			Files: 8, FileBytes: 10 << 20, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := workloads.WordCountSpec("abl", names, "/out", false)
+		res, err := env.Run(v, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Profile
+	}
+	stock := Variant{Name: "hadoop", NewScheduler: func() yarn.Scheduler { return yarn.NewStockScheduler() }, Mode: core.ModeHadoop}
+	spread := Variant{Name: "spread", NewScheduler: func() yarn.Scheduler {
+		return core.NewDPlusScheduler(core.DPlusOptions{BalancedSpread: true})
+	}, Mode: core.ModeHadoop}
+	for _, v := range []Variant{stock, spread} {
+		p := run(v)
+		nodes := map[string]int{}
+		var mapSpan float64
+		for _, tp := range p.Tasks {
+			if tp.Kind == profiler.MapTask {
+				nodes[tp.Node]++
+			}
+		}
+		mapSpan = p.MapsDoneAt.Sub(p.FirstTaskAt).Seconds()
+		t.Logf("%s: amReady=%v firstTask=%v mapsDone=%v done=%v mapSpan=%.2fs placement=%v",
+			v.Name, p.AMReadyAt, p.FirstTaskAt, p.MapsDoneAt, p.DoneAt, mapSpan, nodes)
+	}
+}

@@ -1,0 +1,187 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Table II, Figures 7–15) on the simulated cluster. Each data
+// point runs in a fresh, deterministic simulation; each figure compares the
+// four execution modes (stock Hadoop distributed, stock Uber, MRapid D+,
+// MRapid U+) or, for the ablation figures, a cumulative stack of individual
+// optimizations.
+package bench
+
+import (
+	"fmt"
+
+	"mrapid/internal/core"
+	"mrapid/internal/costmodel"
+	"mrapid/internal/hdfs"
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/sim"
+	"mrapid/internal/topology"
+	"mrapid/internal/yarn"
+)
+
+// horizon bounds a single job simulation; any job still unfinished after
+// this much virtual time is reported as hung.
+const horizon = sim.Time(1 << 42) // ≈ 4400 virtual seconds
+
+// sharedMapCache memoizes pure map-function results across the hundreds of
+// simulations a figure sweep builds: the execution modes differ only in
+// scheduling and I/O charging, never in what the map function computes over
+// the same bytes. Purely a host-CPU saving; simulated results are
+// unaffected.
+var sharedMapCache = mapreduce.NewMapCache(1 << 30)
+
+// ClusterSetup describes the simulated cluster for one run.
+type ClusterSetup struct {
+	Instance topology.InstanceType
+	Workers  int
+	Racks    int
+	Params   costmodel.Params
+	Seed     int64
+}
+
+// A3x4 is the paper's first testbed: 1 NameNode + 4 A3 DataNodes.
+func A3x4() ClusterSetup {
+	return ClusterSetup{Instance: topology.A3, Workers: 4, Racks: 2, Params: costmodel.Default(), Seed: 1}
+}
+
+// A2x9 is the paper's second testbed: 1 NameNode + 9 A2 DataNodes.
+func A2x9() ClusterSetup {
+	return ClusterSetup{Instance: topology.A2, Workers: 9, Racks: 2, Params: costmodel.Default(), Seed: 1}
+}
+
+// Variant pins down exactly how a job is scheduled and submitted — one
+// column of a figure.
+type Variant struct {
+	Name string
+
+	// NewScheduler builds the RM scheduler (stock or a D+ configuration).
+	NewScheduler func() yarn.Scheduler
+
+	// UseFramework routes submission through the MRapid proxy/AM pool.
+	UseFramework bool
+	PoolSize     int
+	// NotifyPoll keeps stock client polling even under the framework (used
+	// by the ablation stacks that add "reduced communication" last).
+	NotifyPoll bool
+
+	// Mode selects the execution engine.
+	Mode  core.ModeKind
+	UOpts core.UPlusOptions
+}
+
+// The four standard variants of Figures 7–13.
+func VariantHadoop() Variant {
+	return Variant{Name: "hadoop", NewScheduler: func() yarn.Scheduler { return yarn.NewStockScheduler() }, Mode: core.ModeHadoop}
+}
+
+func VariantUber() Variant {
+	return Variant{Name: "uber", NewScheduler: func() yarn.Scheduler { return yarn.NewStockScheduler() }, Mode: core.ModeUber}
+}
+
+func VariantDPlus() Variant {
+	return Variant{
+		Name:         "dplus",
+		NewScheduler: func() yarn.Scheduler { return core.NewDPlusScheduler(core.FullDPlus()) },
+		UseFramework: true, PoolSize: 3,
+		Mode: core.ModeDPlus,
+		// The framework always carries full U+ options so speculative
+		// submissions on this environment race a properly configured U+.
+		UOpts: core.FullUPlus(),
+	}
+}
+
+func VariantUPlus() Variant {
+	return Variant{
+		Name:         "uplus",
+		NewScheduler: func() yarn.Scheduler { return core.NewDPlusScheduler(core.FullDPlus()) },
+		UseFramework: true, PoolSize: 3,
+		Mode: core.ModeUPlus, UOpts: core.FullUPlus(),
+	}
+}
+
+// StandardVariants returns the four mode columns in display order.
+func StandardVariants() []Variant {
+	return []Variant{VariantHadoop(), VariantUber(), VariantDPlus(), VariantUPlus()}
+}
+
+// Env is one fully wired simulation.
+type Env struct {
+	Eng     *sim.Engine
+	Cluster *topology.Cluster
+	DFS     *hdfs.DFS
+	RM      *yarn.RM
+	RT      *mapreduce.Runtime
+	FW      *core.Framework
+}
+
+// NewEnv builds and starts a simulation for one variant. When the variant
+// uses the framework, the AM pool is brought up before NewEnv returns (that
+// cost is cluster startup, not job time).
+func NewEnv(setup ClusterSetup, v Variant) (*Env, error) {
+	eng := sim.NewEngine()
+	cluster, err := topology.NewCluster(eng, topology.Spec{Instance: setup.Instance, Workers: setup.Workers, Racks: setup.Racks})
+	if err != nil {
+		return nil, err
+	}
+	params := setup.Params
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	dfs := hdfs.New(eng, cluster, params.HDFSBlockBytes, params.Replication, setup.Seed)
+	rm := yarn.NewRM(eng, cluster, params, v.NewScheduler())
+	rm.Start()
+	rt := mapreduce.NewRuntime(eng, cluster, dfs, rm, params)
+	rt.MapCache = sharedMapCache
+	env := &Env{Eng: eng, Cluster: cluster, DFS: dfs, RM: rm, RT: rt}
+	if v.UseFramework {
+		fw := core.NewFramework(rt, v.PoolSize, v.UOpts)
+		fw.NotifyPoll = v.NotifyPoll
+		ready := false
+		eng.After(0, func() { fw.Start(func() { ready = true }) })
+		eng.RunUntil(sim.Time(1 << 36))
+		if !ready {
+			return nil, fmt.Errorf("bench: AM pool failed to start")
+		}
+		env.FW = fw
+	}
+	return env, nil
+}
+
+// Run executes one job under the variant and returns the client-observed
+// result. The simulation is driven until the job completes.
+func (e *Env) Run(v Variant, spec *mapreduce.JobSpec) (*mapreduce.Result, error) {
+	var res *mapreduce.Result
+	e.Eng.After(0, func() {
+		done := func(r *mapreduce.Result) {
+			res = r
+			e.RM.Stop()
+		}
+		switch v.Mode {
+		case core.ModeHadoop:
+			mapreduce.Submit(e.RT, spec, mapreduce.ModeDistributed, done)
+		case core.ModeUber:
+			mapreduce.Submit(e.RT, spec, mapreduce.ModeUber, done)
+		case core.ModeDPlus:
+			if e.FW != nil {
+				e.FW.SubmitDPlus(spec, done)
+			} else {
+				mapreduce.Submit(e.RT, spec, mapreduce.ModeDistributed, done)
+			}
+		case core.ModeUPlus:
+			if e.FW != nil {
+				e.FW.SubmitUPlus(spec, done)
+			} else {
+				core.SubmitUPlusCold(e.RT, spec, v.UOpts, done)
+			}
+		default:
+			panic(fmt.Sprintf("bench: unknown mode %q", v.Mode))
+		}
+	})
+	e.Eng.RunUntil(horizon)
+	if res == nil {
+		return nil, fmt.Errorf("bench: job %q did not finish within the horizon", spec.Name)
+	}
+	if res.Err != nil {
+		return nil, fmt.Errorf("bench: job %q failed: %w", spec.Name, res.Err)
+	}
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes a figure as an aligned text table, the form EXPERIMENTS.md
+// and the bench binary report.
+func Render(w io.Writer, f *Figure) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+
+	header := append([]string{f.XLabel}, f.Columns...)
+	rows := [][]string{header}
+	for _, p := range f.Points {
+		row := []string{p.Label}
+		for _, c := range f.Columns {
+			row = append(row, fmt.Sprintf("%.2f", p.Seconds[c]))
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&b, rows)
+
+	// Mode figures get the headline improvement columns the paper quotes.
+	if hasColumns(f, "hadoop", "dplus") || hasColumns(f, "uber", "uplus") {
+		fmt.Fprintln(&b, "improvements:")
+		impRows := [][]string{{f.XLabel, "D+ vs hadoop", "U+ vs uber", "best vs hadoop"}}
+		for i, p := range f.Points {
+			row := []string{p.Label}
+			if hasColumns(f, "hadoop", "dplus") {
+				row = append(row, fmt.Sprintf("%.1f%%", f.Improvement(i, "hadoop", "dplus")))
+			} else {
+				row = append(row, "-")
+			}
+			if hasColumns(f, "uber", "uplus") {
+				row = append(row, fmt.Sprintf("%.1f%%", f.Improvement(i, "uber", "uplus")))
+			} else {
+				row = append(row, "-")
+			}
+			if hasColumns(f, "hadoop", "dplus", "uplus") {
+				best := f.Get(i, "dplus")
+				if u := f.Get(i, "uplus"); u < best {
+					best = u
+				}
+				h := f.Get(i, "hadoop")
+				row = append(row, fmt.Sprintf("%.1f%%", (h-best)/h*100))
+			} else {
+				row = append(row, "-")
+			}
+			impRows = append(impRows, row)
+		}
+		writeAligned(&b, impRows)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	fmt.Fprintln(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func hasColumns(f *Figure, names ...string) bool {
+	for _, n := range names {
+		found := false
+		for _, c := range f.Columns {
+			if c == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// writeAligned renders rows with columns padded to equal width.
+func writeAligned(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+}

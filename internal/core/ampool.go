@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/rpc"
+	"mrapid/internal/topology"
+	"mrapid/internal/yarn"
+)
+
+// PooledAM is one reserved ApplicationMaster: a warm JVM holding its
+// container, waiting for the proxy to hand it a job.
+type PooledAM struct {
+	ID        int
+	Container *yarn.Container
+	Node      *topology.Node
+	app       *yarn.App // the pool's own app owning the AM container
+	busy      bool
+}
+
+// Pool is the proxy's reserve of ApplicationMasters, the heart of the
+// MRapid job submission framework: "reserves an ApplicationMaster pool for
+// reuse and avoids the long waiting time to initialize new ones for short
+// jobs." AMs are launched once at cluster start (cost paid outside any
+// measured job) and handed out/returned over the proxy's RPC.
+type Pool struct {
+	rt      *mapreduce.Runtime
+	size    int
+	ams     []*PooledAM
+	idle    []*PooledAM
+	waiters []func(*PooledAM)
+
+	// link carries the proxy↔AM control RPCs (the paper implements these
+	// over Spring Hadoop).
+	link *rpc.Link
+
+	// Dispatches counts jobs served, for metrics.
+	Dispatches int64
+}
+
+// NewPool creates an (unstarted) AM pool of the given size. Size zero is
+// legal and models the framework being disabled.
+func NewPool(rt *mapreduce.Runtime, size int) *Pool {
+	if size < 0 {
+		panic("core: negative pool size")
+	}
+	return &Pool{
+		rt:   rt,
+		size: size,
+		link: rpc.NewLink(rt.Eng, "proxy-am", rt.Params.RPCLatency, 0),
+	}
+}
+
+// Link exposes the proxy↔AM RPC link for metrics.
+func (p *Pool) Link() *rpc.Link { return p.link }
+
+// Size returns the configured pool size.
+func (p *Pool) Size() int { return p.size }
+
+// Idle returns how many AMs are currently free.
+func (p *Pool) Idle() int { return len(p.idle) }
+
+// Start launches the reserved AMs through the normal YARN submission path
+// (this is cluster startup work: the proxy pays AM allocation, container
+// launch, and initialization once, before any job is measured). ready fires
+// when every AM is up.
+func (p *Pool) Start(ready func()) {
+	if ready == nil {
+		panic("core: Pool.Start needs a ready callback")
+	}
+	if p.size == 0 {
+		p.rt.Eng.After(0, ready)
+		return
+	}
+	remaining := p.size
+	for i := 0; i < p.size; i++ {
+		i := i
+		amRes := p.rt.Cluster.Workers()[0].Type.ContainerResource()
+		p.rt.RM.SubmitApp(fmt.Sprintf("mrapid-am-pool-%d", i), amRes, func(app *yarn.App, c *yarn.Container) {
+			p.rt.Eng.After(p.rt.Params.AMInit, func() {
+				am := &PooledAM{ID: i, Container: c, Node: c.Node, app: app}
+				p.ams = append(p.ams, am)
+				p.idle = append(p.idle, am)
+				remaining--
+				if remaining == 0 {
+					ready()
+				}
+			})
+		})
+	}
+}
+
+// Acquire hands an idle AM to the callback, queueing if all are busy. The
+// handoff costs one proxy→AM RPC.
+func (p *Pool) Acquire(fn func(*PooledAM)) {
+	if fn == nil {
+		panic("core: Pool.Acquire needs a callback")
+	}
+	if p.size == 0 {
+		panic("core: Acquire on a disabled (size-0) pool")
+	}
+	p.waiters = append(p.waiters, fn)
+	p.dispatch()
+}
+
+// Release returns an AM to the pool for the next short job.
+func (p *Pool) Release(am *PooledAM) {
+	if !am.busy {
+		panic(fmt.Sprintf("core: AM %d released while idle", am.ID))
+	}
+	am.busy = false
+	p.idle = append(p.idle, am)
+	p.dispatch()
+}
+
+func (p *Pool) dispatch() {
+	for len(p.waiters) > 0 && len(p.idle) > 0 {
+		am := p.idle[0]
+		p.idle = p.idle[1:]
+		fn := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		am.busy = true
+		p.Dispatches++
+		p.link.Send(0, func() { fn(am) })
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"time"
+
+	"mrapid/internal/costmodel"
+	"mrapid/internal/profiler"
+	"mrapid/internal/topology"
+)
+
+// EstimatorInputs carries the Table I quantities the decision maker plugs
+// into Equations 1–3. Measured values (t^m, s^i, s^o) come from the
+// profiler; structural values (n^m, n^c, n_u^m) from the job and cluster;
+// rates (d^i, d^o, b^i, t^l) from the cost model and instance type.
+type EstimatorInputs struct {
+	TM time.Duration // t^m: map-function compute time per task
+	SI int64         // s^i: average map input bytes
+	SO int64         // s^o: average map output bytes
+
+	NM  int // n^m: number of map tasks
+	NC  int // n^c: task containers available cluster-wide (D+)
+	NUM int // n_u^m: maps per wave in U+ (vcores × threads per core)
+
+	TL time.Duration // t^l: container launch + JVM start
+	DI float64       // d^i: disk input (write) rate, bytes/s
+	DO float64       // d^o: disk output (read) rate, bytes/s
+	BI float64       // b^i: network bandwidth, bytes/s
+
+	TReduce time.Duration // reduce-phase time, identical across modes (Eq. 2/3 omit it)
+}
+
+// InputsFromProfile builds estimator inputs from a measured job summary and
+// the cluster configuration, the way the decision maker assembles them from
+// the profiler records uploaded to HDFS.
+func InputsFromProfile(s profiler.Summary, nm, nc, num int, it topology.InstanceType, p costmodel.Params) EstimatorInputs {
+	return EstimatorInputs{
+		TM:  s.AvgMapCPU,
+		SI:  s.AvgIn,
+		SO:  s.AvgOut,
+		NM:  nm,
+		NC:  nc,
+		NUM: num,
+		TL:  p.ContainerStart(),
+		DI:  it.DiskWriteBps,
+		DO:  it.DiskReadBps,
+		BI:  it.NetworkBps,
+	}
+}
+
+// waves returns ceil(tasks / perWave); the paper writes the plain ratio
+// n^m/n^c but a fractional wave is physically a whole extra wave.
+func waves(tasks, perWave int) int {
+	if perWave <= 0 {
+		return tasks
+	}
+	return (tasks + perWave - 1) / perWave
+}
+
+// ioTime converts bytes over a rate into a duration.
+func ioTime(bytes int64, rate float64) time.Duration {
+	if rate <= 0 || bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / rate * float64(time.Second))
+}
+
+// EstimateJob implements Equation 1, the full completion-time model for a
+// stock distributed job:
+//
+//	t^job = t^AM + t^Map + t^Shuffle + t^Reduce
+//	      = t^l + (t^l + s^i/d^o + t^m + s^o/d^i + s^o/d^o + s^o/d^i) · n^w
+//	        + (s^o · n^c)/b^i + t^Reduce
+//
+// The merge terms (s^o/d^o + s^o/d^i) are only charged when the output
+// overflows the sort buffer and actually merges, matching the paper's
+// "if the intermediate data is too large to spill once".
+func EstimateJob(in EstimatorInputs, sortBuffer int64) time.Duration {
+	nw := waves(in.NM, in.NC)
+	perWave := in.TL + ioTime(in.SI, in.DO) + in.TM + ioTime(in.SO, in.DI)
+	if in.SO > sortBuffer {
+		perWave += ioTime(in.SO, in.DO) + ioTime(in.SO, in.DI)
+	}
+	shuffle := ioTime(in.SO*int64(in.NC), in.BI)
+	return in.TL + perWave*time.Duration(nw) + shuffle + in.TReduce
+}
+
+// EstimateUPlus implements Equation 2: with the AM pool removing setup, the
+// single container removing shuffle, and the memory cache removing spill
+// and merge, only the map compute remains, repeated over the U+ waves:
+//
+//	t_u = t^m · (n^m / n_u^m)
+func EstimateUPlus(in EstimatorInputs) time.Duration {
+	return in.TM * time.Duration(waves(in.NM, in.NUM))
+}
+
+// EstimateDPlus implements Equation 3: launch, map compute, and a single
+// spill per wave, plus one overlapped shuffle term:
+//
+//	t_d = (t^l + t^m + s^o/d^i) · (n^m / n^c) + (s^o · n^c)/b^i
+func EstimateDPlus(in EstimatorInputs) time.Duration {
+	perWave := in.TL + in.TM + ioTime(in.SO, in.DI)
+	shuffle := ioTime(in.SO*int64(in.NC), in.BI)
+	return perWave*time.Duration(waves(in.NM, in.NC)) + shuffle
+}
+
+// ModeKind identifies one of the four execution modes.
+type ModeKind string
+
+// Execution modes, matching the labels used throughout the benchmarks.
+const (
+	ModeHadoop ModeKind = "hadoop" // stock distributed
+	ModeUber   ModeKind = "uber"   // stock Uber
+	ModeDPlus  ModeKind = "dplus"  // MRapid improved distributed
+	ModeUPlus  ModeKind = "uplus"  // MRapid improved Uber
+)
+
+// Decide compares the Equation 2 and 3 estimates and returns the faster
+// MRapid mode. Ties go to U+, the cheaper mode to keep running (one
+// container).
+func Decide(in EstimatorInputs) ModeKind {
+	tu := EstimateUPlus(in)
+	td := EstimateDPlus(in)
+	if td < tu {
+		return ModeDPlus
+	}
+	return ModeUPlus
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/profiler"
+	"mrapid/internal/yarn"
+)
+
+// Framework is the MRapid job submission framework: the proxy with its AM
+// pool, the execution-record history, and the configured U+ options. One
+// Framework serves one simulated cluster.
+type Framework struct {
+	RT      *mapreduce.Runtime
+	Pool    *Pool
+	History *History
+	UOpts   UPlusOptions
+
+	// NotifyPoll makes the framework report completion at the client's next
+	// status-poll tick instead of over the proxy's direct RPC. It exists
+	// only for the "reducing communication" ablation (Figures 14–15); the
+	// real framework always notifies directly.
+	NotifyPoll bool
+
+	started bool
+}
+
+// notify delivers a finished result to the client: direct RPC normally,
+// poll-aligned under the communication ablation.
+func (f *Framework) notify(prof *profiler.JobProfile, res *mapreduce.Result, done func(*mapreduce.Result)) {
+	if !f.NotifyPoll {
+		done(res)
+		return
+	}
+	f.RT.PollAlignedNotify(prof.SubmittedAt, func() {
+		if res.Profile != nil {
+			res.Profile.DoneAt = f.RT.Eng.Now()
+		}
+		done(res)
+	})
+}
+
+// NewFramework assembles the framework over a runtime. poolSize is the
+// number of reserved AMs (the paper's default is 3, from the cost model's
+// AMPoolSize).
+func NewFramework(rt *mapreduce.Runtime, poolSize int, uopts UPlusOptions) *Framework {
+	return &Framework{
+		RT:      rt,
+		Pool:    NewPool(rt, poolSize),
+		History: NewHistory(),
+		UOpts:   uopts,
+	}
+}
+
+// Start launches the proxy service: the AM pool comes up and any persisted
+// history is loaded. ready fires when the framework can accept jobs.
+func (f *Framework) Start(ready func()) {
+	if f.started {
+		panic("core: framework started twice")
+	}
+	f.started = true
+	if err := f.History.Load(f.RT.DFS); err != nil {
+		// A corrupt history snapshot only disables pre-decisions.
+		f.History = NewHistory()
+	}
+	f.Pool.Start(ready)
+}
+
+// handle tracks a mode execution whose AM materializes asynchronously, so
+// the decision maker can kill it at any point.
+type handle struct {
+	killed bool
+	killFn func()
+}
+
+func (h *handle) Kill() {
+	h.killed = true
+	if h.killFn != nil {
+		h.killFn()
+	}
+}
+
+func (h *handle) attach(kill func()) {
+	h.killFn = kill
+	if h.killed {
+		kill()
+	}
+}
+
+// SubmitDPlus runs a job in D+ mode through the framework: artifacts are
+// uploaded, a pooled AM is dispatched by the proxy (no AM allocation or JVM
+// start), and the distributed AM requests containers from the D+ scheduler.
+func (f *Framework) SubmitDPlus(spec *mapreduce.JobSpec, done func(*mapreduce.Result)) {
+	if done == nil {
+		panic("core: SubmitDPlus needs a completion callback")
+	}
+	f.RT.UploadArtifacts(spec, func(err error) {
+		if err != nil {
+			done(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Err: err})
+			return
+		}
+		f.launchDPlus(spec, nil, done)
+	})
+}
+
+// SubmitUPlus runs a job in U+ mode through the framework.
+func (f *Framework) SubmitUPlus(spec *mapreduce.JobSpec, done func(*mapreduce.Result)) {
+	if done == nil {
+		panic("core: SubmitUPlus needs a completion callback")
+	}
+	f.RT.UploadArtifacts(spec, func(err error) {
+		if err != nil {
+			done(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Err: err})
+			return
+		}
+		f.launchUPlus(spec, nil, done)
+	})
+}
+
+// launchDPlus dispatches an uploaded job to a pooled AM in D+ mode. onMap,
+// when non-nil, observes map completions (for the decision maker).
+func (f *Framework) launchDPlus(spec *mapreduce.JobSpec, onMap func(*profiler.TaskProfile), done func(*mapreduce.Result)) *handle {
+	h := &handle{}
+	prof := &profiler.JobProfile{
+		Job:         spec.Key(),
+		Mode:        string(ModeDPlus),
+		SubmittedAt: f.RT.Eng.Now(),
+	}
+	f.Pool.Acquire(func(pam *PooledAM) {
+		// The pooled AM only needs the job's artifacts; its JVM and runtime
+		// are already warm.
+		released := false
+		release := func() {
+			if !released {
+				released = true
+				f.Pool.Release(pam)
+			}
+		}
+		f.RT.Localize(spec, pam.Node, func(err error) {
+			finish := func(res *mapreduce.Result) {
+				release()
+				f.notify(prof, res, done)
+			}
+			if err != nil {
+				prof.DoneAt = f.RT.Eng.Now()
+				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Profile: prof, Err: err})
+				return
+			}
+			prof.AMReadyAt = f.RT.Eng.Now()
+			app := f.RT.RM.NewApp(spec.Name + "@dplus")
+			am, err := mapreduce.NewDistributedAM(f.RT, spec, app, pam.Node, prof)
+			if err != nil {
+				prof.DoneAt = f.RT.Eng.Now()
+				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Profile: prof, Err: err})
+				return
+			}
+			prof.NumContainers = ClusterContainerSlots(f.RT)
+			am.OnMapComplete = onMap
+			h.attach(func() {
+				am.Kill()
+				release()
+			})
+			if h.killed {
+				return
+			}
+			am.Run(func(p *profiler.JobProfile, err error) {
+				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Profile: p, Err: err})
+			})
+		})
+	})
+	return h
+}
+
+// launchUPlus dispatches an uploaded job to a pooled AM in U+ mode.
+func (f *Framework) launchUPlus(spec *mapreduce.JobSpec, onMap func(*profiler.TaskProfile), done func(*mapreduce.Result)) *handle {
+	h := &handle{}
+	prof := &profiler.JobProfile{
+		Job:         spec.Key(),
+		Mode:        string(ModeUPlus),
+		SubmittedAt: f.RT.Eng.Now(),
+	}
+	f.Pool.Acquire(func(pam *PooledAM) {
+		released := false
+		release := func() {
+			if !released {
+				released = true
+				f.Pool.Release(pam)
+			}
+		}
+		f.RT.Localize(spec, pam.Node, func(err error) {
+			finish := func(res *mapreduce.Result) {
+				release()
+				f.notify(prof, res, done)
+			}
+			if err != nil {
+				prof.DoneAt = f.RT.Eng.Now()
+				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: prof, Err: err})
+				return
+			}
+			prof.AMReadyAt = f.RT.Eng.Now()
+			app := f.RT.RM.NewApp(spec.Name + "@uplus")
+			am, err := NewUPlusAM(f.RT, spec, app, pam.Node, prof, f.UOpts)
+			if err != nil {
+				prof.DoneAt = f.RT.Eng.Now()
+				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: prof, Err: err})
+				return
+			}
+			am.OnMapComplete = onMap
+			h.attach(func() {
+				am.Kill()
+				release()
+			})
+			if h.killed {
+				return
+			}
+			am.Run(func(p *profiler.JobProfile, err error) {
+				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: p, Err: err})
+			})
+		})
+	})
+	return h
+}
+
+// SubmitUPlusCold runs U+ without the submission framework (for the Figure
+// 15 ablation): the AM is allocated and launched through the normal YARN
+// path, then executes the U+ task plan.
+func SubmitUPlusCold(rt *mapreduce.Runtime, spec *mapreduce.JobSpec, uopts UPlusOptions, done func(*mapreduce.Result)) {
+	if done == nil {
+		panic("core: SubmitUPlusCold needs a completion callback")
+	}
+	prof := &profiler.JobProfile{
+		Job:         spec.Key(),
+		Mode:        string(ModeUPlus),
+		SubmittedAt: rt.Eng.Now(),
+	}
+	fail := func(err error) {
+		prof.DoneAt = rt.Eng.Now()
+		done(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: prof, Err: err})
+	}
+	rt.UploadArtifacts(spec, func(err error) {
+		if err != nil {
+			fail(err)
+			return
+		}
+		amRes := rt.Cluster.Workers()[0].Type.ContainerResource()
+		rt.RM.SubmitApp(spec.Name, amRes, func(app *yarn.App, amC *yarn.Container) {
+			rt.Eng.After(rt.Params.AMInit, func() {
+				rt.Localize(spec, amC.Node, func(err error) {
+					if err != nil {
+						fail(err)
+						return
+					}
+					prof.AMReadyAt = rt.Eng.Now()
+					am, err := NewUPlusAM(rt, spec, app, amC.Node, prof, uopts)
+					if err != nil {
+						fail(err)
+						return
+					}
+					am.Run(func(p *profiler.JobProfile, err error) {
+						// No proxy here: the stock client polls for status.
+						rt.PollAlignedNotify(prof.SubmittedAt, func() {
+							if p != nil {
+								p.DoneAt = rt.Eng.Now()
+							}
+							done(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: p, Err: err})
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// ClusterContainerSlots counts the task containers the cluster can hold —
+// the estimator's n^c.
+func ClusterContainerSlots(rt *mapreduce.Runtime) int {
+	total := 0
+	for _, n := range rt.Cluster.Workers() {
+		total += n.Type.MaxContainers()
+	}
+	return total
+}

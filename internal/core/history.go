@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"mrapid/internal/hdfs"
+	"mrapid/internal/profiler"
+)
+
+// HistoryEntry records the outcome of one profiled execution of a job key.
+type HistoryEntry struct {
+	Job       string        `json:"job"`
+	Winner    ModeKind      `json:"winner"`
+	Elapsed   time.Duration `json:"elapsed"`
+	AvgMapCPU time.Duration `json:"avg_map_cpu"`
+	AvgIn     int64         `json:"avg_in"`
+	AvgOut    int64         `json:"avg_out"`
+	Runs      int           `json:"runs"`
+}
+
+// History is the decision maker's execution-record store. The paper keys
+// records by program identity — "based on the execution records of the same
+// job, even if they were executed with different input data" — and persists
+// them to HDFS so future submissions skip speculative execution.
+type History struct {
+	entries map[string]*HistoryEntry
+}
+
+// NewHistory returns an empty store.
+func NewHistory() *History {
+	return &History{entries: make(map[string]*HistoryEntry)}
+}
+
+// Record stores (or updates) the winner for a job key.
+func (h *History) Record(job string, winner ModeKind, elapsed time.Duration, s profiler.Summary) {
+	e, ok := h.entries[job]
+	if !ok {
+		e = &HistoryEntry{Job: job}
+		h.entries[job] = e
+	}
+	e.Winner = winner
+	e.Elapsed = elapsed
+	e.AvgMapCPU = s.AvgMapCPU
+	e.AvgIn = s.AvgIn
+	e.AvgOut = s.AvgOut
+	e.Runs++
+}
+
+// Winner returns the recorded mode for a job key, if any.
+func (h *History) Winner(job string) (ModeKind, bool) {
+	if e, ok := h.entries[job]; ok {
+		return e.Winner, true
+	}
+	return "", false
+}
+
+// Entry returns the full record for a job key.
+func (h *History) Entry(job string) (*HistoryEntry, bool) {
+	e, ok := h.entries[job]
+	return e, ok
+}
+
+// Len reports the number of recorded job keys.
+func (h *History) Len() int { return len(h.entries) }
+
+// Forget removes a job's record (used by tests and by operators resetting a
+// stale decision).
+func (h *History) Forget(job string) { delete(h.entries, job) }
+
+const historyPath = "/mrapid/history.json"
+
+// Save serializes the store into HDFS (replacing any previous snapshot).
+// The write itself is metadata-sized; like the paper's profile uploads it
+// happens off the measured path, so it is staged costlessly.
+func (h *History) Save(dfs *hdfs.DFS) error {
+	list := make([]*HistoryEntry, 0, len(h.entries))
+	for _, name := range sortedKeys(h.entries) {
+		list = append(list, h.entries[name])
+	}
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encoding history: %w", err)
+	}
+	if dfs.Exists(historyPath) {
+		if err := dfs.Delete(historyPath); err != nil {
+			return err
+		}
+	}
+	_, err = dfs.PutInstant(historyPath, data, nil)
+	return err
+}
+
+// Load restores a snapshot saved by Save. A missing snapshot yields an
+// empty store, not an error.
+func (h *History) Load(dfs *hdfs.DFS) error {
+	if !dfs.Exists(historyPath) {
+		return nil
+	}
+	data, err := dfs.Contents(historyPath)
+	if err != nil {
+		return err
+	}
+	var list []*HistoryEntry
+	if err := json.Unmarshal(data, &list); err != nil {
+		return fmt.Errorf("core: decoding history: %w", err)
+	}
+	for _, e := range list {
+		h.entries[e.Job] = e
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]*HistoryEntry) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"time"
+
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/profiler"
+	"mrapid/internal/sim"
+)
+
+// SpecResult is the outcome of a speculative submission.
+type SpecResult struct {
+	Result *mapreduce.Result
+	Winner ModeKind
+
+	// FromHistory is true when the decision maker answered from the
+	// execution-record store and only one mode ran.
+	FromHistory bool
+
+	// DecidedAt is when the estimator's verdict killed the slower mode
+	// (zero when the decision came from history or a mode finishing first).
+	DecidedAt sim.Time
+
+	// EstimateD and EstimateU are the Equation 2/3 estimates the decision
+	// used (zero when no estimate was needed).
+	EstimateD time.Duration
+	EstimateU time.Duration
+}
+
+// Elapsed returns the winner's completion time in seconds.
+func (r *SpecResult) Elapsed() float64 {
+	if r.Result == nil {
+		return 0
+	}
+	return r.Result.Elapsed()
+}
+
+// tempOutput names a mode's private output prefix during speculation.
+func tempOutput(base string, mode ModeKind) string {
+	return base + ".__" + string(mode)
+}
+
+// SubmitSpeculative runs a job through the full MRapid workflow of Figure 6:
+//
+//  1. the client uploads the job artifacts and submits to the proxy;
+//  2. the decision maker consults the history — a recorded winner runs
+//     alone;
+//  3. otherwise both D+ and U+ launch (against private temporary outputs);
+//  4. the profiler reports each mode's first completed map;
+//  5. the decision maker evaluates Equations 2 and 3 and kills the slower
+//     mode;
+//  6. the winner's output is promoted and the verdict is recorded for
+//     future submissions of the same job key.
+func (f *Framework) SubmitSpeculative(spec *mapreduce.JobSpec, done func(*SpecResult)) {
+	if done == nil {
+		panic("core: SubmitSpeculative needs a completion callback")
+	}
+	if f.Pool.Size() < 2 {
+		panic("core: speculative execution needs an AM pool of at least 2")
+	}
+
+	// Pre-decision from history (step 2).
+	if winner, ok := f.History.Winner(spec.Key()); ok {
+		run := f.SubmitUPlus
+		if winner == ModeDPlus {
+			run = f.SubmitDPlus
+		}
+		run(spec, func(res *mapreduce.Result) {
+			f.recordOutcome(spec, winner, res)
+			done(&SpecResult{Result: res, Winner: winner, FromHistory: true})
+		})
+		return
+	}
+
+	f.RT.UploadArtifacts(spec, func(err error) {
+		if err != nil {
+			done(&SpecResult{Result: &mapreduce.Result{Spec: spec, Err: err}})
+			return
+		}
+		f.race(spec, done)
+	})
+}
+
+// race runs both modes and arbitrates (steps 3–6).
+func (f *Framework) race(spec *mapreduce.JobSpec, done func(*SpecResult)) {
+	dSpec := *spec
+	dSpec.OutputFile = tempOutput(spec.OutputFile, ModeDPlus)
+	uSpec := *spec
+	uSpec.OutputFile = tempOutput(spec.OutputFile, ModeUPlus)
+
+	out := &SpecResult{}
+	decided := false
+	finished := false
+	var dHandle, uHandle *handle
+	var dSample, uSample *profiler.TaskProfile
+
+	finish := func(winner ModeKind, res *mapreduce.Result) {
+		if finished {
+			return
+		}
+		finished = true
+		// Kill the loser if it is still running (a finished mode's kill is
+		// a no-op).
+		if winner == ModeDPlus && uHandle != nil {
+			uHandle.Kill()
+		}
+		if winner == ModeUPlus && dHandle != nil {
+			dHandle.Kill()
+		}
+		// Promote the winner's output and discard the loser's.
+		f.RT.DFS.DeletePrefix(tempOutput(spec.OutputFile, loserOf(winner)))
+		if _, err := f.RT.DFS.RenamePrefix(tempOutput(spec.OutputFile, winner), spec.OutputFile); err != nil && res.Err == nil {
+			res.Err = err
+		}
+		res.Spec = spec
+		out.Result = res
+		out.Winner = winner
+		f.recordOutcome(spec, winner, res)
+		done(out)
+	}
+
+	// Step 5: once the profiler has a sample, estimate both modes and kill
+	// the projected loser. Map compute time is mode-independent, so the
+	// first sample from either mode suffices.
+	decide := func() {
+		if decided || finished {
+			return
+		}
+		sample := dSample
+		if sample == nil {
+			sample = uSample
+		}
+		if sample == nil {
+			return
+		}
+		decided = true
+		workers := f.RT.Cluster.Workers()
+		it := workers[0].Type
+		in := EstimatorInputs{
+			TM:  sample.ComputeDur,
+			SI:  sample.InputBytes,
+			SO:  sample.OutputBytes,
+			NM:  countSplits(f.RT, spec),
+			NC:  ClusterContainerSlots(f.RT),
+			NUM: f.UOpts.MapsPerWave(workers[0]),
+			TL:  f.RT.Params.ContainerStart(),
+			DI:  it.DiskWriteBps,
+			DO:  it.DiskReadBps,
+			BI:  it.NetworkBps,
+		}
+		out.EstimateU = EstimateUPlus(in)
+		out.EstimateD = EstimateDPlus(in)
+		out.DecidedAt = f.RT.Eng.Now()
+		if Decide(in) == ModeDPlus {
+			uHandle.Kill()
+		} else {
+			dHandle.Kill()
+		}
+	}
+
+	dHandle = f.launchDPlus(&dSpec, func(tp *profiler.TaskProfile) {
+		if dSample == nil {
+			dSample = tp
+			decide()
+		}
+	}, func(res *mapreduce.Result) {
+		finish(ModeDPlus, res)
+	})
+	uHandle = f.launchUPlus(&uSpec, func(tp *profiler.TaskProfile) {
+		if uSample == nil {
+			uSample = tp
+			decide()
+		}
+	}, func(res *mapreduce.Result) {
+		finish(ModeUPlus, res)
+	})
+}
+
+func loserOf(winner ModeKind) ModeKind {
+	if winner == ModeDPlus {
+		return ModeUPlus
+	}
+	return ModeDPlus
+}
+
+// recordOutcome updates the history with the finished run (step 6).
+func (f *Framework) recordOutcome(spec *mapreduce.JobSpec, winner ModeKind, res *mapreduce.Result) {
+	if res.Err != nil || res.Profile == nil {
+		return
+	}
+	f.History.Record(spec.Key(), winner, res.Profile.Elapsed(), res.Profile.Summarize())
+	// Persisting the snapshot mirrors the profiler uploading records to
+	// HDFS; failures only cost future pre-decisions.
+	_ = f.History.Save(f.RT.DFS)
+}
+
+// countSplits returns n^m for the estimator.
+func countSplits(rt *mapreduce.Runtime, spec *mapreduce.JobSpec) int {
+	splits, err := rt.DFS.Splits(spec.InputFiles)
+	if err != nil {
+		return 0
+	}
+	return len(splits)
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/topology"
+)
+
+// runSpeculative drives one speculative submission to completion.
+func runSpeculative(t *testing.T, f *Framework, spec *mapreduce.JobSpec) *SpecResult {
+	t.Helper()
+	rt := f.RT
+	var res *SpecResult
+	rt.Eng.After(0, func() {
+		f.SubmitSpeculative(spec, func(r *SpecResult) {
+			res = r
+			rt.RM.Stop()
+		})
+	})
+	rt.Eng.RunUntil(horizon)
+	if res == nil {
+		t.Fatal("speculative job never completed")
+	}
+	return res
+}
+
+func TestSpeculativeFirstRunRacesAndDecides(t *testing.T) {
+	rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+	f := startFramework(t, rt, 3)
+	names, all := stageInput(t, rt, 4, 1<<20)
+	res := runSpeculative(t, f, testWCSpec(names, "/out"))
+	if res.Result.Err != nil {
+		t.Fatalf("job failed: %v", res.Result.Err)
+	}
+	if res.FromHistory {
+		t.Fatal("first run claimed a history hit")
+	}
+	if res.Winner != ModeDPlus && res.Winner != ModeUPlus {
+		t.Fatalf("winner = %q", res.Winner)
+	}
+	// The decision used the estimator (both estimates populated) unless a
+	// mode finished before any sample — impossible here given map counts.
+	if res.EstimateD == 0 || res.EstimateU == 0 {
+		t.Fatalf("estimates missing: D=%v U=%v", res.EstimateD, res.EstimateU)
+	}
+	verifyWC(t, rt, "/out", all)
+	// Temporary outputs were cleaned up.
+	for _, name := range rt.DFS.List() {
+		if len(name) > 4 && name[:5] == "/out." {
+			t.Errorf("leftover temp file %s", name)
+		}
+	}
+	// Both AMs returned to the pool.
+	if f.Pool.Idle() != 3 {
+		t.Fatalf("pool idle = %d, want 3", f.Pool.Idle())
+	}
+	// History recorded the winner.
+	if w, ok := f.History.Winner("wordcount"); !ok || w != res.Winner {
+		t.Fatalf("history winner = %v/%v, want %v", w, ok, res.Winner)
+	}
+}
+
+func TestSpeculativeSecondRunUsesHistory(t *testing.T) {
+	rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+	f := startFramework(t, rt, 3)
+	names, _ := stageInput(t, rt, 4, 1<<20)
+	first := runSpeculative(t, f, testWCSpec(names, "/out1"))
+
+	spec2 := testWCSpec(names, "/out2")
+	var second *SpecResult
+	rt.Eng.After(0, func() {
+		rt.RM.Start()
+		f.SubmitSpeculative(spec2, func(r *SpecResult) {
+			second = r
+			rt.RM.Stop()
+		})
+	})
+	rt.Eng.RunUntil(horizon)
+	if second == nil || second.Result.Err != nil {
+		t.Fatalf("second run failed: %+v", second)
+	}
+	if !second.FromHistory {
+		t.Fatal("second run did not use the history pre-decision")
+	}
+	if second.Winner != first.Winner {
+		t.Fatalf("history winner %v != first run winner %v", second.Winner, first.Winner)
+	}
+	// With only one mode running, the second run is at least as fast as the
+	// first (no speculative overhead contending for resources).
+	if second.Elapsed() > first.Elapsed()*1.25 {
+		t.Errorf("history run (%.2fs) much slower than speculative run (%.2fs)",
+			second.Elapsed(), first.Elapsed())
+	}
+}
+
+func TestSpeculativeHistoryPersistsAcrossFrameworks(t *testing.T) {
+	rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+	f := startFramework(t, rt, 3)
+	names, _ := stageInput(t, rt, 4, 512<<10)
+	runSpeculative(t, f, testWCSpec(names, "/out1"))
+
+	// A new framework over the same DFS (proxy restart) loads the history.
+	f2 := NewFramework(rt, 0, FullUPlus())
+	ready := false
+	rt.Eng.After(0, func() { f2.Start(func() { ready = true }) })
+	rt.Eng.RunUntil(rt.Eng.Now().Add(1 << 30))
+	if !ready {
+		t.Fatal("second framework never started")
+	}
+	if _, ok := f2.History.Winner("wordcount"); !ok {
+		t.Fatal("restarted proxy lost the execution history")
+	}
+}
+
+func TestSpeculativeComputeBoundJobPicksUPlus(t *testing.T) {
+	// A PI-like job: 4 tiny splits, heavy fixed compute. One U+ wave does
+	// all maps in parallel with no container launches; the estimator must
+	// pick U+.
+	rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+	f := startFramework(t, rt, 3)
+	var names []string
+	for i := 0; i < 4; i++ {
+		name := mapreduce.PartFileName("/in/pi", i)
+		rt.DFS.PutInstant(name, []byte("x\n"), rt.Cluster.Workers()[i%4])
+		names = append(names, name)
+	}
+	spec := testWCSpec(names, "/out")
+	spec.JobKey = "pi-like"
+	spec.MapFixedCost = 3e9 // 3 s of compute per map
+	res := runSpeculative(t, f, spec)
+	if res.Result.Err != nil {
+		t.Fatalf("job failed: %v", res.Result.Err)
+	}
+	if res.Winner != ModeUPlus {
+		t.Fatalf("winner = %v, want uplus for a compute-bound 4-map job (estimates D=%v U=%v)",
+			res.Winner, res.EstimateD, res.EstimateU)
+	}
+}
+
+func TestSpeculativeWideJobPicksDPlus(t *testing.T) {
+	// 16 heavy maps on a 4-core U+ node need 4 waves; 16 D+ containers do
+	// one wave. D+ must win.
+	rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+	f := startFramework(t, rt, 3)
+	names, _ := stageInput(t, rt, 16, 64<<10)
+	spec := testWCSpec(names, "/out")
+	spec.JobKey = "wide"
+	spec.MapFixedCost = 8e9 // 8 s per map dwarfs launch overhead
+	res := runSpeculative(t, f, spec)
+	if res.Result.Err != nil {
+		t.Fatalf("job failed: %v", res.Result.Err)
+	}
+	if res.Winner != ModeDPlus {
+		t.Fatalf("winner = %v, want dplus (estimates D=%v U=%v)",
+			res.Winner, res.EstimateD, res.EstimateU)
+	}
+}
+
+func TestSpeculativeNeedsPool(t *testing.T) {
+	rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+	f := startFramework(t, rt, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("speculation with a 1-AM pool did not panic")
+		}
+	}()
+	f.SubmitSpeculative(testWCSpec([]string{"/x"}, "/out"), func(*SpecResult) {})
+}
+
+func TestSpeculativeOutputMatchesSingleMode(t *testing.T) {
+	// The speculative pipeline (temp outputs + rename) must not corrupt the
+	// result: compare with a plain D+ run.
+	mk := func() (*mapreduce.Runtime, *Framework, []string, []byte) {
+		rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+		f := startFramework(t, rt, 3)
+		names, all := stageInput(t, rt, 4, 512<<10)
+		return rt, f, names, all
+	}
+	rtA, fA, namesA, allA := mk()
+	resA := runSpeculative(t, fA, testWCSpec(namesA, "/out"))
+	if resA.Result.Err != nil {
+		t.Fatal(resA.Result.Err)
+	}
+	verifyWC(t, rtA, "/out", allA)
+
+	rtB, fB, namesB, _ := mk()
+	var resB *mapreduce.Result
+	rtB.Eng.After(0, func() {
+		fB.SubmitDPlus(testWCSpec(namesB, "/out"), func(r *mapreduce.Result) {
+			resB = r
+			rtB.RM.Stop()
+		})
+	})
+	rtB.Eng.RunUntil(horizon)
+	a, _ := rtA.DFS.Contents(mapreduce.PartFileName("/out", 0))
+	b, _ := rtB.DFS.Contents(mapreduce.PartFileName("/out", 0))
+	if string(a) != string(b) {
+		t.Fatal("speculative output differs from plain D+ output")
+	}
+	_ = resB
+}

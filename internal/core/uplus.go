@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mrapid/internal/hdfs"
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/profiler"
+	"mrapid/internal/topology"
+	"mrapid/internal/yarn"
+)
+
+// UPlusOptions toggle the U+ optimizations for the Figure 15 ablation. The
+// zero value degenerates to the stock Uber behaviour (sequential, all
+// spills); FullUPlus() is the paper's U+ mode.
+type UPlusOptions struct {
+	// ThreadsPerCore is n_c^m, the map threads multiplexed on each vcore;
+	// maps per wave is n_u^m = n^c · n_c^m. Zero or negative means 0 →
+	// sequential execution (stock Uber).
+	ThreadsPerCore int
+
+	// MemoryCache admits intermediate data into the in-heap cache (up to
+	// the cost model's UberCacheBytes) instead of spilling to disk.
+	MemoryCache bool
+}
+
+// FullUPlus returns the paper's complete U+ configuration.
+func FullUPlus() UPlusOptions {
+	return UPlusOptions{ThreadsPerCore: 1, MemoryCache: true}
+}
+
+// MapsPerWave returns n_u^m for an AM running on the given node.
+func (o UPlusOptions) MapsPerWave(node *topology.Node) int {
+	tpc := o.ThreadsPerCore
+	if tpc <= 0 {
+		return 1
+	}
+	return node.Cores.Total() * tpc
+}
+
+// UPlusAM is the improved Uber mode: all tasks still run inside the AM's
+// single container, but map tasks execute concurrently (n_u^m per wave)
+// and small intermediate outputs stay in memory, so the reduce reads them
+// without touching the disk.
+type UPlusAM struct {
+	rt     *mapreduce.Runtime
+	spec   *mapreduce.JobSpec
+	app    *yarn.App
+	amNode *topology.Node
+	prof   *profiler.JobProfile
+	opts   UPlusOptions
+
+	splits         []*hdfs.Split
+	next           int
+	inFlight       int
+	completed      int
+	outputs        []*mapreduce.MapOutput
+	cacheUsed      int64
+	mapAttempts    map[int]int
+	reduceAttempts map[int]int
+	killed         bool
+	failed         error
+	done           func(*profiler.JobProfile, error)
+
+	// OnMapComplete, when set before Run, observes every finished map task.
+	OnMapComplete func(*profiler.TaskProfile)
+}
+
+// NewUPlusAM prepares a U+ AM on the pooled AM's node.
+func NewUPlusAM(rt *mapreduce.Runtime, spec *mapreduce.JobSpec, app *yarn.App, amNode *topology.Node, prof *profiler.JobProfile, opts UPlusOptions) (*UPlusAM, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	splits, err := rt.DFS.Splits(spec.InputFiles)
+	if err != nil {
+		return nil, err
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("core: job %q has no input splits", spec.Name)
+	}
+	prof.NumMaps = len(splits)
+	prof.NumReduces = spec.NumReduces
+	prof.NumWorkers = len(rt.Cluster.Workers())
+	prof.NumContainers = 1
+	return &UPlusAM{
+		rt: rt, spec: spec, app: app, amNode: amNode, prof: prof, opts: opts, splits: splits,
+		mapAttempts: make(map[int]int), reduceAttempts: make(map[int]int),
+	}, nil
+}
+
+// Run starts the parallel map waves.
+func (am *UPlusAM) Run(done func(*profiler.JobProfile, error)) {
+	if done == nil {
+		panic("core: UPlusAM.Run needs a completion callback")
+	}
+	am.done = done
+	am.prof.FirstTaskAt = am.rt.Eng.Now()
+	am.pump()
+}
+
+// Kill abandons the job.
+func (am *UPlusAM) Kill() {
+	if am.killed {
+		return
+	}
+	am.killed = true
+	am.rt.RM.KillApp(am.app)
+}
+
+// Progress reports completed and total map counts.
+func (am *UPlusAM) Progress() (completed, total int) {
+	return am.completed, len(am.splits)
+}
+
+// CacheUsed reports how much intermediate data currently sits in the memory
+// cache.
+func (am *UPlusAM) CacheUsed() int64 { return am.cacheUsed }
+
+// pump keeps up to n_u^m map tasks in flight.
+func (am *UPlusAM) pump() {
+	if am.killed {
+		return
+	}
+	limit := am.opts.MapsPerWave(am.amNode)
+	for am.inFlight < limit && am.next < len(am.splits) {
+		s := am.splits[am.next]
+		am.next++
+		am.inFlight++
+		am.runOne(s)
+	}
+}
+
+// admitToCache decides whether a finished map's output fits the remaining
+// cache budget; if so the budget is consumed.
+func (am *UPlusAM) admitToCache(outBytes int64) bool {
+	if !am.opts.MemoryCache {
+		return false
+	}
+	if am.cacheUsed+outBytes > am.rt.Params.UberCacheBytes {
+		return false
+	}
+	am.cacheUsed += outBytes
+	return true
+}
+
+func (am *UPlusAM) runOne(s *hdfs.Split) {
+	opts := mapreduce.MapTaskOptions{
+		SpillToDisk:  true,
+		KeepInMemory: am.admitToCache,
+		Attempt:      am.mapAttempts[s.Index],
+	}
+	am.rt.RunMapTask(am.spec, s, am.amNode, opts, func(mo *mapreduce.MapOutput, tp *profiler.TaskProfile, err error) {
+		if am.killed {
+			return
+		}
+		am.inFlight--
+		var ae *mapreduce.AttemptError
+		if errors.As(err, &ae) {
+			// Retry the crashed map thread in place, within the wave limit.
+			am.prof.Add(tp)
+			am.mapAttempts[s.Index]++
+			if am.mapAttempts[s.Index] >= am.rt.Params.MaxTaskAttempts {
+				am.fail(fmt.Errorf("core: map %d failed %d attempts: %w",
+					s.Index, am.mapAttempts[s.Index], err))
+				return
+			}
+			am.inFlight++
+			am.runOne(s)
+			return
+		}
+		if err != nil {
+			am.fail(err)
+			return
+		}
+		am.prof.Add(tp)
+		am.outputs = append(am.outputs, mo)
+		am.completed++
+		if am.OnMapComplete != nil {
+			am.OnMapComplete(tp)
+		}
+		if am.killed {
+			// The observer may have killed this mode.
+			return
+		}
+		if am.completed == len(am.splits) {
+			am.prof.MapsDoneAt = am.rt.Eng.Now()
+			am.runReduce()
+			return
+		}
+		am.pump()
+	})
+}
+
+// runReduce reads back any spilled outputs (in-memory ones are free) and
+// runs the reduce partitions in the AM container.
+func (am *UPlusAM) runReduce() {
+	remaining := len(am.outputs) * am.spec.NumReduces
+	if remaining == 0 {
+		am.runReducePartitions(0)
+		return
+	}
+	for _, mo := range am.outputs {
+		for p := 0; p < am.spec.NumReduces; p++ {
+			am.rt.FetchPartition(mo, p, am.amNode, func() {
+				remaining--
+				if remaining == 0 {
+					am.runReducePartitions(0)
+				}
+			})
+		}
+	}
+}
+
+func (am *UPlusAM) runReducePartitions(p int) {
+	if am.killed {
+		return
+	}
+	if p == am.spec.NumReduces {
+		am.finish(nil)
+		return
+	}
+	am.rt.RunReducePhase(am.spec, p, am.reduceAttempts[p], am.outputs, am.amNode, func(tp *profiler.TaskProfile, err error) {
+		if am.killed {
+			return
+		}
+		var ae *mapreduce.AttemptError
+		if errors.As(err, &ae) {
+			am.prof.Add(tp)
+			am.reduceAttempts[p]++
+			if am.reduceAttempts[p] >= am.rt.Params.MaxTaskAttempts {
+				am.fail(fmt.Errorf("core: reduce %d failed %d attempts: %w",
+					p, am.reduceAttempts[p], err))
+				return
+			}
+			am.runReducePartitions(p)
+			return
+		}
+		if err != nil {
+			am.fail(err)
+			return
+		}
+		am.prof.Add(tp)
+		am.runReducePartitions(p + 1)
+	})
+}
+
+func (am *UPlusAM) fail(err error) {
+	if am.failed == nil {
+		am.failed = err
+	}
+	am.finish(err)
+}
+
+func (am *UPlusAM) finish(err error) {
+	if am.killed {
+		return
+	}
+	am.killed = true
+	am.prof.DoneAt = am.rt.Eng.Now()
+	am.rt.RM.FinishApp(am.app)
+	am.done(am.prof, err)
+}

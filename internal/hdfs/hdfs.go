@@ -1,0 +1,450 @@
+// Package hdfs implements the simulated distributed filesystem: a NameNode
+// view of files split into blocks, block replicas placed rack-aware across
+// DataNodes, and costed read/write paths that charge the owning nodes' disk
+// and network devices on the virtual clock.
+//
+// Data is real: blocks hold actual bytes, so MapReduce jobs running on top
+// of this filesystem compute real answers that tests can verify.
+package hdfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mrapid/internal/sim"
+	"mrapid/internal/topology"
+)
+
+// Block is one replicated chunk of a file.
+type Block struct {
+	ID       int
+	File     string
+	Offset   int64 // offset of this block within the file
+	Data     []byte
+	Replicas []*topology.Node // placement order: first is the "primary"
+}
+
+// Size returns the block length in bytes.
+func (b *Block) Size() int64 { return int64(len(b.Data)) }
+
+// HostedOn reports whether a replica of b lives on node n.
+func (b *Block) HostedOn(n *topology.Node) bool {
+	for _, r := range b.Replicas {
+		if r == n {
+			return true
+		}
+	}
+	return false
+}
+
+// File is a NameNode file entry.
+type File struct {
+	Name   string
+	Blocks []*Block
+}
+
+// Size returns the total file length.
+func (f *File) Size() int64 {
+	var s int64
+	for _, b := range f.Blocks {
+		s += b.Size()
+	}
+	return s
+}
+
+// DFS is the simulated HDFS instance for one cluster.
+type DFS struct {
+	eng         *sim.Engine
+	cluster     *topology.Cluster
+	blockSize   int64
+	replication int
+	files       map[string]*File
+	nextBlockID int
+	rng         *rand.Rand
+
+	// BytesRead / BytesWritten tally costed traffic for metrics.
+	BytesRead    int64
+	BytesWritten int64
+	// LocalReads / RackReads / RemoteReads count read locality outcomes.
+	LocalReads  int64
+	RackReads   int64
+	RemoteReads int64
+}
+
+// New creates an empty filesystem over the cluster. blockSize and
+// replication typically come from costmodel.Params. The seed fixes replica
+// placement, keeping runs reproducible.
+func New(eng *sim.Engine, cluster *topology.Cluster, blockSize int64, replication int, seed int64) *DFS {
+	if blockSize <= 0 {
+		panic("hdfs: block size must be positive")
+	}
+	if replication <= 0 {
+		panic("hdfs: replication must be positive")
+	}
+	return &DFS{
+		eng:         eng,
+		cluster:     cluster,
+		blockSize:   blockSize,
+		replication: replication,
+		files:       make(map[string]*File),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// BlockSize returns the filesystem block size.
+func (d *DFS) BlockSize() int64 { return d.blockSize }
+
+// Lookup returns the file entry, or an error if it does not exist.
+func (d *DFS) Lookup(name string) (*File, error) {
+	f, ok := d.files[name]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: file %q not found", name)
+	}
+	return f, nil
+}
+
+// Exists reports whether the named file exists.
+func (d *DFS) Exists(name string) bool { _, ok := d.files[name]; return ok }
+
+// Delete removes a file; deleting a missing file is an error.
+func (d *DFS) Delete(name string) error {
+	if _, ok := d.files[name]; !ok {
+		return fmt.Errorf("hdfs: delete: file %q not found", name)
+	}
+	delete(d.files, name)
+	return nil
+}
+
+// Rename moves a file to a new name. It is a pure NameNode metadata
+// operation with no data movement, so it carries no simulated cost; the
+// speculative executor uses it to promote the winning mode's temporary
+// output. Renaming onto an existing name or from a missing one is an error.
+func (d *DFS) Rename(oldName, newName string) error {
+	f, ok := d.files[oldName]
+	if !ok {
+		return fmt.Errorf("hdfs: rename: file %q not found", oldName)
+	}
+	if _, exists := d.files[newName]; exists {
+		return fmt.Errorf("hdfs: rename: file %q already exists", newName)
+	}
+	delete(d.files, oldName)
+	f.Name = newName
+	for _, b := range f.Blocks {
+		b.File = newName
+	}
+	d.files[newName] = f
+	return nil
+}
+
+// RenamePrefix renames every file under oldPrefix to the corresponding name
+// under newPrefix (directory rename). It returns the number of files moved.
+func (d *DFS) RenamePrefix(oldPrefix, newPrefix string) (int, error) {
+	var moved []string
+	for _, name := range d.List() {
+		if len(name) >= len(oldPrefix) && name[:len(oldPrefix)] == oldPrefix {
+			moved = append(moved, name)
+		}
+	}
+	for _, name := range moved {
+		if err := d.Rename(name, newPrefix+name[len(oldPrefix):]); err != nil {
+			return 0, err
+		}
+	}
+	return len(moved), nil
+}
+
+// DeletePrefix removes every file under the prefix and reports how many.
+func (d *DFS) DeletePrefix(prefix string) int {
+	n := 0
+	for _, name := range d.List() {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			delete(d.files, name)
+			n++
+		}
+	}
+	return n
+}
+
+// List returns all file names in sorted order.
+func (d *DFS) List() []string {
+	names := make([]string, 0, len(d.files))
+	for n := range d.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// place chooses replica nodes for one block following the policy the paper
+// describes: one replica on the writer's node (or a random worker when the
+// writer is not a DataNode), one on a node in a different rack, and one on a
+// different node in that same remote rack. Additional replicas (replication
+// > 3) go to random distinct workers.
+func (d *DFS) place(writer *topology.Node) []*topology.Node {
+	workers := d.cluster.Workers()
+	if len(workers) == 0 {
+		panic("hdfs: cluster has no workers")
+	}
+	var first *topology.Node
+	if writer != nil && writer != d.cluster.Master() {
+		first = writer
+	} else {
+		first = workers[d.rng.Intn(len(workers))]
+	}
+	replicas := []*topology.Node{first}
+	if d.replication == 1 {
+		return replicas
+	}
+
+	// Second replica: a node in a different rack if one exists.
+	var remoteRack []*topology.Node
+	for _, n := range workers {
+		if n.Rack != first.Rack {
+			remoteRack = append(remoteRack, n)
+		}
+	}
+	if len(remoteRack) > 0 {
+		second := remoteRack[d.rng.Intn(len(remoteRack))]
+		replicas = append(replicas, second)
+		if d.replication >= 3 {
+			// Third replica: a different node in the second replica's rack.
+			var sameRemote []*topology.Node
+			for _, n := range workers {
+				if n.Rack == second.Rack && n != second {
+					sameRemote = append(sameRemote, n)
+				}
+			}
+			if len(sameRemote) > 0 {
+				replicas = append(replicas, sameRemote[d.rng.Intn(len(sameRemote))])
+			}
+		}
+	}
+	// Fill any remaining replication with distinct random workers.
+	for len(replicas) < d.replication && len(replicas) < len(workers) {
+		cand := workers[d.rng.Intn(len(workers))]
+		dup := false
+		for _, r := range replicas {
+			if r == cand {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			replicas = append(replicas, cand)
+		}
+	}
+	return replicas
+}
+
+func (d *DFS) makeBlocks(name string, data []byte, writer *topology.Node) *File {
+	f := &File{Name: name}
+	for off := int64(0); off < int64(len(data)) || (off == 0 && len(data) == 0); off += d.blockSize {
+		end := off + d.blockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		d.nextBlockID++
+		f.Blocks = append(f.Blocks, &Block{
+			ID:       d.nextBlockID,
+			File:     name,
+			Offset:   off,
+			Data:     data[off:end],
+			Replicas: d.place(writer),
+		})
+		if len(data) == 0 {
+			break
+		}
+	}
+	return f
+}
+
+// PutInstant installs a file without charging any I/O cost. It exists for
+// experiment setup (pre-loading the input corpus before the measured job
+// begins), mirroring how the paper's inputs were staged before timing.
+// Overwriting an existing file is an error.
+func (d *DFS) PutInstant(name string, data []byte, writer *topology.Node) (*File, error) {
+	if d.Exists(name) {
+		return nil, fmt.Errorf("hdfs: file %q already exists", name)
+	}
+	f := d.makeBlocks(name, data, writer)
+	d.files[name] = f
+	return f, nil
+}
+
+// Write stores a file with full pipeline cost: for every block, the writer's
+// NIC pushes the bytes once, the replica disks each write them, and replica
+// NICs receive them (cross-rack hops also transit the core switch). done
+// fires when the last replica of the last block is durable.
+func (d *DFS) Write(name string, data []byte, writer *topology.Node, done func(*File, error)) {
+	if done == nil {
+		panic("hdfs: Write needs a completion callback")
+	}
+	if d.Exists(name) {
+		d.eng.After(0, func() { done(nil, fmt.Errorf("hdfs: file %q already exists", name)) })
+		return
+	}
+	f := d.makeBlocks(name, data, writer)
+	d.files[name] = f
+	d.BytesWritten += int64(len(data))
+
+	pending := 0
+	finished := false
+	complete := func() {
+		pending--
+		if pending == 0 && finished {
+			done(f, nil)
+		}
+	}
+	for _, b := range f.Blocks {
+		n := b.Size()
+		if writer != nil {
+			pending++
+			writer.NIC.Use(n*int64(len(b.Replicas)), complete)
+		}
+		for _, r := range b.Replicas {
+			pending++
+			r.Disk.Use(n, complete) // disk write charged at the replica
+			if writer != nil && r != writer {
+				pending++
+				r.NIC.Use(n, complete)
+				if writer.Rack != r.Rack {
+					pending++
+					d.cluster.CoreSwitch.Use(n, complete)
+				}
+			}
+		}
+	}
+	finished = true
+	if pending == 0 {
+		d.eng.After(0, func() { done(f, nil) })
+	}
+}
+
+// bestReplica picks the cheapest replica for a reader, preferring node-local
+// then rack-local then any, and updates the locality counters.
+func (d *DFS) bestReplica(b *Block, reader *topology.Node) *topology.Node {
+	if reader != nil {
+		for _, r := range b.Replicas {
+			if r == reader {
+				d.LocalReads++
+				return r
+			}
+		}
+		for _, r := range b.Replicas {
+			if r.Rack == reader.Rack {
+				d.RackReads++
+				return r
+			}
+		}
+	}
+	d.RemoteReads++
+	return b.Replicas[0]
+}
+
+// ReadRange reads length bytes starting at offset from the named file on
+// behalf of reader, charging the replica's disk and, for non-local reads,
+// both NICs (plus the core switch across racks). done receives the bytes.
+func (d *DFS) ReadRange(name string, offset, length int64, reader *topology.Node, done func([]byte, error)) {
+	if done == nil {
+		panic("hdfs: ReadRange needs a completion callback")
+	}
+	f, err := d.Lookup(name)
+	if err != nil {
+		d.eng.After(0, func() { done(nil, err) })
+		return
+	}
+	if offset < 0 || length < 0 || offset+length > f.Size() {
+		d.eng.After(0, func() {
+			done(nil, fmt.Errorf("hdfs: read [%d,%d) out of range for %q (size %d)", offset, offset+length, name, f.Size()))
+		})
+		return
+	}
+
+	var out []byte
+	// Fast path: a read covering exactly one whole block returns the block
+	// bytes without copying. Readers must treat returned data as immutable,
+	// which every consumer in this repository does.
+	single := len(f.Blocks) == 1 && offset == 0 && length == f.Size()
+	if !single {
+		out = make([]byte, 0, length)
+	}
+	pending := 0
+	finished := false
+	complete := func() {
+		pending--
+		if pending == 0 && finished {
+			done(out, nil)
+		}
+	}
+	for _, b := range f.Blocks {
+		bStart, bEnd := b.Offset, b.Offset+b.Size()
+		if bEnd <= offset || bStart >= offset+length {
+			continue
+		}
+		lo, hi := max64(offset, bStart)-bStart, min64(offset+length, bEnd)-bStart
+		if single {
+			out = b.Data
+		} else {
+			out = append(out, b.Data[lo:hi]...)
+		}
+		n := hi - lo
+		d.BytesRead += n
+		src := d.bestReplica(b, reader)
+		pending++
+		src.Disk.Use(n, complete)
+		if reader != nil && src != reader {
+			pending++
+			src.NIC.Use(n, complete)
+			pending++
+			reader.NIC.Use(n, complete)
+			if src.Rack != reader.Rack {
+				pending++
+				d.cluster.CoreSwitch.Use(n, complete)
+			}
+		}
+	}
+	finished = true
+	if pending == 0 {
+		d.eng.After(0, func() { done(out, nil) })
+	}
+}
+
+// ReadAll reads a whole file.
+func (d *DFS) ReadAll(name string, reader *topology.Node, done func([]byte, error)) {
+	f, err := d.Lookup(name)
+	if err != nil {
+		d.eng.After(0, func() { done(nil, err) })
+		return
+	}
+	d.ReadRange(name, 0, f.Size(), reader, done)
+}
+
+// Contents returns a file's bytes without charging any cost — for test
+// verification and for the decision-maker's history lookups, which the
+// paper treats as negligible.
+func (d *DFS) Contents(name string) ([]byte, error) {
+	f, err := d.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, f.Size())
+	for _, b := range f.Blocks {
+		out = append(out, b.Data...)
+	}
+	return out, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package hdfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRenameMovesMetadata(t *testing.T) {
+	eng, c := testCluster(t, 4)
+	d := New(eng, c, 10, 3, 1)
+	data := []byte("abcdefghijklmnop")
+	d.PutInstant("/a", data, nil)
+	if err := d.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Exists("/a") {
+		t.Fatal("old name still present")
+	}
+	got, err := d.Contents("/b")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("renamed contents = %q, %v", got, err)
+	}
+	f, _ := d.Lookup("/b")
+	if f.Name != "/b" {
+		t.Fatalf("file.Name = %q", f.Name)
+	}
+	for _, b := range f.Blocks {
+		if b.File != "/b" {
+			t.Fatalf("block.File = %q", b.File)
+		}
+	}
+}
+
+func TestRenameErrors(t *testing.T) {
+	eng, c := testCluster(t, 4)
+	d := New(eng, c, 10, 3, 1)
+	d.PutInstant("/a", []byte("x"), nil)
+	d.PutInstant("/b", []byte("y"), nil)
+	if err := d.Rename("/missing", "/c"); err == nil {
+		t.Fatal("rename of missing file succeeded")
+	}
+	if err := d.Rename("/a", "/b"); err == nil {
+		t.Fatal("rename onto existing file succeeded")
+	}
+}
+
+func TestRenamePrefix(t *testing.T) {
+	eng, c := testCluster(t, 4)
+	d := New(eng, c, 10, 3, 1)
+	d.PutInstant("/out.__uplus/part-00000", []byte("a"), nil)
+	d.PutInstant("/out.__uplus/part-00001", []byte("b"), nil)
+	d.PutInstant("/other", []byte("c"), nil)
+	n, err := d.RenamePrefix("/out.__uplus", "/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("moved %d files", n)
+	}
+	if !d.Exists("/out/part-00000") || !d.Exists("/out/part-00001") || !d.Exists("/other") {
+		t.Fatalf("post-rename listing = %v", d.List())
+	}
+}
+
+func TestRenamePrefixConflict(t *testing.T) {
+	eng, c := testCluster(t, 4)
+	d := New(eng, c, 10, 3, 1)
+	d.PutInstant("/tmp/x", []byte("a"), nil)
+	d.PutInstant("/dst/x", []byte("b"), nil)
+	if _, err := d.RenamePrefix("/tmp", "/dst"); err == nil {
+		t.Fatal("conflicting prefix rename succeeded")
+	}
+}
+
+func TestDeletePrefix(t *testing.T) {
+	eng, c := testCluster(t, 4)
+	d := New(eng, c, 10, 3, 1)
+	d.PutInstant("/tmp/a", []byte("a"), nil)
+	d.PutInstant("/tmp/b", []byte("b"), nil)
+	d.PutInstant("/keep", []byte("c"), nil)
+	if n := d.DeletePrefix("/tmp"); n != 2 {
+		t.Fatalf("deleted %d", n)
+	}
+	if got := d.List(); len(got) != 1 || got[0] != "/keep" {
+		t.Fatalf("List = %v", got)
+	}
+	if n := d.DeletePrefix("/nothing"); n != 0 {
+		t.Fatalf("deleted %d from empty prefix", n)
+	}
+}
+
+func TestSingleBlockReadIsZeroCopy(t *testing.T) {
+	eng, c := testCluster(t, 4)
+	d := New(eng, c, 1<<20, 3, 1)
+	data := []byte("zero copy block")
+	f, _ := d.PutInstant("/z", data, nil)
+	var got []byte
+	d.ReadAll("/z", c.Workers()[0], func(b []byte, err error) { got = b })
+	eng.Run()
+	if &got[0] != &f.Blocks[0].Data[0] {
+		t.Fatal("single-block full read copied the data")
+	}
+}

@@ -1,0 +1,70 @@
+package hdfs
+
+import (
+	"fmt"
+
+	"mrapid/internal/topology"
+)
+
+// Split is one map task's input slice: a contiguous byte range of a file
+// together with the nodes hosting it, the locality hints the scheduler
+// consumes. Short jobs in the paper use one split per (sub-block-sized)
+// file; larger files get one split per block.
+type Split struct {
+	File   string
+	Index  int // ordinal within the job's split list
+	Offset int64
+	Length int64
+	Hosts  []*topology.Node
+}
+
+func (s *Split) String() string {
+	return fmt.Sprintf("split{%s[%d:%d)}", s.File, s.Offset, s.Offset+s.Length)
+}
+
+// HostedOn reports whether node n holds a replica of the split's data.
+func (s *Split) HostedOn(n *topology.Node) bool {
+	for _, h := range s.Hosts {
+		if h == n {
+			return true
+		}
+	}
+	return false
+}
+
+// RackLocalTo reports whether any replica shares a rack with node n.
+func (s *Split) RackLocalTo(n *topology.Node) bool {
+	for _, h := range s.Hosts {
+		if h.Rack == n.Rack {
+			return true
+		}
+	}
+	return false
+}
+
+// Splits computes the input splits for a list of files, one split per block,
+// numbered in file order. It mirrors FileInputFormat.getSplits for inputs
+// whose records never straddle block boundaries (our generators pad to
+// record boundaries, so the simplification is lossless).
+func (d *DFS) Splits(files []string) ([]*Split, error) {
+	var splits []*Split
+	for _, name := range files {
+		f, err := d.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range f.Blocks {
+			if b.Size() == 0 {
+				continue
+			}
+			splits = append(splits, &Split{
+				File:   name,
+				Index:  len(splits),
+				Offset: b.Offset,
+				Length: b.Size(),
+				Hosts:  b.Replicas,
+			})
+		}
+	}
+	return splits, nil
+}

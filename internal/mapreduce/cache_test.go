@@ -1,0 +1,153 @@
+package mapreduce
+
+import (
+	"bytes"
+	"testing"
+
+	"mrapid/internal/profiler"
+	"mrapid/internal/sim"
+	"mrapid/internal/topology"
+	"mrapid/internal/yarn"
+)
+
+func TestMapCacheHitReturnsEqualResult(t *testing.T) {
+	spec := wcSpec([]string{"/in"}, "/out")
+	data := bytes.Repeat([]byte("cache me if you can\n"), 5000)
+	c := NewMapCache(1 << 30)
+
+	if _, ok := c.lookup(spec, "/in", 0, data); ok {
+		t.Fatal("hit on empty cache")
+	}
+	fresh := ExecMap(spec, data)
+	c.store(spec, "/in", 0, data, fresh)
+	hit, ok := c.lookup(spec, "/in", 0, data)
+	if !ok {
+		t.Fatal("no hit after store")
+	}
+	if hit.TotalBytes != fresh.TotalBytes || hit.Records != fresh.Records {
+		t.Fatalf("cached aggregates differ: %d/%d vs %d/%d",
+			hit.TotalBytes, hit.Records, fresh.TotalBytes, fresh.Records)
+	}
+	if len(hit.Partitions[0]) != len(fresh.Partitions[0]) {
+		t.Fatal("cached partitions differ")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("counters = %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestMapCacheKeyDiscriminates(t *testing.T) {
+	spec := wcSpec([]string{"/in"}, "/out")
+	data := bytes.Repeat([]byte("same name different content\n"), 100)
+	other := bytes.Repeat([]byte("SAME name different CONTENT!\n"), 100)
+	c := NewMapCache(1 << 30)
+	c.store(spec, "/in", 0, data, ExecMap(spec, data))
+
+	if _, ok := c.lookup(spec, "/in", 0, other); ok {
+		t.Fatal("hit on different content under the same name")
+	}
+	if _, ok := c.lookup(spec, "/in2", 0, data); ok {
+		t.Fatal("hit on different file name")
+	}
+	if _, ok := c.lookup(spec, "/in", 100, data); ok {
+		t.Fatal("hit on different offset")
+	}
+	spec2 := wcSpec([]string{"/in"}, "/out")
+	spec2.JobKey = "other-job"
+	if _, ok := c.lookup(spec2, "/in", 0, data); ok {
+		t.Fatal("hit across job identities")
+	}
+	spec3 := wcSpec([]string{"/in"}, "/out")
+	spec3.NumReduces = 3
+	if _, ok := c.lookup(spec3, "/in", 0, data); ok {
+		t.Fatal("hit across partition counts")
+	}
+	spec4 := wcSpec([]string{"/in"}, "/out")
+	spec4.Combine = spec4.Reduce
+	if _, ok := c.lookup(spec4, "/in", 0, data); ok {
+		t.Fatal("hit across combiner settings")
+	}
+}
+
+func TestMapCacheEvictsFIFO(t *testing.T) {
+	spec := wcSpec([]string{"/in"}, "/out")
+	mk := func(tag byte) []byte {
+		return bytes.Repeat([]byte{tag, ' ', tag, '\n'}, 30_000) // ~120 KB
+	}
+	c := NewMapCache(600 << 10) // fits ~2 entries (each retains ~data+pairs)
+	for i := 0; i < 5; i++ {
+		data := mk(byte('a' + i))
+		c.store(spec, "/in", int64(i), data, ExecMap(spec, data))
+	}
+	// Each entry retains ~2 MB (data + pairs + headers), far over the
+	// budget, so the cache evicts down to the single most recent entry —
+	// it always keeps at least one so oversized splits still memoize.
+	if c.Len() != 1 {
+		t.Fatalf("eviction kept %d entries (%d bytes), want 1", c.Len(), c.Used())
+	}
+	// Newest entry survives.
+	newest := mk(byte('a' + 4))
+	if _, ok := c.lookup(spec, "/in", 4, newest); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestMapCacheNeverChangesSimulatedTiming(t *testing.T) {
+	run := func(cache *MapCache) (sim.Time, int64) {
+		eng := sim.NewEngine()
+		cluster, _ := topology.NewCluster(eng, topology.Spec{Instance: topology.A3, Workers: 4, Racks: 2})
+		rt := newTestRuntime(t, topology.A3, 4, yarn.NewStockScheduler())
+		rt.MapCache = cache
+		node := rt.Cluster.Workers()[0]
+		data := bytes.Repeat([]byte("timing must not depend on the cache\n"), 20_000)
+		rt.DFS.PutInstant("/in", data, node)
+		splits, _ := rt.DFS.Splits([]string{"/in"})
+		spec := wcSpec([]string{"/in"}, "/out")
+		var end sim.Time
+		var out int64
+		rt.RunMapTask(spec, splits[0], node, MapTaskOptions{SpillToDisk: true},
+			func(mo *MapOutput, tp *profiler.TaskProfile, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				end = rt.Eng.Now()
+				out = mo.TotalBytes
+			})
+		rt.Eng.RunUntil(sim.Time(1 << 40))
+		_ = cluster
+		return end, out
+	}
+	cache := NewMapCache(1 << 30)
+	t1, o1 := run(nil)   // no cache
+	t2, o2 := run(cache) // miss
+	t3, o3 := run(cache) // hit
+	if t1 != t2 || t2 != t3 {
+		t.Fatalf("virtual completion differs: %v / %v / %v", t1, t2, t3)
+	}
+	if o1 != o2 || o2 != o3 {
+		t.Fatalf("outputs differ: %d / %d / %d", o1, o2, o3)
+	}
+	if cache.Hits != 1 {
+		t.Fatalf("Hits = %d", cache.Hits)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := bytes.Repeat([]byte("x"), 100_000)
+	b := append(append([]byte{}, a...), 'y')
+	if fingerprint(a) == fingerprint(b) {
+		t.Fatal("length change not detected")
+	}
+	c := append([]byte{}, a...)
+	c[50_000] = 'z' // middle window
+	if fingerprint(a) == fingerprint(c) {
+		t.Fatal("middle mutation not detected")
+	}
+	if fingerprint(a) != fingerprint(append([]byte{}, a...)) {
+		t.Fatal("identical content fingerprints differ")
+	}
+	// Tiny inputs work too.
+	if fingerprint([]byte{}) == fingerprint([]byte{1}) {
+		t.Fatal("tiny inputs collide")
+	}
+}

@@ -1,0 +1,408 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+
+	"mrapid/internal/hdfs"
+	"mrapid/internal/profiler"
+	"mrapid/internal/sim"
+	"mrapid/internal/topology"
+	"mrapid/internal/yarn"
+)
+
+// DistributedAM is the distributed-mode ApplicationMaster: it requests one
+// container per map task (with locality preferences from the split replica
+// locations) plus one per reduce, assigns granted containers to the
+// best-matching pending task, overlaps the shuffle with remaining map
+// waves, and runs the reduce once all map outputs are fetched.
+//
+// The same AM serves stock Hadoop and MRapid's D+ mode: the difference
+// between them lives in the RM's scheduler and in how the AM itself was
+// brought up (cold submission vs. the AM pool).
+type DistributedAM struct {
+	rt     *Runtime
+	spec   *JobSpec
+	app    *yarn.App
+	amNode *topology.Node
+	prof   *profiler.JobProfile
+
+	splits       []*hdfs.Split
+	pendingMaps  []*hdfs.Split
+	containerRes topology.Resource
+
+	mapOutputs    []*MapOutput
+	completedMaps int
+	failed        error
+
+	// Attempt counters per split / reduce partition for failure retries.
+	mapAttempts    map[int]int
+	reduceAttempts map[int]int
+	retryAsks      []*yarn.Ask
+
+	reduceContainer *yarn.Container
+	reduceReady     bool
+	reduceRunning   bool
+	fetched         map[*MapOutput]bool
+	fetchesDone     int
+
+	ticker      *sim.Ticker
+	sentMapAsks bool
+	killed      bool
+	done        func(*profiler.JobProfile, error)
+
+	// OnMapComplete, when set before Run, observes every finished map task;
+	// the speculative decision maker uses it to collect the profile samples
+	// Equations 1–3 need.
+	OnMapComplete func(*profiler.TaskProfile)
+}
+
+// NewDistributedAM prepares a distributed-mode AM. The caller has already
+// brought the AM process up (cold or pooled) on amNode and charged that
+// cost; prof carries the submission timestamps.
+func NewDistributedAM(rt *Runtime, spec *JobSpec, app *yarn.App, amNode *topology.Node, prof *profiler.JobProfile) (*DistributedAM, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	splits, err := rt.DFS.Splits(spec.InputFiles)
+	if err != nil {
+		return nil, err
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("mapreduce: job %q has no input splits", spec.Name)
+	}
+	am := &DistributedAM{
+		rt:             rt,
+		spec:           spec,
+		app:            app,
+		amNode:         amNode,
+		prof:           prof,
+		splits:         splits,
+		pendingMaps:    append([]*hdfs.Split(nil), splits...),
+		containerRes:   amNode.Type.ContainerResource(),
+		fetched:        make(map[*MapOutput]bool),
+		mapAttempts:    make(map[int]int),
+		reduceAttempts: make(map[int]int),
+	}
+	prof.NumMaps = len(splits)
+	prof.NumReduces = spec.NumReduces
+	prof.NumWorkers = len(rt.Cluster.Workers())
+	return am, nil
+}
+
+// Run starts the AM's allocate-heartbeat loop. done fires once the job
+// output is durable in HDFS (or the job fails or is killed).
+func (am *DistributedAM) Run(done func(*profiler.JobProfile, error)) {
+	if done == nil {
+		panic("mapreduce: DistributedAM.Run needs a completion callback")
+	}
+	am.done = done
+	am.heartbeat() // first allocate immediately after AM init
+	am.ticker = am.rt.Eng.Every(am.rt.Params.AMHeartbeat, am.heartbeat)
+}
+
+// Kill stops the job: outstanding work is abandoned and the RM releases the
+// app's containers. Used by speculative execution to cancel the slower mode.
+func (am *DistributedAM) Kill() {
+	if am.killed {
+		return
+	}
+	am.killed = true
+	if am.ticker != nil {
+		am.ticker.Stop()
+	}
+	am.rt.RM.KillApp(am.app)
+}
+
+// Progress reports completed and total map counts, the signal the
+// speculative decision maker polls.
+func (am *DistributedAM) Progress() (completed, total int) {
+	return am.completedMaps, len(am.splits)
+}
+
+func (am *DistributedAM) heartbeat() {
+	if am.killed {
+		return
+	}
+	asks := append(am.buildAsks(), am.retryAsks...)
+	am.retryAsks = nil
+	am.rt.RM.Allocate(am.app, asks, func(granted []*yarn.Container) {
+		if am.killed {
+			return
+		}
+		for _, c := range granted {
+			am.place(c)
+		}
+	})
+}
+
+// buildAsks emits, once, one ask per map task with locality preferences
+// plus the reduce container ask. A short job's single reducer clears the
+// default slow-start threshold (5% of a handful of maps) immediately, so
+// Hadoop's allocator ramps it up with the first request — starting the
+// reducer early is what lets the shuffle overlap the remaining map waves
+// (the overlap Equations 1 and 3 assume).
+func (am *DistributedAM) buildAsks() []*yarn.Ask {
+	if am.sentMapAsks {
+		return nil
+	}
+	am.sentMapAsks = true
+	var asks []*yarn.Ask
+	for _, s := range am.splits {
+		racks := make([]string, 0, len(s.Hosts))
+		for _, h := range s.Hosts {
+			racks = append(racks, h.Rack)
+		}
+		asks = append(asks, &yarn.Ask{
+			App:            am.app,
+			Resource:       am.containerRes,
+			PreferredNodes: s.Hosts,
+			PreferredRacks: racks,
+			Tag:            fmt.Sprintf("map-%d", s.Index),
+		})
+	}
+	for p := 0; p < am.spec.NumReduces; p++ {
+		asks = append(asks, &yarn.Ask{
+			App:      am.app,
+			Resource: am.containerRes,
+			Tag:      fmt.Sprintf("reduce-%d", p),
+		})
+	}
+	return asks
+}
+
+// place assigns a granted container to work: reduce containers start the
+// reduce side, map containers take the best-locality pending split.
+func (am *DistributedAM) place(c *yarn.Container) {
+	if len(c.Tag) >= 6 && c.Tag[:6] == "reduce" {
+		am.startReduceContainer(c)
+		return
+	}
+	s := am.takeBestSplit(c.Node)
+	if s == nil {
+		// Nothing left to run (maps finished while this grant was in
+		// flight): hand the container straight back.
+		am.rt.RM.ReleaseContainer(c)
+		return
+	}
+	nm := am.rt.RM.NMOn(c.Node)
+	nm.StartContainer(c, false, func() {
+		if am.killed {
+			am.rt.RM.ReleaseContainer(c)
+			return
+		}
+		am.rt.Localize(am.spec, c.Node, func(err error) {
+			if err != nil {
+				am.fail(err)
+				return
+			}
+			am.runMap(c, s)
+		})
+	})
+}
+
+// takeBestSplit pops the pending split with the best locality for node:
+// node-local first, then rack-local, then the oldest pending.
+func (am *DistributedAM) takeBestSplit(node *topology.Node) *hdfs.Split {
+	best, bestRank := -1, 3
+	for i, s := range am.pendingMaps {
+		rank := 2
+		if s.HostedOn(node) {
+			rank = 0
+		} else if s.RackLocalTo(node) {
+			rank = 1
+		}
+		if rank < bestRank {
+			best, bestRank = i, rank
+			if rank == 0 {
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	s := am.pendingMaps[best]
+	am.pendingMaps = append(am.pendingMaps[:best], am.pendingMaps[best+1:]...)
+	return s
+}
+
+func (am *DistributedAM) runMap(c *yarn.Container, s *hdfs.Split) {
+	if am.prof.FirstTaskAt == 0 {
+		am.prof.FirstTaskAt = am.rt.Eng.Now()
+	}
+	attempt := am.mapAttempts[s.Index]
+	opts := MapTaskOptions{SpillToDisk: true, Attempt: attempt}
+	am.rt.RunMapTask(am.spec, s, c.Node, opts, func(mo *MapOutput, tp *profiler.TaskProfile, err error) {
+		if am.killed {
+			am.rt.RM.ReleaseContainer(c)
+			return
+		}
+		var ae *AttemptError
+		if errors.As(err, &ae) {
+			// The attempt crashed: give the container back, record the
+			// failed attempt, and reschedule on a fresh container unless
+			// the attempt budget is exhausted (Hadoop's maxattempts).
+			am.rt.RM.ReleaseContainer(c)
+			am.prof.Add(tp)
+			am.mapAttempts[s.Index]++
+			if am.mapAttempts[s.Index] >= am.rt.Params.MaxTaskAttempts {
+				am.fail(fmt.Errorf("mapreduce: map %d failed %d attempts: %w",
+					s.Index, am.mapAttempts[s.Index], err))
+				return
+			}
+			am.pendingMaps = append(am.pendingMaps, s)
+			racks := make([]string, 0, len(s.Hosts))
+			for _, h := range s.Hosts {
+				racks = append(racks, h.Rack)
+			}
+			am.retryAsks = append(am.retryAsks, &yarn.Ask{
+				App:            am.app,
+				Resource:       am.containerRes,
+				PreferredNodes: s.Hosts,
+				PreferredRacks: racks,
+				Tag:            fmt.Sprintf("map-%d-attempt-%d", s.Index, am.mapAttempts[s.Index]),
+			})
+			return
+		}
+		if err != nil {
+			am.fail(err)
+			return
+		}
+		// Commit handshake with the AM, then the container is released (a
+		// fresh one is requested per task, as in MRv2).
+		am.rt.Eng.After(am.rt.Params.TaskCommit, func() {
+			am.rt.RM.ReleaseContainer(c)
+			am.prof.Add(tp)
+			am.mapOutputs = append(am.mapOutputs, mo)
+			am.completedMaps++
+			if am.completedMaps == len(am.splits) {
+				am.prof.MapsDoneAt = am.rt.Eng.Now()
+			}
+			if am.OnMapComplete != nil {
+				am.OnMapComplete(tp)
+			}
+			am.pumpShuffle()
+		})
+	})
+}
+
+func (am *DistributedAM) startReduceContainer(c *yarn.Container) {
+	if am.reduceContainer != nil {
+		// Only single-reduce jobs are exercised by the paper's experiments;
+		// extra grants are returned. (NumReduces > 1 still works: each
+		// partition reuses the one reduce container serially.)
+		am.rt.RM.ReleaseContainer(c)
+		return
+	}
+	am.reduceContainer = c
+	nm := am.rt.RM.NMOn(c.Node)
+	nm.StartContainer(c, false, func() {
+		if am.killed {
+			am.rt.RM.ReleaseContainer(c)
+			return
+		}
+		am.rt.Localize(am.spec, c.Node, func(err error) {
+			if err != nil {
+				am.fail(err)
+				return
+			}
+			am.reduceReady = true
+			am.pumpShuffle()
+		})
+	})
+}
+
+// pumpShuffle fetches any completed-but-unfetched map outputs to the reduce
+// node, overlapping with still-running map waves, and starts the reduce
+// when everything has arrived.
+func (am *DistributedAM) pumpShuffle() {
+	if am.killed || !am.reduceReady {
+		return
+	}
+	dst := am.reduceContainer.Node
+	for _, mo := range am.mapOutputs {
+		if am.fetched[mo] {
+			continue
+		}
+		am.fetched[mo] = true
+		// Fetch every partition this reducer will handle (all of them: one
+		// physical reduce container processes each partition in turn).
+		total := 0
+		for p := 0; p < am.spec.NumReduces; p++ {
+			total++
+			p := p
+			am.rt.FetchPartition(mo, p, dst, func() {
+				total--
+				if total == 0 {
+					am.fetchesDone++
+					am.maybeReduce()
+				}
+			})
+		}
+	}
+	am.maybeReduce()
+}
+
+func (am *DistributedAM) maybeReduce() {
+	if am.killed || am.reduceRunning || !am.reduceReady {
+		return
+	}
+	if am.completedMaps != len(am.splits) || am.fetchesDone != len(am.splits) {
+		return
+	}
+	am.reduceRunning = true
+	am.runReducePartitions(0)
+}
+
+func (am *DistributedAM) runReducePartitions(p int) {
+	if p == am.spec.NumReduces {
+		am.finish(nil)
+		return
+	}
+	am.rt.RunReducePhase(am.spec, p, am.reduceAttempts[p], am.mapOutputs, am.reduceContainer.Node, func(tp *profiler.TaskProfile, err error) {
+		if am.killed {
+			return
+		}
+		var ae *AttemptError
+		if errors.As(err, &ae) {
+			am.prof.Add(tp)
+			am.reduceAttempts[p]++
+			if am.reduceAttempts[p] >= am.rt.Params.MaxTaskAttempts {
+				am.fail(fmt.Errorf("mapreduce: reduce %d failed %d attempts: %w",
+					p, am.reduceAttempts[p], err))
+				return
+			}
+			// Retried in the same container: the shuffled data is already
+			// local to it.
+			am.runReducePartitions(p)
+			return
+		}
+		if err != nil {
+			am.fail(err)
+			return
+		}
+		am.prof.Add(tp)
+		am.runReducePartitions(p + 1)
+	})
+}
+
+func (am *DistributedAM) fail(err error) {
+	if am.failed == nil {
+		am.failed = err
+	}
+	am.finish(err)
+}
+
+func (am *DistributedAM) finish(err error) {
+	if am.killed {
+		return
+	}
+	am.killed = true
+	if am.ticker != nil {
+		am.ticker.Stop()
+	}
+	am.prof.DoneAt = am.rt.Eng.Now()
+	am.rt.RM.FinishApp(am.app)
+	am.done(am.prof, err)
+}

@@ -1,0 +1,548 @@
+package mapreduce
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"slices"
+	"time"
+
+	"mrapid/internal/costmodel"
+	"mrapid/internal/hdfs"
+	"mrapid/internal/profiler"
+	"mrapid/internal/sim"
+	"mrapid/internal/topology"
+	"mrapid/internal/trace"
+	"mrapid/internal/yarn"
+)
+
+// Runtime bundles the substrate a job executes on. One Runtime corresponds
+// to one simulated cluster with its filesystem and resource manager.
+type Runtime struct {
+	Eng     *sim.Engine
+	Cluster *topology.Cluster
+	DFS     *hdfs.DFS
+	RM      *yarn.RM
+	Params  costmodel.Params
+
+	// MapCache, when non-nil, memoizes pure ExecMap results across runs
+	// over byte-identical inputs (see MapCache). It changes host CPU time
+	// only, never simulated results.
+	MapCache *MapCache
+
+	// Faults, when non-nil, injects deterministic task-attempt failures;
+	// ApplicationMasters retry up to Params.MaxTaskAttempts.
+	Faults *FaultInjector
+
+	// Trace, when non-nil, records task lifecycle events.
+	Trace *trace.Log
+}
+
+// NewRuntime wires a runtime together.
+func NewRuntime(eng *sim.Engine, cluster *topology.Cluster, dfs *hdfs.DFS, rm *yarn.RM, params costmodel.Params) *Runtime {
+	return &Runtime{Eng: eng, Cluster: cluster, DFS: dfs, RM: rm, Params: params}
+}
+
+// MapOutput is the materialized result of one map task: real intermediate
+// pairs bucketed by reduce partition, each bucket sorted by key.
+type MapOutput struct {
+	Split      *hdfs.Split
+	Node       *topology.Node
+	Partitions [][]Pair
+	PartBytes  []int64
+	TotalBytes int64
+	Records    int64
+	// InMemory marks outputs held in the U+ memory cache; their reduce-side
+	// read is free.
+	InMemory bool
+}
+
+// ExecMap runs the map function for real over split data: scan records,
+// map, partition, sort each partition, and optionally combine. It is pure
+// computation — the caller charges the virtual clock separately.
+func ExecMap(spec *JobSpec, data []byte) *MapOutput {
+	return ExecMapFile(spec, "", data)
+}
+
+// ExecMapFile is ExecMap for a named input file, honoring spec.MapFor.
+func ExecMapFile(spec *JobSpec, file string, data []byte) *MapOutput {
+	nred := spec.NumReduces
+	part := spec.partitioner()
+	out := &MapOutput{
+		Partitions: make([][]Pair, nred),
+		PartBytes:  make([]int64, nred),
+	}
+	var emit Emit
+	if nred == 1 {
+		// Single-reduce short jobs (the paper's case) skip partitioning.
+		emit = func(k, v []byte) {
+			out.Partitions[0] = append(out.Partitions[0], Pair{Key: k, Value: v})
+		}
+	} else {
+		emit = func(k, v []byte) {
+			p := part(k, nred)
+			if p < 0 || p >= nred {
+				panic(fmt.Sprintf("mapreduce: partitioner returned %d of %d", p, nred))
+			}
+			out.Partitions[p] = append(out.Partitions[p], Pair{Key: k, Value: v})
+		}
+	}
+	mapFn := spec.Map
+	if spec.MapFor != nil {
+		if fn := spec.MapFor(file); fn != nil {
+			mapFn = fn
+		}
+	}
+	spec.Format.Scan(data, func(k, v []byte) {
+		out.Records++
+		mapFn(k, v, emit)
+	})
+	for p := range out.Partitions {
+		sortPairs(out.Partitions[p])
+		if spec.Combine != nil {
+			out.Partitions[p] = combine(spec.Combine, out.Partitions[p])
+		}
+		var n int64
+		for _, pr := range out.Partitions[p] {
+			n += pr.Bytes()
+		}
+		out.PartBytes[p] = n
+		out.TotalBytes += n
+	}
+	return out
+}
+
+// comparePairs orders pairs by key, breaking key ties by value so the order
+// — and therefore every downstream byte — is fully deterministic without
+// needing a stable sort.
+func comparePairs(a, b Pair) int {
+	if c := bytes.Compare(a.Key, b.Key); c != 0 {
+		return c
+	}
+	return bytes.Compare(a.Value, b.Value)
+}
+
+// sortPairs orders pairs with comparePairs. Sorting intermediate data is the
+// hottest real computation in the whole simulator, hence slices.SortFunc
+// (pdqsort, no reflection-based swaps).
+func sortPairs(ps []Pair) {
+	slices.SortFunc(ps, comparePairs)
+}
+
+// mergeSortedRuns merges already-sorted pair runs into one sorted slice via
+// a k-way heap merge — O(n log k) instead of re-sorting everything, which
+// matters when a reduce pulls dozens of pre-sorted map outputs.
+func mergeSortedRuns(runs [][]Pair) []Pair {
+	var total int
+	var nonEmpty int
+	var last []Pair
+	for _, r := range runs {
+		total += len(r)
+		if len(r) > 0 {
+			nonEmpty++
+			last = r
+		}
+	}
+	if nonEmpty == 0 {
+		return nil
+	}
+	if nonEmpty == 1 {
+		return last
+	}
+	h := make(runHeap, 0, nonEmpty)
+	for _, r := range runs {
+		if len(r) > 0 {
+			h = append(h, r)
+		}
+	}
+	heap.Init(&h)
+	out := make([]Pair, 0, total)
+	for len(h) > 0 {
+		r := h[0]
+		out = append(out, r[0])
+		if len(r) > 1 {
+			h[0] = r[1:]
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}
+
+// runHeap is a min-heap of sorted pair runs ordered by their head pair.
+type runHeap [][]Pair
+
+func (h runHeap) Len() int           { return len(h) }
+func (h runHeap) Less(i, j int) bool { return comparePairs(h[i][0], h[j][0]) < 0 }
+func (h runHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)        { *h = append(*h, x.([]Pair)) }
+func (h *runHeap) Pop() any          { old := *h; n := len(old); r := old[n-1]; *h = old[:n-1]; return r }
+
+// combine collapses sorted runs of equal keys through the combiner.
+func combine(c ReduceFunc, in []Pair) []Pair {
+	var out []Pair
+	emit := func(k, v []byte) { out = append(out, Pair{Key: k, Value: v}) }
+	groupSorted(in, func(key []byte, values [][]byte) { c(key, values, emit) })
+	sortPairs(out)
+	return out
+}
+
+// groupSorted walks key-sorted pairs and yields each distinct key with its
+// values.
+func groupSorted(in []Pair, yield func(key []byte, values [][]byte)) {
+	i := 0
+	for i < len(in) {
+		j := i + 1
+		for j < len(in) && bytes.Equal(in[j].Key, in[i].Key) {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, in[k].Value)
+		}
+		yield(in[i].Key, values)
+		i = j
+	}
+}
+
+// spillCount reports how many spill files a map output of n bytes produces
+// given the sort buffer size.
+func spillCount(n, sortBuf int64) int {
+	if n <= 0 {
+		return 0
+	}
+	c := int((n + sortBuf - 1) / sortBuf)
+	if c < 1 {
+		c = 1
+	}
+	return 1 * c
+}
+
+// MapTaskOptions control how a map task charges its output I/O.
+type MapTaskOptions struct {
+	// SpillToDisk charges the spill (and merge, when the output exceeds the
+	// sort buffer) to the node's disk. The U+ mode turns this off while the
+	// output fits its memory cache.
+	SpillToDisk bool
+
+	// KeepInMemory, when non-nil, is consulted once the map's output size is
+	// known; returning true overrides SpillToDisk and stores the output in
+	// memory. The U+ mode uses this to admit outputs into its cache budget.
+	KeepInMemory func(outBytes int64) bool
+
+	// Attempt is the retry ordinal of this task execution (0 = first).
+	Attempt int
+}
+
+// keepInMemory resolves the effective storage decision for an output size.
+func (o MapTaskOptions) keepInMemory(outBytes int64) bool {
+	if o.KeepInMemory != nil {
+		return o.KeepInMemory(outBytes)
+	}
+	return !o.SpillToDisk
+}
+
+// RunMapTask executes one map task on a node: read the split from HDFS
+// (locality-priced), run the map function on a core, and spill the output.
+// done receives the materialized output together with the task profile.
+func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.Node, opts MapTaskOptions, done func(*MapOutput, *profiler.TaskProfile, error)) {
+	if done == nil {
+		panic("mapreduce: RunMapTask needs a completion callback")
+	}
+	tp := &profiler.TaskProfile{
+		Kind:      profiler.MapTask,
+		Index:     split.Index,
+		Node:      node.Name,
+		Started:   rt.Eng.Now(),
+		NodeLocal: split.HostedOn(node),
+		Attempt:   opts.Attempt,
+	}
+	readStart := rt.Eng.Now()
+	rt.DFS.ReadRange(split.File, split.Offset, split.Length, node, func(data []byte, err error) {
+		if err != nil {
+			done(nil, tp, err)
+			return
+		}
+		tp.ReadDur = rt.Eng.Now().Sub(readStart)
+		tp.InputBytes = int64(len(data))
+		if fail, point := rt.Faults.MapAttempt(split.Index, opts.Attempt); fail {
+			// The attempt crashes partway through its compute phase: charge
+			// the core for the work done before the death, then surface the
+			// failure for the AM to reschedule.
+			node.Cores.Acquire(1, func() {
+				partial := time.Duration(float64(spec.MapComputeTime(split, int64(len(data)), node)) * point)
+				computeStart := rt.Eng.Now()
+				rt.Eng.After(partial, func() {
+					tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
+					node.Cores.Release(1)
+					tp.Failed = true
+					tp.Ended = rt.Eng.Now()
+					rt.Faults.FailNow()
+					rt.Trace.Add("task", "map %d attempt %d FAILED on %s", split.Index, opts.Attempt, node.Name)
+					done(nil, tp, &AttemptError{Kind: "map", Index: split.Index, Attempt: opts.Attempt})
+				})
+			})
+			return
+		}
+		node.Cores.Acquire(1, func() {
+			var mo *MapOutput
+			if rt.MapCache != nil {
+				if hit, ok := rt.MapCache.lookup(spec, split.File, split.Offset, data); ok {
+					mo = hit
+				}
+			}
+			if mo == nil {
+				mo = ExecMapFile(spec, split.File, data)
+				if rt.MapCache != nil {
+					rt.MapCache.store(spec, split.File, split.Offset, data, mo)
+				}
+			}
+			mo.Split = split
+			mo.Node = node
+			mo.InMemory = opts.keepInMemory(mo.TotalBytes)
+			tp.Records = mo.Records
+			tp.OutputBytes = mo.TotalBytes
+
+			compute := spec.MapComputeTime(split, int64(len(data)), node)
+			// Sorting/serializing the output buffer is CPU charged with the
+			// map function.
+			compute += time.Duration(float64(mo.TotalBytes) / (rt.Params.SortCPUBytesPerSec * node.Type.CPUSpeed) * float64(time.Second))
+			computeStart := rt.Eng.Now()
+			rt.Eng.After(compute, func() {
+				tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
+				node.Cores.Release(1)
+				rt.spillPhase(mo, node, opts, tp, func() {
+					tp.Ended = rt.Eng.Now()
+					rt.Trace.Add("task", "map %d attempt %d done on %s (in=%d out=%d mem=%v)",
+						split.Index, opts.Attempt, node.Name, tp.InputBytes, tp.OutputBytes, mo.InMemory)
+					done(mo, tp, nil)
+				})
+			})
+		})
+	})
+}
+
+// spillPhase charges the spill and merge sub-phases of Eq. 1: the spill
+// writes s^o once; when the output needed multiple spills, the merge pass
+// reads everything back and writes it again.
+func (rt *Runtime) spillPhase(mo *MapOutput, node *topology.Node, opts MapTaskOptions, tp *profiler.TaskProfile, done func()) {
+	if mo.InMemory || mo.TotalBytes == 0 {
+		tp.Spills = 0
+		rt.Eng.After(0, done)
+		return
+	}
+	tp.Spills = spillCount(mo.TotalBytes, rt.Params.SortBufferBytes)
+	spillStart := rt.Eng.Now()
+	node.Disk.Use(mo.TotalBytes, func() {
+		tp.SpillDur = rt.Eng.Now().Sub(spillStart)
+		if tp.Spills <= 1 {
+			done()
+			return
+		}
+		mergeStart := rt.Eng.Now()
+		node.Disk.Use(mo.TotalBytes, func() { // read spills back
+			node.Disk.Use(mo.TotalBytes, func() { // write merged file
+				tp.MergeDur = rt.Eng.Now().Sub(mergeStart)
+				done()
+			})
+		})
+	})
+}
+
+// FetchPartition models the reduce-side fetch of one map output partition:
+// a local disk read when the output sits on the reducer's node, a free
+// access for U+ in-memory outputs, or a full network transfer (source disk,
+// both NICs, core switch across racks) otherwise.
+func (rt *Runtime) FetchPartition(mo *MapOutput, part int, dst *topology.Node, done func()) {
+	if done == nil {
+		panic("mapreduce: FetchPartition needs a completion callback")
+	}
+	n := mo.PartBytes[part]
+	if n == 0 {
+		rt.Eng.After(0, done)
+		return
+	}
+	if mo.InMemory && mo.Node == dst {
+		// U+ memory cache: the reduce reads straight from the heap.
+		rt.Eng.After(0, done)
+		return
+	}
+	if mo.Node == dst {
+		dst.Disk.Use(n, done)
+		return
+	}
+	pending := 0
+	finished := false
+	complete := func() {
+		pending--
+		if pending == 0 && finished {
+			done()
+		}
+	}
+	pending++
+	mo.Node.Disk.Use(n, complete)
+	pending++
+	mo.Node.NIC.Use(n, complete)
+	pending++
+	dst.NIC.Use(n, complete)
+	if mo.Node.Rack != dst.Rack {
+		pending++
+		rt.Cluster.CoreSwitch.Use(n, complete)
+	}
+	finished = true
+}
+
+// ExecReduce runs the reduce function for real over the fetched partitions:
+// merge, group by key, reduce. Pure computation.
+func ExecReduce(spec *JobSpec, part int, outputs []*MapOutput) []Pair {
+	runs := make([][]Pair, 0, len(outputs))
+	for _, mo := range outputs {
+		runs = append(runs, mo.Partitions[part])
+	}
+	merged := mergeSortedRuns(runs)
+	var result []Pair
+	emit := func(k, v []byte) { result = append(result, Pair{Key: k, Value: v}) }
+	groupSorted(merged, func(key []byte, values [][]byte) { spec.Reduce(key, values, emit) })
+	return result
+}
+
+// EncodePairs serializes output pairs as tab-separated lines, the shape of
+// TextOutputFormat, so job output is a plain inspectable HDFS file.
+func EncodePairs(ps []Pair) []byte {
+	var buf bytes.Buffer
+	for _, p := range ps {
+		buf.Write(p.Key)
+		buf.WriteByte('\t')
+		buf.Write(p.Value)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// PartFileName returns the output file for one reduce partition.
+func PartFileName(outputFile string, part int) string {
+	return fmt.Sprintf("%s/part-%05d", outputFile, part)
+}
+
+// RunReducePhase executes reduce partition part on node: merge-sort CPU,
+// the reduce function, and the HDFS write of the output. Fetches must have
+// completed already. done fires when the output file is durable. attempt is
+// the retry ordinal for fault injection.
+func (rt *Runtime) RunReducePhase(spec *JobSpec, part, attempt int, outputs []*MapOutput, node *topology.Node, done func(*profiler.TaskProfile, error)) {
+	if done == nil {
+		panic("mapreduce: RunReducePhase needs a completion callback")
+	}
+	tp := &profiler.TaskProfile{
+		Kind:    profiler.ReduceTask,
+		Index:   part,
+		Node:    node.Name,
+		Started: rt.Eng.Now(),
+		Attempt: attempt,
+	}
+	var in int64
+	for _, mo := range outputs {
+		in += mo.PartBytes[part]
+	}
+	tp.InputBytes = in
+	if fail, point := rt.Faults.ReduceAttempt(part, attempt); fail {
+		node.Cores.Acquire(1, func() {
+			partial := time.Duration(float64(spec.ReduceComputeTime(in, node)) * point)
+			computeStart := rt.Eng.Now()
+			rt.Eng.After(partial, func() {
+				tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
+				node.Cores.Release(1)
+				tp.Failed = true
+				tp.Ended = rt.Eng.Now()
+				rt.Faults.FailNow()
+				done(tp, &AttemptError{Kind: "reduce", Index: part, Attempt: attempt})
+			})
+		})
+		return
+	}
+	node.Cores.Acquire(1, func() {
+		result := ExecReduce(spec, part, outputs)
+		encoded := EncodePairs(result)
+		tp.OutputBytes = int64(len(encoded))
+		tp.Records = int64(len(result))
+
+		compute := spec.ReduceComputeTime(in, node)
+		// Merge-sort CPU over the shuffled bytes.
+		compute += time.Duration(float64(in) / (rt.Params.SortCPUBytesPerSec * node.Type.CPUSpeed) * float64(time.Second))
+		computeStart := rt.Eng.Now()
+		rt.Eng.After(compute, func() {
+			tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
+			node.Cores.Release(1)
+			writeStart := rt.Eng.Now()
+			rt.DFS.Write(PartFileName(spec.OutputFile, part), encoded, node, func(_ *hdfs.File, err error) {
+				tp.SpillDur = rt.Eng.Now().Sub(writeStart)
+				tp.Ended = rt.Eng.Now()
+				rt.Trace.Add("task", "reduce %d attempt %d done on %s (in=%d out=%d)",
+					part, attempt, node.Name, tp.InputBytes, tp.OutputBytes)
+				done(tp, err)
+			})
+		})
+	})
+}
+
+// Localize charges a fresh container's download of the job jar and
+// configuration from HDFS (step 6 of the submission flow).
+func (rt *Runtime) Localize(spec *JobSpec, node *topology.Node, done func(error)) {
+	jar := JarPath(spec)
+	conf := ConfPath(spec)
+	rt.DFS.ReadAll(jar, node, func(_ []byte, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		rt.DFS.ReadAll(conf, node, func(_ []byte, err2 error) { done(err2) })
+	})
+}
+
+// PollAlignedNotify invokes done at the client's next status-poll tick
+// (polls happen every ClientPollInterval from submission). Stock Hadoop
+// clients learn of job completion this way; the MRapid proxy's direct RPC
+// notification skips it.
+func (rt *Runtime) PollAlignedNotify(submittedAt sim.Time, done func()) {
+	interval := rt.Params.ClientPollInterval
+	if interval <= 0 {
+		rt.Eng.After(0, done)
+		return
+	}
+	elapsed := rt.Eng.Now().Sub(submittedAt)
+	rem := interval - elapsed%interval
+	if rem == interval {
+		rem = 0
+	}
+	rt.Eng.After(rem, done)
+}
+
+// JarPath and ConfPath name the job artifacts a client uploads to HDFS.
+func JarPath(spec *JobSpec) string  { return "/staging/" + spec.Name + "/job.jar" }
+func ConfPath(spec *JobSpec) string { return "/staging/" + spec.Name + "/job.xml" }
+
+// UploadArtifacts stages the job jar and configuration into HDFS from the
+// client (master) node, charged as real writes — step 1 of the flow. A
+// resubmission of the same job name replaces the previous staging files
+// (each submission pays the upload, as each Hadoop job ID stages afresh).
+func (rt *Runtime) UploadArtifacts(spec *JobSpec, done func(error)) {
+	for _, name := range []string{JarPath(spec), ConfPath(spec)} {
+		if rt.DFS.Exists(name) {
+			if err := rt.DFS.Delete(name); err != nil {
+				rt.Eng.After(0, func() { done(err) })
+				return
+			}
+		}
+	}
+	jar := make([]byte, rt.Params.JobJarBytes)
+	conf := make([]byte, rt.Params.JobConfBytes)
+	rt.DFS.Write(JarPath(spec), jar, rt.Cluster.Master(), func(_ *hdfs.File, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		rt.DFS.Write(ConfPath(spec), conf, rt.Cluster.Master(), func(_ *hdfs.File, err2 error) {
+			done(err2)
+		})
+	})
+}

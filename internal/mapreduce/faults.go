@@ -1,0 +1,102 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrTaskFailed marks a task attempt that died mid-execution (JVM crash,
+// node blip). ApplicationMasters react the way Hadoop's do: the attempt is
+// rescheduled until mapreduce.map.maxattempts is exhausted.
+var ErrTaskFailed = errors.New("mapreduce: task attempt failed")
+
+// AttemptError carries the failing attempt's coordinates.
+type AttemptError struct {
+	Kind    string
+	Index   int
+	Attempt int
+}
+
+func (e *AttemptError) Error() string {
+	return fmt.Sprintf("mapreduce: %s task %d attempt %d failed", e.Kind, e.Index, e.Attempt)
+}
+
+// Unwrap lets errors.Is(err, ErrTaskFailed) match.
+func (e *AttemptError) Unwrap() error { return ErrTaskFailed }
+
+// FaultInjector decides, deterministically from a seed, which task attempts
+// die. A task attempt that fails is charged its read phase plus a fraction
+// of its compute before the failure surfaces, like a real mid-task crash.
+type FaultInjector struct {
+	rng *rand.Rand
+	// MapFailProb and ReduceFailProb are per-attempt failure probabilities.
+	MapFailProb    float64
+	ReduceFailProb float64
+	// decisions memoizes per (kind,index,attempt) so replays are stable
+	// regardless of event interleaving.
+	decisions map[string]faultDecision
+
+	// Injected counts failures actually delivered.
+	Injected int64
+}
+
+type faultDecision struct {
+	fail bool
+	// point is the fraction of the compute phase completed before dying.
+	point float64
+}
+
+// NewFaultInjector builds an injector with the given seed and per-attempt
+// map/reduce failure probabilities.
+func NewFaultInjector(seed int64, mapProb, reduceProb float64) *FaultInjector {
+	if mapProb < 0 || mapProb > 1 || reduceProb < 0 || reduceProb > 1 {
+		panic("mapreduce: failure probabilities must be within [0,1]")
+	}
+	return &FaultInjector{
+		rng:            rand.New(rand.NewSource(seed)),
+		MapFailProb:    mapProb,
+		ReduceFailProb: reduceProb,
+		decisions:      make(map[string]faultDecision),
+	}
+}
+
+// decide returns the memoized verdict for one attempt.
+func (fi *FaultInjector) decide(kind string, index, attempt int, prob float64) faultDecision {
+	key := fmt.Sprintf("%s/%d/%d", kind, index, attempt)
+	if d, ok := fi.decisions[key]; ok {
+		return d
+	}
+	d := faultDecision{
+		fail:  fi.rng.Float64() < prob,
+		point: fi.rng.Float64(),
+	}
+	fi.decisions[key] = d
+	return d
+}
+
+// MapAttempt reports whether the given map attempt should fail and how far
+// through its compute phase.
+func (fi *FaultInjector) MapAttempt(index, attempt int) (fail bool, point float64) {
+	if fi == nil {
+		return false, 0
+	}
+	d := fi.decide("map", index, attempt, fi.MapFailProb)
+	return d.fail, d.point
+}
+
+// ReduceAttempt reports whether the given reduce attempt should fail.
+func (fi *FaultInjector) ReduceAttempt(index, attempt int) (fail bool, point float64) {
+	if fi == nil {
+		return false, 0
+	}
+	d := fi.decide("reduce", index, attempt, fi.ReduceFailProb)
+	return d.fail, d.point
+}
+
+// FailNow records a delivered failure (called by the task runtime).
+func (fi *FaultInjector) FailNow() {
+	if fi != nil {
+		fi.Injected++
+	}
+}

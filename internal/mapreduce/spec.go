@@ -1,0 +1,193 @@
+// Package mapreduce implements the simulated MapReduce runtime: job
+// specifications with real map/reduce functions, record formats, the map
+// task's sub-phases (read, map, spill, merge), shuffle, reduce, the
+// distributed-mode ApplicationMaster, and the stock Uber mode. Jobs compute
+// real answers over real bytes in the simulated HDFS while every phase is
+// charged to the virtual clock.
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"mrapid/internal/hdfs"
+	"mrapid/internal/topology"
+)
+
+// Pair is one intermediate or output key/value record.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// Bytes returns the serialized size of the pair, the unit charged to disks
+// and networks. The +8 models the two length prefixes of Hadoop's
+// IFile format.
+func (p Pair) Bytes() int64 { return int64(len(p.Key)+len(p.Value)) + 8 }
+
+// Emit is the output callback handed to map, combine, and reduce functions.
+type Emit func(key, value []byte)
+
+// MapFunc consumes one record and emits intermediate pairs.
+type MapFunc func(key, value []byte, emit Emit)
+
+// ReduceFunc consumes one key and all its values (sorted ordering of keys is
+// guaranteed by the framework) and emits output pairs.
+type ReduceFunc func(key []byte, values [][]byte, emit Emit)
+
+// PartitionFunc routes a key to one of n reduce partitions.
+type PartitionFunc func(key []byte, n int) int
+
+// HashPartition is the default partitioner (Hadoop's HashPartitioner).
+func HashPartition(key []byte, n int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// RecordFormat splits raw input bytes into records.
+type RecordFormat interface {
+	// Scan invokes yield for every record in data.
+	Scan(data []byte, yield func(key, value []byte))
+}
+
+// LineFormat yields one record per newline-terminated line (TextInputFormat):
+// the key is unused (nil) and the value is the line without its newline.
+type LineFormat struct{}
+
+// Scan implements RecordFormat.
+func (LineFormat) Scan(data []byte, yield func(key, value []byte)) {
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			yield(nil, data)
+			return
+		}
+		yield(nil, data[:i])
+		data = data[i+1:]
+	}
+}
+
+// FixedFormat yields fixed-length records of KeyLen+ValLen bytes, the shape
+// of TeraSort's 100-byte rows (10-byte key, 90-byte payload). A trailing
+// partial record is ignored, matching TeraInputFormat.
+type FixedFormat struct {
+	KeyLen int
+	ValLen int
+}
+
+// Scan implements RecordFormat.
+func (f FixedFormat) Scan(data []byte, yield func(key, value []byte)) {
+	rec := f.KeyLen + f.ValLen
+	if rec <= 0 {
+		panic("mapreduce: FixedFormat needs positive record length")
+	}
+	for len(data) >= rec {
+		yield(data[:f.KeyLen], data[f.KeyLen:rec])
+		data = data[rec:]
+	}
+}
+
+// JobSpec describes one MapReduce job: its real functions, its input and
+// output locations, and the compute-cost coefficients the virtual clock
+// charges for the map and reduce functions.
+type JobSpec struct {
+	// Name labels this submission; JobKey identifies the program for the
+	// decision-maker's history ("the execution records of the same job,
+	// even if they were executed with different input data").
+	Name   string
+	JobKey string
+
+	InputFiles []string
+	OutputFile string
+	NumReduces int
+
+	Format    RecordFormat
+	Map       MapFunc
+	Combine   ReduceFunc // optional map-side combiner
+	Reduce    ReduceFunc
+	Partition PartitionFunc // defaults to HashPartition
+
+	// MapFor, when set, selects the map function per input file and
+	// overrides Map wherever it returns non-nil. Repartition joins use it
+	// to tag the two sides of the join differently.
+	MapFor func(file string) MapFunc
+
+	// MapRate is the map function's compute throughput in input bytes per
+	// second on one reference core; zero means the map function itself is
+	// free (I/O only). MapFixedCost is charged per task regardless of input
+	// size — compute-bound jobs like PI put their whole cost here via
+	// SplitCost.
+	MapRate      float64
+	MapFixedCost time.Duration
+	// SplitCost, when set, returns extra per-split compute (e.g. PI's
+	// sample count encoded in the split's file).
+	SplitCost func(s *hdfs.Split) time.Duration
+
+	// ReduceRate is the reduce function's throughput over its input bytes
+	// per second on one reference core.
+	ReduceRate float64
+}
+
+// Validate checks the spec is runnable.
+func (s *JobSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("mapreduce: job needs a name")
+	case len(s.InputFiles) == 0:
+		return fmt.Errorf("mapreduce: job %q has no input files", s.Name)
+	case s.OutputFile == "":
+		return fmt.Errorf("mapreduce: job %q has no output file", s.Name)
+	case s.NumReduces <= 0:
+		return fmt.Errorf("mapreduce: job %q needs at least one reduce", s.Name)
+	case s.Format == nil:
+		return fmt.Errorf("mapreduce: job %q has no record format", s.Name)
+	case s.Map == nil && s.MapFor == nil:
+		return fmt.Errorf("mapreduce: job %q has no map function", s.Name)
+	case s.Reduce == nil:
+		return fmt.Errorf("mapreduce: job %q has no reduce function", s.Name)
+	case s.MapRate < 0 || s.ReduceRate < 0:
+		return fmt.Errorf("mapreduce: job %q has negative compute rates", s.Name)
+	}
+	return nil
+}
+
+// Key returns the history key, falling back to the name.
+func (s *JobSpec) Key() string {
+	if s.JobKey != "" {
+		return s.JobKey
+	}
+	return s.Name
+}
+
+// partitioner returns the configured or default partition function.
+func (s *JobSpec) partitioner() PartitionFunc {
+	if s.Partition != nil {
+		return s.Partition
+	}
+	return HashPartition
+}
+
+// MapComputeTime returns the virtual compute duration of the map function
+// over n input bytes on the given node.
+func (s *JobSpec) MapComputeTime(split *hdfs.Split, n int64, node *topology.Node) time.Duration {
+	d := s.MapFixedCost
+	if s.MapRate > 0 {
+		d += time.Duration(float64(n) / (s.MapRate * node.Type.CPUSpeed) * float64(time.Second))
+	}
+	if s.SplitCost != nil && split != nil {
+		d += time.Duration(float64(s.SplitCost(split)) / node.Type.CPUSpeed)
+	}
+	return d
+}
+
+// ReduceComputeTime returns the virtual compute duration of the reduce
+// function over n shuffled bytes on the given node.
+func (s *JobSpec) ReduceComputeTime(n int64, node *topology.Node) time.Duration {
+	if s.ReduceRate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / (s.ReduceRate * node.Type.CPUSpeed) * float64(time.Second))
+}

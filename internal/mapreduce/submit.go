@@ -1,0 +1,122 @@
+package mapreduce
+
+import (
+	"mrapid/internal/profiler"
+	"mrapid/internal/yarn"
+)
+
+// Mode selects between the two stock execution modes.
+type Mode int
+
+// Stock execution modes.
+const (
+	ModeDistributed Mode = iota
+	ModeUber
+)
+
+func (m Mode) String() string {
+	if m == ModeUber {
+		return "uber"
+	}
+	return "hadoop"
+}
+
+// Result is the outcome of one job execution.
+type Result struct {
+	Spec    *JobSpec
+	Mode    string
+	Profile *profiler.JobProfile
+	Err     error
+}
+
+// Elapsed returns the job's completion time.
+func (r *Result) Elapsed() float64 {
+	if r.Profile == nil {
+		return 0
+	}
+	return r.Profile.Elapsed().Seconds()
+}
+
+// Submit runs the classic Hadoop submission flow (Figure 1 of the paper)
+// with no MRapid optimizations:
+//
+//  1. the client uploads the job jar and configuration to HDFS,
+//  2. submits the job to the ResourceManager,
+//  3. the scheduler allocates an AM container (waiting for a NodeManager
+//     heartbeat under the stock scheduler) and the NM launches the AM JVM,
+//  4. the AM initializes and localizes the job artifacts,
+//  5. the job runs in the requested mode.
+//
+// done fires with the result once the output is durable.
+func Submit(rt *Runtime, spec *JobSpec, mode Mode, done func(*Result)) {
+	if done == nil {
+		panic("mapreduce: Submit needs a completion callback")
+	}
+	prof := &profiler.JobProfile{
+		Job:         spec.Key(),
+		Mode:        mode.String(),
+		SubmittedAt: rt.Eng.Now(),
+	}
+	// A stock client only observes the outcome at its next status poll.
+	notify := func(r *Result) {
+		rt.PollAlignedNotify(prof.SubmittedAt, func() {
+			if r.Profile != nil {
+				r.Profile.DoneAt = rt.Eng.Now()
+			}
+			done(r)
+		})
+	}
+	fail := func(err error) {
+		notify(&Result{Spec: spec, Mode: mode.String(), Profile: prof, Err: err})
+	}
+	rt.UploadArtifacts(spec, func(err error) {
+		if err != nil {
+			fail(err)
+			return
+		}
+		amRes := rt.Cluster.Workers()[0].Type.ContainerResource()
+		rt.RM.SubmitApp(spec.Name, amRes, func(app *yarn.App, amC *yarn.Container) {
+			// The AM initializes: fixed init cost plus localizing the job
+			// artifacts from HDFS.
+			rt.Eng.After(rt.Params.AMInit, func() {
+				rt.Localize(spec, amC.Node, func(err error) {
+					if err != nil {
+						fail(err)
+						return
+					}
+					prof.AMReadyAt = rt.Eng.Now()
+					finish := func(p *profiler.JobProfile, err error) {
+						notify(&Result{Spec: spec, Mode: mode.String(), Profile: p, Err: err})
+					}
+					switch mode {
+					case ModeUber:
+						am, err := NewUberAM(rt, spec, app, amC.Node, prof)
+						if err != nil {
+							fail(err)
+							return
+						}
+						am.Run(finish)
+					default:
+						am, err := NewDistributedAM(rt, spec, app, amC.Node, prof)
+						if err != nil {
+							fail(err)
+							return
+						}
+						prof.NumContainers = clusterContainerSlots(rt)
+						am.Run(finish)
+					}
+				})
+			})
+		})
+	})
+}
+
+// clusterContainerSlots counts the task containers the cluster can hold, the
+// n^c of the paper's estimator.
+func clusterContainerSlots(rt *Runtime) int {
+	total := 0
+	for _, n := range rt.Cluster.Workers() {
+		total += n.Type.MaxContainers()
+	}
+	return total
+}

@@ -1,0 +1,210 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+
+	"mrapid/internal/hdfs"
+	"mrapid/internal/profiler"
+	"mrapid/internal/topology"
+	"mrapid/internal/yarn"
+)
+
+// UberEligible implements Hadoop's own definition of a job small enough for
+// Uber mode, as the paper quotes it: "a small job has less than 10 mappers,
+// only 1 reducer, and the input size is less than the size of one HDFS
+// block". MRapid deliberately does not rely on this rule — its decision
+// maker compares estimated completion times instead — but the stock runtime
+// exposes it so callers can reproduce Hadoop's behaviour.
+func UberEligible(rt *Runtime, spec *JobSpec) (bool, error) {
+	splits, err := rt.DFS.Splits(spec.InputFiles)
+	if err != nil {
+		return false, err
+	}
+	if len(splits) >= 10 || spec.NumReduces > 1 {
+		return false, nil
+	}
+	var total int64
+	for _, s := range splits {
+		total += s.Length
+	}
+	return total < rt.Params.HDFSBlockBytes, nil
+}
+
+// UberAM is the stock Uber mode: every map task and the reduce run inside
+// the AM's own JVM, strictly sequentially, and intermediate data always
+// spills to the AM node's local disk. There is no container request, no
+// per-task JVM start, and no network shuffle — but also no parallelism and
+// full disk traffic, the two weaknesses the U+ mode removes.
+type UberAM struct {
+	rt     *Runtime
+	spec   *JobSpec
+	app    *yarn.App
+	amNode *topology.Node
+	prof   *profiler.JobProfile
+
+	splits         []*hdfs.Split
+	outputs        []*MapOutput
+	mapAttempts    map[int]int
+	reduceAttempts map[int]int
+	killed         bool
+	done           func(*profiler.JobProfile, error)
+
+	// OnMapComplete, when set before Run, observes every finished map task.
+	OnMapComplete func(*profiler.TaskProfile)
+}
+
+// NewUberAM prepares a stock-Uber AM on the node where the AM container
+// runs.
+func NewUberAM(rt *Runtime, spec *JobSpec, app *yarn.App, amNode *topology.Node, prof *profiler.JobProfile) (*UberAM, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	splits, err := rt.DFS.Splits(spec.InputFiles)
+	if err != nil {
+		return nil, err
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("mapreduce: job %q has no input splits", spec.Name)
+	}
+	prof.NumMaps = len(splits)
+	prof.NumReduces = spec.NumReduces
+	prof.NumWorkers = len(rt.Cluster.Workers())
+	prof.NumContainers = 1
+	return &UberAM{
+		rt: rt, spec: spec, app: app, amNode: amNode, prof: prof, splits: splits,
+		mapAttempts: make(map[int]int), reduceAttempts: make(map[int]int),
+	}, nil
+}
+
+// Run executes the whole job sequentially in the AM container.
+func (am *UberAM) Run(done func(*profiler.JobProfile, error)) {
+	if done == nil {
+		panic("mapreduce: UberAM.Run needs a completion callback")
+	}
+	am.done = done
+	am.runMap(0)
+}
+
+// Kill abandons the job.
+func (am *UberAM) Kill() {
+	if am.killed {
+		return
+	}
+	am.killed = true
+	am.rt.RM.KillApp(am.app)
+}
+
+// Progress reports completed and total map counts.
+func (am *UberAM) Progress() (completed, total int) {
+	return len(am.outputs), len(am.splits)
+}
+
+func (am *UberAM) runMap(i int) {
+	if am.killed {
+		return
+	}
+	if i == len(am.splits) {
+		am.prof.MapsDoneAt = am.rt.Eng.Now()
+		am.runReduce()
+		return
+	}
+	if am.prof.FirstTaskAt == 0 {
+		am.prof.FirstTaskAt = am.rt.Eng.Now()
+	}
+	s := am.splits[i]
+	opts := MapTaskOptions{SpillToDisk: true, Attempt: am.mapAttempts[s.Index]}
+	am.rt.RunMapTask(am.spec, s, am.amNode, opts,
+		func(mo *MapOutput, tp *profiler.TaskProfile, err error) {
+			if am.killed {
+				return
+			}
+			var ae *AttemptError
+			if errors.As(err, &ae) {
+				// Sequential uber retries the task in place.
+				am.prof.Add(tp)
+				am.mapAttempts[s.Index]++
+				if am.mapAttempts[s.Index] >= am.rt.Params.MaxTaskAttempts {
+					am.finish(fmt.Errorf("mapreduce: map %d failed %d attempts: %w",
+						s.Index, am.mapAttempts[s.Index], err))
+					return
+				}
+				am.runMap(i)
+				return
+			}
+			if err != nil {
+				am.finish(err)
+				return
+			}
+			am.prof.Add(tp)
+			am.outputs = append(am.outputs, mo)
+			if am.OnMapComplete != nil {
+				am.OnMapComplete(tp)
+			}
+			am.runMap(i + 1)
+		})
+}
+
+func (am *UberAM) runReduce() {
+	// The reduce reads each spilled map output back from the local disk
+	// (FetchPartition prices a same-node fetch as a disk read), then runs
+	// the partitions in order.
+	remaining := len(am.outputs) * am.spec.NumReduces
+	if remaining == 0 {
+		am.runReducePartitions(0)
+		return
+	}
+	for _, mo := range am.outputs {
+		for p := 0; p < am.spec.NumReduces; p++ {
+			am.rt.FetchPartition(mo, p, am.amNode, func() {
+				remaining--
+				if remaining == 0 {
+					am.runReducePartitions(0)
+				}
+			})
+		}
+	}
+}
+
+func (am *UberAM) runReducePartitions(p int) {
+	if am.killed {
+		return
+	}
+	if p == am.spec.NumReduces {
+		am.finish(nil)
+		return
+	}
+	am.rt.RunReducePhase(am.spec, p, am.reduceAttempts[p], am.outputs, am.amNode, func(tp *profiler.TaskProfile, err error) {
+		if am.killed {
+			return
+		}
+		var ae *AttemptError
+		if errors.As(err, &ae) {
+			am.prof.Add(tp)
+			am.reduceAttempts[p]++
+			if am.reduceAttempts[p] >= am.rt.Params.MaxTaskAttempts {
+				am.finish(fmt.Errorf("mapreduce: reduce %d failed %d attempts: %w",
+					p, am.reduceAttempts[p], err))
+				return
+			}
+			am.runReducePartitions(p)
+			return
+		}
+		if err != nil {
+			am.finish(err)
+			return
+		}
+		am.prof.Add(tp)
+		am.runReducePartitions(p + 1)
+	})
+}
+
+func (am *UberAM) finish(err error) {
+	if am.killed {
+		return
+	}
+	am.killed = true
+	am.prof.DoneAt = am.rt.Eng.Now()
+	am.rt.RM.FinishApp(am.app)
+	am.done(am.prof, err)
+}

@@ -1,0 +1,85 @@
+package mapreduce
+
+import (
+	"bytes"
+	"testing"
+
+	"mrapid/internal/profiler"
+	"mrapid/internal/topology"
+	"mrapid/internal/yarn"
+)
+
+func TestUberEligibleRule(t *testing.T) {
+	rt := newTestRuntime(t, topology.A3, 4, yarn.NewStockScheduler())
+	rt.Params.HDFSBlockBytes = 1 << 20 // 1 MB block for the size check
+
+	stage := func(name string, files int, size int) []string {
+		var names []string
+		for i := 0; i < files; i++ {
+			n := name + "/" + string(rune('a'+i))
+			rt.DFS.PutInstant(n, bytes.Repeat([]byte("x\n"), size/2), rt.Cluster.Workers()[0])
+			names = append(names, n)
+		}
+		return names
+	}
+
+	// Small job: 4 maps, 1 reduce, 200 KB total → eligible.
+	small := wcSpec(stage("/small", 4, 50<<10), "/out1")
+	if ok, err := UberEligible(rt, small); err != nil || !ok {
+		t.Fatalf("small job not eligible: %v %v", ok, err)
+	}
+
+	// Too many mappers: 10 files.
+	many := wcSpec(stage("/many", 10, 1<<10), "/out2")
+	if ok, _ := UberEligible(rt, many); ok {
+		t.Fatal("10-map job eligible")
+	}
+
+	// More than one reducer.
+	multiR := wcSpec(stage("/multir", 2, 1<<10), "/out3")
+	multiR.NumReduces = 2
+	if ok, _ := UberEligible(rt, multiR); ok {
+		t.Fatal("2-reduce job eligible")
+	}
+
+	// Input at/over one block.
+	big := wcSpec(stage("/big", 2, 600<<10), "/out4") // 1.2 MB ≥ 1 MB block
+	if ok, _ := UberEligible(rt, big); ok {
+		t.Fatal("over-block job eligible")
+	}
+
+	// Missing input propagates the error.
+	missing := wcSpec([]string{"/nope"}, "/out5")
+	if _, err := UberEligible(rt, missing); err == nil {
+		t.Fatal("missing input did not error")
+	}
+}
+
+func TestUberAMProgressAndKill(t *testing.T) {
+	rt := newTestRuntime(t, topology.A3, 4, yarn.NewStockScheduler())
+	names, _ := stageWordCountInput(t, rt, 3, 128<<10)
+	spec := wcSpec(names, "/out")
+	spec.MapRate = 1e5 // ~1.3 s per map so the kill lands mid-run
+	app := rt.RM.NewApp("u")
+	prof := &profiler.JobProfile{Job: "u", Mode: "uber", SubmittedAt: rt.Eng.Now()}
+	am, err := NewUberAM(rt, spec, app, rt.Cluster.Workers()[0], prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, total := am.Progress(); done != 0 || total != 3 {
+		t.Fatalf("initial progress = %d/%d", done, total)
+	}
+	finished := false
+	rt.Eng.After(0, func() {
+		am.Run(func(_ *profiler.JobProfile, err error) { finished = true })
+	})
+	// Kill after the first map should prevent completion.
+	rt.Eng.RunUntil(rt.Eng.Now().Add(3e9))
+	am.Kill()
+	am.Kill() // idempotent
+	rt.Eng.RunUntil(rt.Eng.Now().Add(1 << 40))
+	if finished {
+		t.Fatal("killed uber job reported completion")
+	}
+	rt.RM.Stop()
+}

@@ -1,0 +1,82 @@
+// Package metrics provides a small named-counter/gauge registry used by the
+// simulation components and the CLI tools to report protocol and I/O
+// activity (heartbeat counts, bytes moved, locality hit rates) alongside
+// job timings.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Registry holds named counters. The zero value is not usable; call New.
+// Registries are not safe for concurrent use — the simulation is
+// single-threaded by design.
+type Registry struct {
+	counters map[string]int64
+	order    []string
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{counters: make(map[string]int64)}
+}
+
+// Add increments a counter by delta, creating it on first use.
+func (r *Registry) Add(name string, delta int64) {
+	if _, ok := r.counters[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.counters[name] += delta
+}
+
+// Inc increments a counter by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Set overwrites a counter's value.
+func (r *Registry) Set(name string, value int64) {
+	if _, ok := r.counters[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.counters[name] = value
+}
+
+// Get returns a counter's value (zero when absent).
+func (r *Registry) Get(name string) int64 { return r.counters[name] }
+
+// Names returns all counter names in sorted order.
+func (r *Registry) Names() []string {
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of counters.
+func (r *Registry) Len() int { return len(r.counters) }
+
+// Reset zeroes every counter but keeps the names.
+func (r *Registry) Reset() {
+	for k := range r.counters {
+		r.counters[k] = 0
+	}
+}
+
+// Dump writes "name value" lines in sorted order.
+func (r *Registry) Dump(w io.Writer) error {
+	for _, name := range r.Names() {
+		if _, err := fmt.Fprintf(w, "%-40s %d\n", name, r.counters[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ratio returns a/(a+b) as a percentage, guarding division by zero —
+// convenient for locality hit rates.
+func Ratio(a, b int64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return float64(a) / float64(a+b) * 100
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersAddIncSetGet(t *testing.T) {
+	r := New()
+	r.Inc("a")
+	r.Add("a", 4)
+	r.Set("b", 10)
+	if r.Get("a") != 5 || r.Get("b") != 10 || r.Get("missing") != 0 {
+		t.Fatalf("counters wrong: a=%d b=%d", r.Get("a"), r.Get("b"))
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := New()
+	r.Inc("zulu")
+	r.Inc("alpha")
+	r.Inc("mike")
+	names := r.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mike" || names[2] != "zulu" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Add("x", 7)
+	r.Reset()
+	if r.Get("x") != 0 || r.Len() != 1 {
+		t.Fatalf("after reset: x=%d len=%d", r.Get("x"), r.Len())
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := New()
+	r.Set("reads", 3)
+	r.Set("writes", 1)
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "reads") || !strings.Contains(out, "writes") {
+		t.Fatalf("Dump = %q", out)
+	}
+	if strings.Index(out, "reads") > strings.Index(out, "writes") {
+		t.Fatal("dump not sorted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 1); got != 75 {
+		t.Fatalf("Ratio(3,1) = %v", got)
+	}
+	if got := Ratio(0, 0); got != 0 {
+		t.Fatalf("Ratio(0,0) = %v", got)
+	}
+}

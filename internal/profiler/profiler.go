@@ -1,0 +1,135 @@
+// Package profiler records per-task and per-job execution information —
+// phase durations, input/output sizes, achieved locality — the way the
+// paper's ASM-based bytecode profiler instruments Hadoop tasks. The MRapid
+// decision maker feeds these records into its cost model (Equations 1–3) to
+// estimate D+ vs U+ completion times.
+package profiler
+
+import (
+	"fmt"
+	"time"
+
+	"mrapid/internal/sim"
+)
+
+// TaskKind distinguishes map from reduce records.
+type TaskKind int
+
+// Task kinds.
+const (
+	MapTask TaskKind = iota
+	ReduceTask
+)
+
+func (k TaskKind) String() string {
+	if k == MapTask {
+		return "map"
+	}
+	return "reduce"
+}
+
+// TaskProfile is the record for one task attempt.
+type TaskProfile struct {
+	Kind    TaskKind
+	Index   int    // split index for maps, partition for reduces
+	Node    string // where it ran
+	Started sim.Time
+	Ended   sim.Time
+
+	// Phase durations (the paper's map sub-phases: setup is charged as the
+	// container launch, read/map/spill/merge are recorded here; reduces
+	// record shuffle in ReadDur and the final HDFS write in SpillDur).
+	ReadDur    time.Duration
+	ComputeDur time.Duration
+	SpillDur   time.Duration
+	MergeDur   time.Duration
+
+	InputBytes  int64
+	OutputBytes int64
+	Records     int64
+	Spills      int  // how many spill files the task produced
+	NodeLocal   bool // whether the input was read from a local replica
+
+	// Attempt numbers retries (0 = first attempt); Failed marks attempts
+	// that crashed and were rescheduled.
+	Attempt int
+	Failed  bool
+}
+
+// Elapsed returns the task's wall time on the virtual clock.
+func (p *TaskProfile) Elapsed() time.Duration { return p.Ended.Sub(p.Started) }
+
+// JobProfile aggregates a single job execution in one mode.
+type JobProfile struct {
+	Job  string // job identity key, e.g. "wordcount"
+	Mode string // "hadoop", "uber", "dplus", "uplus"
+
+	SubmittedAt sim.Time
+	AMReadyAt   sim.Time
+	FirstTaskAt sim.Time
+	MapsDoneAt  sim.Time
+	DoneAt      sim.Time
+
+	Tasks []*TaskProfile
+
+	NumMaps       int
+	NumReduces    int
+	NumWorkers    int // DataNodes in the cluster
+	NumContainers int // max simultaneous task containers available to the job
+}
+
+// Add appends a finished task record.
+func (jp *JobProfile) Add(tp *TaskProfile) { jp.Tasks = append(jp.Tasks, tp) }
+
+// Elapsed is the job completion time from submission.
+func (jp *JobProfile) Elapsed() time.Duration { return jp.DoneAt.Sub(jp.SubmittedAt) }
+
+// Summary is the aggregate the estimator consumes: the measured averages
+// standing in for the paper's Table I symbols.
+type Summary struct {
+	Job  string
+	Mode string
+
+	MapCount  int
+	AvgMapCPU time.Duration // t^m: average map-function compute time
+	AvgIn     int64         // s^i: average map input bytes
+	AvgOut    int64         // s^o: average map output bytes
+
+	ReduceCPU   time.Duration // reduce-function compute time
+	ReduceInput int64
+}
+
+// Summarize reduces a job profile to the estimator's inputs.
+func (jp *JobProfile) Summarize() Summary {
+	s := Summary{Job: jp.Job, Mode: jp.Mode}
+	var mapCPU time.Duration
+	var in, out int64
+	for _, t := range jp.Tasks {
+		if t.Failed {
+			// Crashed attempts carry partial measurements; the estimator
+			// only wants completed-task averages.
+			continue
+		}
+		switch t.Kind {
+		case MapTask:
+			s.MapCount++
+			mapCPU += t.ComputeDur
+			in += t.InputBytes
+			out += t.OutputBytes
+		case ReduceTask:
+			s.ReduceCPU += t.ComputeDur
+			s.ReduceInput += t.InputBytes
+		}
+	}
+	if s.MapCount > 0 {
+		s.AvgMapCPU = mapCPU / time.Duration(s.MapCount)
+		s.AvgIn = in / int64(s.MapCount)
+		s.AvgOut = out / int64(s.MapCount)
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%s/%s: %d maps, t^m=%v, s^i=%d, s^o=%d",
+		s.Job, s.Mode, s.MapCount, s.AvgMapCPU, s.AvgIn, s.AvgOut)
+}

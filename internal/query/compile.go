@@ -1,0 +1,517 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"mrapid/internal/mapreduce"
+)
+
+// Query-stage compute rates: parsing delimited rows is lighter than
+// WordCount tokenization; aggregation streams fast.
+const (
+	stageMapRate    = 8e6
+	stageReduceRate = 20e6
+)
+
+// Stage is one MapReduce job of a compiled query, producing a temp table.
+type Stage struct {
+	Spec *mapreduce.JobSpec
+	Out  *Table
+	Kind string // "groupby", "join", "orderby", "materialize"
+}
+
+// Compiled is the physical plan: stages to run in order, last one producing
+// the result table.
+type Compiled struct {
+	Stages []*Stage
+	Out    *Table
+}
+
+// compiler carries naming state for one compilation.
+type compiler struct {
+	cat   *Catalog
+	qid   string
+	stage int
+	out   []*Stage
+}
+
+// source is a fusable input: files plus a row transform pending application
+// in the next stage's map function.
+type source struct {
+	files     []string
+	schema    Schema
+	transform func(Row) (Row, bool) // nil = identity
+}
+
+// apply runs the pending transform.
+func (s *source) apply(r Row) (Row, bool) {
+	if s.transform == nil {
+		return r, true
+	}
+	return s.transform(r)
+}
+
+// Compile lowers a logical plan to MapReduce stages, fusing filters and
+// projections into the map phase of the nearest downstream shuffle — the
+// way Hive's physical planner packs operators into job boundaries.
+func Compile(cat *Catalog, qid string, p *Plan) (*Compiled, error) {
+	c := &compiler{cat: cat, qid: qid}
+	src, err := c.compileNode(p)
+	if err != nil {
+		return nil, err
+	}
+	// A plan ending in scan/filter/project (pending transform, or no stage
+	// at all) still needs one job to materialize its result.
+	var out *Table
+	endsAtStage := src.transform == nil && len(c.out) > 0 &&
+		c.out[len(c.out)-1].Out.Files[0] == src.files[0]
+	if endsAtStage {
+		out = c.out[len(c.out)-1].Out
+	} else {
+		st, err := c.materialize(src)
+		if err != nil {
+			return nil, err
+		}
+		out = st.Out
+	}
+	return &Compiled{Stages: c.out, Out: out}, nil
+}
+
+// tmpTable allocates the next stage's output table.
+func (c *compiler) tmpTable(schema Schema, reduces int) *Table {
+	name := fmt.Sprintf("%s-stage%d", c.qid, c.stage)
+	base := fmt.Sprintf("/query/%s/stage-%d", c.qid, c.stage)
+	c.stage++
+	t := &Table{Name: name, Schema: schema}
+	for p := 0; p < reduces; p++ {
+		t.Files = append(t.Files, mapreduce.PartFileName(base, p))
+	}
+	return t
+}
+
+// outputBase recovers the OutputFile prefix from a tmp table.
+func outputBase(t *Table) string {
+	f := t.Files[0]
+	return f[:strings.LastIndex(f, "/part-")]
+}
+
+// compileNode returns the fusable source for a plan node, emitting stages
+// for every shuffle boundary beneath it.
+func (c *compiler) compileNode(p *Plan) (*source, error) {
+	switch p.kind {
+	case nodeScan:
+		t, err := c.cat.Lookup(p.table)
+		if err != nil {
+			return nil, err
+		}
+		return &source{files: t.Files, schema: t.Schema}, nil
+
+	case nodeFilter:
+		src, err := c.compileNode(p.left)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, len(p.conds))
+		for i, cond := range p.conds {
+			j, err := src.schema.Index(cond.Col)
+			if err != nil {
+				return nil, err
+			}
+			idx[i] = j
+		}
+		conds := p.conds
+		prev := src.transform
+		src.transform = func(r Row) (Row, bool) {
+			if prev != nil {
+				var ok bool
+				if r, ok = prev(r); !ok {
+					return nil, false
+				}
+			}
+			for i, cond := range conds {
+				if !cond.eval(r[idx[i]]) {
+					return nil, false
+				}
+			}
+			return r, true
+		}
+		return src, nil
+
+	case nodeProject:
+		src, err := c.compileNode(p.left)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, len(p.cols))
+		for i, col := range p.cols {
+			j, err := src.schema.Index(col)
+			if err != nil {
+				return nil, err
+			}
+			idx[i] = j
+		}
+		prev := src.transform
+		src.transform = func(r Row) (Row, bool) {
+			if prev != nil {
+				var ok bool
+				if r, ok = prev(r); !ok {
+					return nil, false
+				}
+			}
+			out := make(Row, len(idx))
+			for i, j := range idx {
+				out[i] = r[j]
+			}
+			return out, true
+		}
+		src.schema = append(Schema(nil), p.cols...)
+		return src, nil
+
+	case nodeGroupBy:
+		src, err := c.compileNode(p.left)
+		if err != nil {
+			return nil, err
+		}
+		return c.groupByStage(src, p.keys, p.aggs)
+
+	case nodeJoin:
+		left, err := c.compileNode(p.left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := c.compileNode(p.right)
+		if err != nil {
+			return nil, err
+		}
+		return c.joinStage(left, right, p.on[0], p.on[1])
+
+	case nodeOrderBy:
+		src, err := c.compileNode(p.left)
+		if err != nil {
+			return nil, err
+		}
+		return c.orderByStage(src, p.cols[0], p.desc)
+
+	default:
+		return nil, fmt.Errorf("query: unknown plan node %d", p.kind)
+	}
+}
+
+// newStageSpec builds the common JobSpec skeleton for one stage.
+func (c *compiler) newStageSpec(kind string, inputs []string, out *Table, reduces int) *mapreduce.JobSpec {
+	return &mapreduce.JobSpec{
+		Name:       out.Name,
+		JobKey:     "query-" + kind,
+		InputFiles: inputs,
+		OutputFile: outputBase(out),
+		NumReduces: reduces,
+		Format:     mapreduce.LineFormat{},
+		MapRate:    stageMapRate,
+		ReduceRate: stageReduceRate,
+	}
+}
+
+// decodeStageLine recovers a row from either a raw table line or a
+// pair-encoded stage output line (key TAB value; order-by stages put the
+// row in the value).
+func decodeStageLine(line []byte) Row {
+	for i := 0; i < len(line); i++ {
+		if line[i] == '\t' {
+			key, val := line[:i], line[i+1:]
+			if len(val) > 0 {
+				return DecodeRow(val)
+			}
+			return DecodeRow(key)
+		}
+	}
+	return DecodeRow(line)
+}
+
+// materialize emits a pass-through stage for plans ending without a
+// shuffle: rows become keys so the output is deterministic (sorted), with
+// duplicate rows preserved through value multiplicity.
+func (c *compiler) materialize(src *source) (*Stage, error) {
+	out := c.tmpTable(src.schema, 1)
+	spec := c.newStageSpec("materialize", src.files, out, 1)
+	spec.Map = func(_, line []byte, emit mapreduce.Emit) {
+		row, ok := src.apply(decodeStageLine(line))
+		if !ok {
+			return
+		}
+		emit(EncodeRow(row), nil)
+	}
+	spec.Reduce = func(key []byte, values [][]byte, emit mapreduce.Emit) {
+		for range values {
+			emit(key, nil)
+		}
+	}
+	st := &Stage{Spec: spec, Out: out, Kind: "materialize"}
+	c.out = append(c.out, st)
+	return st, nil
+}
+
+// aggState is the mergeable partial state of all aggregates for one key:
+// per aggregate, (count, sum, min, max) encoded compactly so map-side
+// combining works.
+func encodeAggStates(row Row, aggIdx []int, aggs []Agg) []byte {
+	parts := make([]string, len(aggs))
+	for i := range aggs {
+		v := 0.0
+		if aggs[i].Kind != AggCount {
+			v, _ = numeric(row[aggIdx[i]])
+		}
+		parts[i] = "1," + formatNum(v) + "," + formatNum(v) + "," + formatNum(v)
+	}
+	return []byte(strings.Join(parts, colSep))
+}
+
+func mergeAggStates(values [][]byte, n int) ([]int64, []float64, []float64, []float64, error) {
+	cnt := make([]int64, n)
+	sum := make([]float64, n)
+	mn := make([]float64, n)
+	mx := make([]float64, n)
+	for i := range mn {
+		mn[i] = math.Inf(1)
+		mx[i] = math.Inf(-1)
+	}
+	for _, v := range values {
+		parts := strings.Split(string(v), colSep)
+		if len(parts) != n {
+			return nil, nil, nil, nil, fmt.Errorf("query: corrupt agg state %q", v)
+		}
+		for i, p := range parts {
+			f := strings.SplitN(p, ",", 4)
+			if len(f) != 4 {
+				return nil, nil, nil, nil, fmt.Errorf("query: corrupt agg field %q", p)
+			}
+			c, err := strconv.ParseInt(f[0], 10, 64)
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			s, _ := strconv.ParseFloat(f[1], 64)
+			lo, _ := strconv.ParseFloat(f[2], 64)
+			hi, _ := strconv.ParseFloat(f[3], 64)
+			cnt[i] += c
+			sum[i] += s
+			if lo < mn[i] {
+				mn[i] = lo
+			}
+			if hi > mx[i] {
+				mx[i] = hi
+			}
+		}
+	}
+	return cnt, sum, mn, mx, nil
+}
+
+// groupByStage emits the aggregation job.
+func (c *compiler) groupByStage(src *source, keys []string, aggs []Agg) (*source, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("query: group-by needs at least one key")
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("query: group-by needs at least one aggregate")
+	}
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		j, err := src.schema.Index(k)
+		if err != nil {
+			return nil, err
+		}
+		keyIdx[i] = j
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Kind == AggCount {
+			continue
+		}
+		j, err := src.schema.Index(a.Col)
+		if err != nil {
+			return nil, err
+		}
+		aggIdx[i] = j
+	}
+	outSchema := append(Schema(nil), keys...)
+	for _, a := range aggs {
+		outSchema = append(outSchema, a.Name())
+	}
+	out := c.tmpTable(outSchema, 1)
+	spec := c.newStageSpec("groupby", src.files, out, 1)
+	spec.Map = func(_, line []byte, emit mapreduce.Emit) {
+		row, ok := src.apply(decodeStageLine(line))
+		if !ok {
+			return
+		}
+		keyParts := make([]string, len(keyIdx))
+		for i, j := range keyIdx {
+			keyParts[i] = row[j]
+		}
+		emit([]byte(strings.Join(keyParts, colSep)), encodeAggStates(row, aggIdx, aggs))
+	}
+	mergeAndEmit := func(key []byte, values [][]byte, emit mapreduce.Emit, final bool) {
+		cnt, sum, mn, mx, err := mergeAggStates(values, len(aggs))
+		if err != nil {
+			panic(err)
+		}
+		if !final {
+			parts := make([]string, len(aggs))
+			for i := range aggs {
+				parts[i] = fmt.Sprintf("%d,%s,%s,%s", cnt[i], formatNum(sum[i]), formatNum(mn[i]), formatNum(mx[i]))
+			}
+			emit(key, []byte(strings.Join(parts, colSep)))
+			return
+		}
+		row := DecodeRow(key)
+		for i, a := range aggs {
+			var v float64
+			switch a.Kind {
+			case AggCount:
+				row = append(row, strconv.FormatInt(cnt[i], 10))
+				continue
+			case AggSum:
+				v = sum[i]
+			case AggMin:
+				v = mn[i]
+			case AggMax:
+				v = mx[i]
+			case AggAvg:
+				if cnt[i] > 0 {
+					v = sum[i] / float64(cnt[i])
+				}
+			}
+			row = append(row, formatNum(v))
+		}
+		emit(EncodeRow(row), nil)
+	}
+	spec.Combine = func(key []byte, values [][]byte, emit mapreduce.Emit) {
+		mergeAndEmit(key, values, emit, false)
+	}
+	spec.Reduce = func(key []byte, values [][]byte, emit mapreduce.Emit) {
+		mergeAndEmit(key, values, emit, true)
+	}
+	c.out = append(c.out, &Stage{Spec: spec, Out: out, Kind: "groupby"})
+	return &source{files: out.Files, schema: outSchema}, nil
+}
+
+// joinStage emits the repartition join job: both sides' files feed one job
+// whose per-file map tags each row with its side.
+func (c *compiler) joinStage(left, right *source, leftCol, rightCol string) (*source, error) {
+	li, err := left.schema.Index(leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := right.schema.Index(rightCol)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := append(append(Schema(nil), left.schema...), right.schema...)
+	out := c.tmpTable(outSchema, 1)
+	inputs := append(append([]string(nil), left.files...), right.files...)
+	spec := c.newStageSpec("join", inputs, out, 1)
+
+	leftFiles := map[string]bool{}
+	for _, f := range left.files {
+		leftFiles[f] = true
+	}
+	mkSide := func(side *source, keyCol int, tag string) mapreduce.MapFunc {
+		return func(_, line []byte, emit mapreduce.Emit) {
+			row, ok := side.apply(decodeStageLine(line))
+			if !ok {
+				return
+			}
+			emit([]byte(row[keyCol]), []byte(tag+colSep+string(EncodeRow(row))))
+		}
+	}
+	leftMap := mkSide(left, li, "L")
+	rightMap := mkSide(right, ri, "R")
+	spec.MapFor = func(file string) mapreduce.MapFunc {
+		if leftFiles[file] {
+			return leftMap
+		}
+		return rightMap
+	}
+	spec.Reduce = func(_ []byte, values [][]byte, emit mapreduce.Emit) {
+		var ls, rs []Row
+		for _, v := range values {
+			s := string(v)
+			i := strings.Index(s, colSep)
+			if i < 0 {
+				panic(fmt.Sprintf("query: corrupt join value %q", s))
+			}
+			row := DecodeRow([]byte(s[i+len(colSep):]))
+			if s[:i] == "L" {
+				ls = append(ls, row)
+			} else {
+				rs = append(rs, row)
+			}
+		}
+		for _, l := range ls {
+			for _, r := range rs {
+				emit(EncodeRow(append(append(Row(nil), l...), r...)), nil)
+			}
+		}
+	}
+	c.out = append(c.out, &Stage{Spec: spec, Out: out, Kind: "join"})
+	return &source{files: out.Files, schema: outSchema}, nil
+}
+
+// orderByStage emits the single-reducer sort job. Numeric columns sort
+// numerically via an order-preserving fixed-width encoding of the float
+// bits; string columns sort lexically (descending strings are rejected at
+// compile time — there is no order-reversing encoding for unbounded
+// strings).
+func (c *compiler) orderByStage(src *source, col string, desc bool) (*source, error) {
+	ci, err := src.schema.Index(col)
+	if err != nil {
+		return nil, err
+	}
+	out := c.tmpTable(src.schema, 1)
+	spec := c.newStageSpec("orderby", src.files, out, 1)
+	spec.Map = func(_, line []byte, emit mapreduce.Emit) {
+		row, ok := src.apply(decodeStageLine(line))
+		if !ok {
+			return
+		}
+		emit(sortKey(row[ci], desc), EncodeRow(row))
+	}
+	spec.Reduce = func(key []byte, values [][]byte, emit mapreduce.Emit) {
+		for _, v := range values {
+			emit(key, v)
+		}
+	}
+	c.out = append(c.out, &Stage{Spec: spec, Out: out, Kind: "orderby"})
+	return &source{files: out.Files, schema: src.schema}, nil
+}
+
+// sortKey builds an order-preserving byte encoding of a column value:
+// numerics map through the IEEE-754 total-order trick to 16 hex digits
+// (prefixed "n"), everything else sorts lexically after all numerics
+// (prefixed "s"), matching SQL's numeric-before-string comparison.
+func sortKey(v string, desc bool) []byte {
+	if f, ok := numeric(v); ok {
+		bits := math.Float64bits(f)
+		if f >= 0 {
+			bits |= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		if desc {
+			bits = ^bits
+		}
+		return []byte(fmt.Sprintf("n%016x", bits))
+	}
+	if desc {
+		// Descending strings: invert each byte. Works for the ASCII data
+		// the catalog stores.
+		b := []byte(v)
+		inv := make([]byte, len(b))
+		for i, ch := range b {
+			inv[i] = 0xff - ch
+		}
+		return append([]byte("s"), inv...)
+	}
+	return append([]byte("s"), v...)
+}

@@ -1,0 +1,100 @@
+package query
+
+import (
+	"fmt"
+
+	"mrapid/internal/core"
+	"mrapid/internal/mapreduce"
+)
+
+// SubmitMode selects how the runner submits each compiled stage.
+type SubmitMode int
+
+// Submission modes.
+const (
+	// ViaSpeculative races D+ and U+ per stage kind; after the first query
+	// the history pre-decides each stage kind instantly — the paper's
+	// intended deployment for Hive/Pig-style bursts.
+	ViaSpeculative SubmitMode = iota
+	ViaDPlus
+	ViaUPlus
+)
+
+// Runner executes compiled queries through the MRapid framework.
+type Runner struct {
+	FW   *core.Framework
+	Cat  *Catalog
+	Mode SubmitMode
+
+	qseq int
+}
+
+// NewRunner builds a query runner over a started framework.
+func NewRunner(fw *core.Framework, cat *Catalog) *Runner {
+	return &Runner{FW: fw, Cat: cat, Mode: ViaSpeculative}
+}
+
+// Result is a finished query: its rows, output table, and execution
+// statistics.
+type Result struct {
+	Table   *Table
+	Rows    []Row
+	Stages  int
+	Elapsed float64 // summed virtual seconds across stages
+	Winners []core.ModeKind
+}
+
+// Run compiles and executes the plan, invoking done with the result. The
+// caller drives the simulation engine (stages chain asynchronously on the
+// virtual clock).
+func (r *Runner) Run(p *Plan, done func(*Result, error)) {
+	if done == nil {
+		panic("query: Run needs a completion callback")
+	}
+	r.qseq++
+	qid := fmt.Sprintf("q%04d", r.qseq)
+	compiled, err := Compile(r.Cat, qid, p)
+	if err != nil {
+		r.FW.RT.Eng.After(0, func() { done(nil, err) })
+		return
+	}
+	res := &Result{Table: compiled.Out, Stages: len(compiled.Stages)}
+	r.runStage(compiled, 0, res, done)
+}
+
+func (r *Runner) runStage(compiled *Compiled, i int, res *Result, done func(*Result, error)) {
+	if i == len(compiled.Stages) {
+		rows, err := r.Cat.ReadTable(compiled.Out)
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		res.Rows = rows
+		done(res, nil)
+		return
+	}
+	st := compiled.Stages[i]
+	next := func(elapsed float64, winner core.ModeKind, err error) {
+		if err != nil {
+			done(nil, fmt.Errorf("query: stage %d (%s): %w", i, st.Kind, err))
+			return
+		}
+		res.Elapsed += elapsed
+		res.Winners = append(res.Winners, winner)
+		r.runStage(compiled, i+1, res, done)
+	}
+	switch r.Mode {
+	case ViaDPlus:
+		r.FW.SubmitDPlus(st.Spec, func(jr *mapreduce.Result) {
+			next(jr.Elapsed(), core.ModeDPlus, jr.Err)
+		})
+	case ViaUPlus:
+		r.FW.SubmitUPlus(st.Spec, func(jr *mapreduce.Result) {
+			next(jr.Elapsed(), core.ModeUPlus, jr.Err)
+		})
+	default:
+		r.FW.SubmitSpeculative(st.Spec, func(sr *core.SpecResult) {
+			next(sr.Elapsed(), sr.Winner, sr.Result.Err)
+		})
+	}
+}

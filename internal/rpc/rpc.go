@@ -1,0 +1,85 @@
+// Package rpc models point-to-point remote procedure calls on the virtual
+// clock: a call charges the link's latency, optionally a payload transfer
+// over a bandwidth-limited link, and counts traffic for metrics. The MRapid
+// submission framework uses it for the client↔proxy and proxy↔AM calls the
+// paper implements over Spring Hadoop.
+package rpc
+
+import (
+	"fmt"
+	"time"
+
+	"mrapid/internal/sim"
+)
+
+// Link is a bidirectional message channel with fixed one-way latency and
+// optional bandwidth limiting for payloads.
+type Link struct {
+	eng     *sim.Engine
+	name    string
+	latency time.Duration
+	// bandwidth in bytes/second; zero means payload size is free (control
+	// messages).
+	bandwidth float64
+
+	// Calls and Bytes count traffic over the link's lifetime.
+	Calls int64
+	Bytes int64
+}
+
+// NewLink creates a link with the given one-way latency. bandwidth may be
+// zero for latency-only control links.
+func NewLink(eng *sim.Engine, name string, latency time.Duration, bandwidth float64) *Link {
+	if latency < 0 {
+		panic(fmt.Sprintf("rpc: link %q has negative latency", name))
+	}
+	if bandwidth < 0 {
+		panic(fmt.Sprintf("rpc: link %q has negative bandwidth", name))
+	}
+	return &Link{eng: eng, name: name, latency: latency, bandwidth: bandwidth}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Latency returns the one-way latency.
+func (l *Link) Latency() time.Duration { return l.latency }
+
+// transferTime converts a payload size into link time.
+func (l *Link) transferTime(payload int64) time.Duration {
+	if payload <= 0 || l.bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(payload) / l.bandwidth * float64(time.Second))
+}
+
+// Send delivers a one-way message of the given payload size: handler runs
+// after the latency plus transfer time.
+func (l *Link) Send(payload int64, handler func()) {
+	if handler == nil {
+		panic("rpc: Send needs a handler")
+	}
+	l.Calls++
+	l.Bytes += max64(payload, 0)
+	l.eng.After(l.latency+l.transferTime(payload), handler)
+}
+
+// Call performs a round trip: the server handler runs after one latency,
+// then the reply it returns is delivered to the client after another. The
+// handler's return value sizes the response payload.
+func (l *Link) Call(payload int64, handler func() int64, reply func()) {
+	if handler == nil || reply == nil {
+		panic("rpc: Call needs a handler and a reply continuation")
+	}
+	l.Send(payload, func() {
+		respSize := handler()
+		l.Send(respSize, reply)
+	})
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package rpc
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mrapid/internal/sim"
+)
+
+func TestSendChargesLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "client-proxy", 30*time.Millisecond, 0)
+	var at sim.Time
+	l.Send(0, func() { at = eng.Now() })
+	eng.Run()
+	if at != sim.Time(30*time.Millisecond) {
+		t.Fatalf("delivered at %v, want 30ms", at)
+	}
+	if l.Calls != 1 || l.Bytes != 0 {
+		t.Fatalf("counters = %d/%d", l.Calls, l.Bytes)
+	}
+}
+
+func TestSendChargesPayloadOverBandwidth(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "data", 10*time.Millisecond, 1e6) // 1 MB/s
+	var at sim.Time
+	l.Send(500_000, func() { at = eng.Now() })
+	eng.Run()
+	want := sim.Time(510 * time.Millisecond)
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+	if l.Bytes != 500_000 {
+		t.Fatalf("Bytes = %d", l.Bytes)
+	}
+}
+
+func TestZeroBandwidthIgnoresPayload(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "ctl", 5*time.Millisecond, 0)
+	var at sim.Time
+	l.Send(1<<30, func() { at = eng.Now() })
+	eng.Run()
+	if at != sim.Time(5*time.Millisecond) {
+		t.Fatalf("control link charged payload: %v", at)
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "proxy-am", 20*time.Millisecond, 0)
+	var serverAt, replyAt sim.Time
+	l.Call(0, func() int64 {
+		serverAt = eng.Now()
+		return 0
+	}, func() { replyAt = eng.Now() })
+	eng.Run()
+	if serverAt != sim.Time(20*time.Millisecond) {
+		t.Fatalf("server ran at %v", serverAt)
+	}
+	if replyAt != sim.Time(40*time.Millisecond) {
+		t.Fatalf("reply at %v, want 40ms", replyAt)
+	}
+	if l.Calls != 2 {
+		t.Fatalf("Calls = %d, want 2 (request + reply)", l.Calls)
+	}
+}
+
+func TestNegativePayloadCountsZero(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "x", time.Millisecond, 1e6)
+	l.Send(-100, func() {})
+	eng.Run()
+	if l.Bytes != 0 {
+		t.Fatalf("Bytes = %d", l.Bytes)
+	}
+}
+
+func TestBadConstructionPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	for _, f := range []func(){
+		func() { NewLink(eng, "a", -time.Millisecond, 0) },
+		func() { NewLink(eng, "b", 0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad link construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: delivery time is exactly latency + payload/bandwidth for any
+// payload, and calls accumulate monotonically.
+func TestQuickSendTiming(t *testing.T) {
+	f := func(payload32 uint32, latMs uint16) bool {
+		eng := sim.NewEngine()
+		lat := time.Duration(latMs) * time.Millisecond
+		l := NewLink(eng, "q", lat, 1e6)
+		payload := int64(payload32 % 10_000_000)
+		var at sim.Time
+		l.Send(payload, func() { at = eng.Now() })
+		eng.Run()
+		want := sim.Time(lat) + sim.Time(float64(payload)/1e6*float64(time.Second))
+		diff := at.Sub(want)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

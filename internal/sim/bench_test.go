@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleAndFire measures raw event throughput of the engine, the
+// floor under every simulation in the repository.
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkNestedCascade measures chains of events scheduling events, the
+// dominant pattern in task state machines.
+func BenchmarkNestedCascade(b *testing.B) {
+	e := NewEngine()
+	var step func(remaining int)
+	step = func(remaining int) {
+		if remaining > 0 {
+			e.After(time.Millisecond, func() { step(remaining - 1) })
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(100)
+		e.Run()
+	}
+}
+
+// BenchmarkDeviceQueue measures the FIFO device under heavy contention, the
+// disk/NIC hot path.
+func BenchmarkDeviceQueue(b *testing.B) {
+	e := NewEngine()
+	d := NewDevice(e, "disk", 100e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Use(1<<20, func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkSemaphoreChurn measures acquire/release cycles on a contended
+// core semaphore.
+func BenchmarkSemaphoreChurn(b *testing.B) {
+	e := NewEngine()
+	s := NewSemaphore(e, "cores", 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Acquire(1, func() {
+			e.After(time.Millisecond, func() { s.Release(1) })
+		})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,241 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// All components of the simulated Hadoop cluster (HDFS, YARN, the MapReduce
+// runtime, and the MRapid extensions) advance a shared virtual clock by
+// scheduling events on an Engine. Events fire in (time, sequence) order, so
+// two events scheduled for the same instant fire in the order they were
+// scheduled, making every simulation run bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the start of
+// the simulation. It is kept as a distinct type so call sites cannot confuse
+// virtual instants with wall-clock instants or with durations.
+type Time time.Duration
+
+// Infinity is a virtual instant later than any reachable event time.
+const Infinity = Time(math.MaxInt64)
+
+// Seconds reports t as a floating-point number of virtual seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Add returns t shifted forward by d. Negative results are clamped to zero:
+// an event can never be scheduled before the start of the simulation.
+func (t Time) Add(d time.Duration) Time {
+	r := t + Time(d)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// String formats t with millisecond precision, e.g. "12.345s".
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fs", t.Seconds())
+}
+
+// An event is a callback scheduled to fire at a virtual instant.
+type event struct {
+	at     Time
+	seq    uint64 // tie-break: schedule order
+	fn     func()
+	cancel *bool // non-nil when the event can be cancelled
+	index  int   // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use: all simulated "parallelism" is expressed as interleaved
+// events on the one virtual timeline.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	running bool
+}
+
+// NewEngine returns an engine whose clock starts at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have fired so far; useful in tests and as a
+// runaway guard.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events currently scheduled (including
+// cancelled events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to fire at virtual instant t. Scheduling into the past
+// (t < Now) panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to fire d from now. Negative d fires "now" (after all
+// events already scheduled for the current instant).
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Timer is a handle to a scheduled event that can be cancelled before it
+// fires.
+type Timer struct {
+	cancelled *bool
+}
+
+// Stop cancels the timer. It is safe to call multiple times, and after the
+// event has fired (in which case it has no effect).
+func (t *Timer) Stop() {
+	if t != nil && t.cancelled != nil {
+		*t.cancelled = true
+	}
+}
+
+// AfterTimer schedules fn to fire d from now and returns a Timer that can
+// cancel it.
+func (e *Engine) AfterTimer(d time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: AfterTimer called with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	cancelled := new(bool)
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now.Add(d), seq: e.seq, fn: fn, cancel: cancelled})
+	return &Timer{cancelled: cancelled}
+}
+
+// Ticker repeatedly fires a callback at a fixed period until stopped.
+type Ticker struct {
+	stopped bool
+}
+
+// Stop halts the ticker; the callback will not fire again.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Every schedules fn to fire every period, with the first firing one full
+// period from now (matching heartbeat semantics: a heartbeat is sent after
+// the interval elapses, not immediately). The period must be positive.
+func (e *Engine) Every(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	if fn == nil {
+		panic("sim: Every called with nil callback")
+	}
+	t := &Ticker{}
+	var tick func()
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		fn()
+		if t.stopped {
+			return
+		}
+		e.After(period, tick)
+	}
+	e.After(period, tick)
+	return t
+}
+
+// Run fires events in order until the queue is empty, and returns the final
+// virtual time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Infinity)
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// would fire after the deadline, and returns the current virtual time. Events
+// exactly at the deadline fire. The clock stays at the last fired event; it
+// does not jump to the deadline, so work can resume afterwards.
+func (e *Engine) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("sim: Run re-entered from within an event callback")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.cancel != nil && *next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	return e.now
+}
+
+// Step fires the single next pending event (skipping cancelled ones) and
+// reports whether an event fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*event)
+		if next.cancel != nil && *next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package topology
+
+import "fmt"
+
+// InstanceType describes a cloud VM flavor hosting one simulated node. The
+// catalog mirrors Table II of the paper (Microsoft Azure A-series), extended
+// with the I/O characteristics our cost model needs. The A-series used
+// shared HDD-backed storage and a ~100 Mb/s-class virtual NIC per core-ish;
+// exact rates do not matter for reproducing the paper's comparisons — only
+// that disk and network costs are on the order of seconds for tens of
+// megabytes, which these values give.
+type InstanceType struct {
+	Name          string
+	Cores         int
+	MemoryMB      int
+	DiskGB        int
+	PricePerHour  float64 // USD, from Table II; used by the cost-parity experiment
+	DiskReadBps   float64 // sustained sequential read
+	DiskWriteBps  float64 // sustained sequential write
+	NetworkBps    float64 // per-node NIC bandwidth
+	CPUSpeed      float64 // relative per-core compute speed (A-series baseline = 1.0)
+	ContainerMB   int     // default YARN container size on this instance
+	ContainerCore int     // default vcores per container
+
+	// VCores is the node's schedulable virtual-core capacity. Zero means
+	// equal to Cores. Setting VCores = 2×Cores reproduces the paper's
+	// Figure 12 configuration of two containers per physical core: YARN
+	// hands out twice as many containers while the tasks still contend for
+	// the physical cores.
+	VCores int
+}
+
+// SchedulableVCores returns the YARN vcore capacity of one node.
+func (it InstanceType) SchedulableVCores() int {
+	if it.VCores > 0 {
+		return it.VCores
+	}
+	return it.Cores
+}
+
+// Resource returns the schedulable capacity of one node of this type.
+func (it InstanceType) Resource() Resource {
+	return Resource{VCores: it.SchedulableVCores(), MemoryMB: it.MemoryMB}
+}
+
+// ContainerResource returns the default resource request for one task
+// container on this instance type.
+func (it InstanceType) ContainerResource() Resource {
+	return Resource{VCores: it.ContainerCore, MemoryMB: it.ContainerMB}
+}
+
+// MaxContainers returns how many default containers fit on one node.
+func (it InstanceType) MaxContainers() int {
+	byCore := it.SchedulableVCores() / it.ContainerCore
+	byMem := it.MemoryMB / it.ContainerMB
+	if byMem < byCore {
+		return byMem
+	}
+	return byCore
+}
+
+// The Azure A-series catalog from Table II of the paper. Disk and network
+// rates are calibrated to 2013-era Azure A-series measurements (shared
+// HDD-backed blob storage around 20–35 MB/s effective, 100 Mb/s-class NIC
+// per instance, scaling modestly with size).
+var (
+	// A1: 1 core, 1.75 GB, 70 GB disk, $0.09/hr.
+	A1 = InstanceType{
+		Name: "A1", Cores: 1, MemoryMB: 1792, DiskGB: 70, PricePerHour: 0.09,
+		DiskReadBps: 24e6, DiskWriteBps: 20e6, NetworkBps: 10e6,
+		CPUSpeed: 1.0, ContainerMB: 1024, ContainerCore: 1, VCores: 1,
+	}
+	// A2: 2 cores, 3.5 GB, 135 GB disk, $0.18/hr.
+	A2 = InstanceType{
+		Name: "A2", Cores: 2, MemoryMB: 3584, DiskGB: 135, PricePerHour: 0.18,
+		DiskReadBps: 28e6, DiskWriteBps: 24e6, NetworkBps: 15e6,
+		CPUSpeed: 1.0, ContainerMB: 1024, ContainerCore: 1, VCores: 3,
+	}
+	// A3: 4 cores, 7 GB, 285 GB disk, $0.36/hr.
+	A3 = InstanceType{
+		Name: "A3", Cores: 4, MemoryMB: 7168, DiskGB: 285, PricePerHour: 0.36,
+		DiskReadBps: 34e6, DiskWriteBps: 29e6, NetworkBps: 25e6,
+		CPUSpeed: 1.0, ContainerMB: 1024, ContainerCore: 1, VCores: 7,
+	}
+)
+
+// The VCores values above intentionally exceed the physical core counts:
+// Hadoop 2.2's CapacityScheduler sized containers by memory only
+// (DefaultResourceCalculator), so a 7 GB node accepted seven 1 GB task
+// containers regardless of its 4 cores, oversubscribing the CPU. Tasks
+// still contend for the physical cores (Node.Cores), which is exactly the
+// load-imbalance penalty the paper's greedy-scheduling critique rests on.
+
+// InstanceCatalog lists the instance types from Table II in paper order.
+var InstanceCatalog = []InstanceType{A1, A2, A3}
+
+// InstanceByName looks up a catalog entry by name ("A1", "A2", "A3").
+func InstanceByName(name string) (InstanceType, error) {
+	for _, it := range InstanceCatalog {
+		if it.Name == name {
+			return it, nil
+		}
+	}
+	return InstanceType{}, fmt.Errorf("topology: unknown instance type %q", name)
+}

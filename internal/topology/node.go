@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"fmt"
+
+	"mrapid/internal/sim"
+)
+
+// Node is one simulated machine: a DataNode + NodeManager host. It owns the
+// physical devices tasks contend for — a disk, a network interface, and CPU
+// cores — all driven by the shared event engine.
+type Node struct {
+	ID   int
+	Name string
+	Rack string
+	Type InstanceType
+
+	Disk  *sim.Device    // sequential disk bandwidth, shared by all tasks on the node
+	NIC   *sim.Device    // network interface, shared by HDFS reads and shuffle
+	Cores *sim.Semaphore // physical cores; compute phases hold one core each
+}
+
+// NewNode builds a node of the given instance type.
+func NewNode(eng *sim.Engine, id int, rack string, it InstanceType) *Node {
+	name := fmt.Sprintf("node-%02d", id)
+	return &Node{
+		ID:    id,
+		Name:  name,
+		Rack:  rack,
+		Type:  it,
+		Disk:  sim.NewDevice(eng, name+"/disk", it.DiskReadBps),
+		NIC:   sim.NewDevice(eng, name+"/nic", it.NetworkBps),
+		Cores: sim.NewSemaphore(eng, name+"/cores", it.Cores),
+	}
+}
+
+// Capacity returns the node's schedulable resource vector.
+func (n *Node) Capacity() Resource { return n.Type.Resource() }
+
+func (n *Node) String() string {
+	return fmt.Sprintf("%s(%s,%s)", n.Name, n.Type.Name, n.Rack)
+}
+
+// Cluster is the set of simulated nodes plus the rack map. By convention
+// node 0 hosts the NameNode and ResourceManager (the paper's clusters have a
+// dedicated NameNode); worker nodes are DataNodes.
+type Cluster struct {
+	Eng   *sim.Engine
+	Nodes []*Node // all nodes; Nodes[0] is the master
+	racks map[string][]*Node
+
+	// CoreSwitch carries all cross-rack traffic. Its aggregate bandwidth is
+	// half the sum of the worker NICs, modeling the 2:1 oversubscription
+	// typical of the era's datacenter fabrics; this is what makes RackLocal
+	// placement cheaper than ANY.
+	CoreSwitch *sim.Device
+}
+
+// Spec describes a homogeneous cluster to build: one master plus Workers
+// DataNodes of the given instance type, spread over Racks racks.
+type Spec struct {
+	Instance InstanceType
+	Workers  int
+	Racks    int
+}
+
+// NewCluster builds a cluster per spec. Workers are assigned to racks
+// round-robin; the master lives in the first rack. Racks defaults to 2 when
+// unset so that the RackLocal/ANY distinction in HDFS placement and the D+
+// scheduler is always exercised.
+func NewCluster(eng *sim.Engine, spec Spec) (*Cluster, error) {
+	if spec.Workers <= 0 {
+		return nil, fmt.Errorf("topology: cluster needs at least one worker, got %d", spec.Workers)
+	}
+	racks := spec.Racks
+	if racks <= 0 {
+		racks = 2
+	}
+	if racks > spec.Workers {
+		racks = spec.Workers
+	}
+	c := &Cluster{Eng: eng, racks: make(map[string][]*Node)}
+	master := NewNode(eng, 0, rackName(0), spec.Instance)
+	c.Nodes = append(c.Nodes, master)
+	c.racks[master.Rack] = append(c.racks[master.Rack], master)
+	for i := 1; i <= spec.Workers; i++ {
+		rack := rackName((i - 1) % racks)
+		n := NewNode(eng, i, rack, spec.Instance)
+		c.Nodes = append(c.Nodes, n)
+		c.racks[rack] = append(c.racks[rack], n)
+	}
+	c.CoreSwitch = sim.NewDevice(eng, "core-switch", float64(spec.Workers)*spec.Instance.NetworkBps/2)
+	return c, nil
+}
+
+func rackName(i int) string { return fmt.Sprintf("rack-%d", i) }
+
+// Master returns the node hosting the NameNode and ResourceManager.
+func (c *Cluster) Master() *Node { return c.Nodes[0] }
+
+// Workers returns the DataNode/NodeManager hosts (everything but the master).
+func (c *Cluster) Workers() []*Node { return c.Nodes[1:] }
+
+// Racks returns the sorted list of rack names.
+func (c *Cluster) RackOf(n *Node) string { return n.Rack }
+
+// NodesInRack returns the nodes in the named rack (including the master when
+// it lives there).
+func (c *Cluster) NodesInRack(rack string) []*Node { return c.racks[rack] }
+
+// SameRack reports whether two nodes share a rack.
+func SameRack(a, b *Node) bool { return a.Rack == b.Rack }
+
+// TotalWorkerResource sums the capacity of all worker nodes.
+func (c *Cluster) TotalWorkerResource() Resource {
+	var total Resource
+	for _, n := range c.Workers() {
+		total = total.Add(n.Capacity())
+	}
+	return total
+}

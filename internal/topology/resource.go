@@ -1,0 +1,92 @@
+// Package topology describes the simulated cluster: instance types, nodes,
+// racks, and the multi-dimensional resources (virtual cores and memory)
+// scheduled by YARN and by MRapid's D+ scheduler.
+package topology
+
+import "fmt"
+
+// Resource is a two-dimensional resource vector, matching the YARN resource
+// model the paper schedules against: virtual CPU cores and memory.
+type Resource struct {
+	VCores   int
+	MemoryMB int
+}
+
+// Zero reports whether both dimensions are zero.
+func (r Resource) Zero() bool { return r.VCores == 0 && r.MemoryMB == 0 }
+
+// FitsIn reports whether r can be satisfied out of capacity c.
+func (r Resource) FitsIn(c Resource) bool {
+	return r.VCores <= c.VCores && r.MemoryMB <= c.MemoryMB
+}
+
+// Add returns the component-wise sum r + o.
+func (r Resource) Add(o Resource) Resource {
+	return Resource{VCores: r.VCores + o.VCores, MemoryMB: r.MemoryMB + o.MemoryMB}
+}
+
+// Sub returns the component-wise difference r − o. It panics if the result
+// would go negative in either dimension: resource accounting bugs must not
+// pass silently.
+func (r Resource) Sub(o Resource) Resource {
+	out := Resource{VCores: r.VCores - o.VCores, MemoryMB: r.MemoryMB - o.MemoryMB}
+	if out.VCores < 0 || out.MemoryMB < 0 {
+		panic(fmt.Sprintf("topology: resource underflow: %v - %v", r, o))
+	}
+	return out
+}
+
+// Scale returns r multiplied by k in both dimensions.
+func (r Resource) Scale(k int) Resource {
+	return Resource{VCores: r.VCores * k, MemoryMB: r.MemoryMB * k}
+}
+
+// Dominant identifies which resource dimension is dominant.
+type Dominant int
+
+// Dominant resource dimensions.
+const (
+	DominantVCores Dominant = iota
+	DominantMemory
+)
+
+func (d Dominant) String() string {
+	if d == DominantVCores {
+		return "vcores"
+	}
+	return "memory"
+}
+
+// Of returns the magnitude of dimension d within r.
+func (d Dominant) Of(r Resource) int {
+	if d == DominantVCores {
+		return r.VCores
+	}
+	return r.MemoryMB
+}
+
+// DominantOf determines the cluster-wide dominant resource: the dimension
+// with the highest usage ratio used/total. This follows the paper's
+// definition ("Dominant resource is a kind of resource such as CPU or memory
+// that has the highest usage ratio in the cluster"), which is cluster-global
+// rather than DRF's per-user share. Ties favor vcores, the scarcer dimension
+// for map scheduling.
+func DominantOf(used, total Resource) Dominant {
+	cpuRatio := ratio(used.VCores, total.VCores)
+	memRatio := ratio(used.MemoryMB, total.MemoryMB)
+	if memRatio > cpuRatio {
+		return DominantMemory
+	}
+	return DominantVCores
+}
+
+func ratio(used, total int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}
+
+func (r Resource) String() string {
+	return fmt.Sprintf("<%d vcores, %d MB>", r.VCores, r.MemoryMB)
+}

@@ -1,0 +1,265 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mrapid/internal/sim"
+)
+
+func TestResourceFitsIn(t *testing.T) {
+	cases := []struct {
+		r, c Resource
+		want bool
+	}{
+		{Resource{1, 512}, Resource{2, 1024}, true},
+		{Resource{2, 1024}, Resource{2, 1024}, true},
+		{Resource{3, 512}, Resource{2, 1024}, false},
+		{Resource{1, 2048}, Resource{2, 1024}, false},
+		{Resource{}, Resource{}, true},
+	}
+	for _, c := range cases {
+		if got := c.r.FitsIn(c.c); got != c.want {
+			t.Errorf("%v.FitsIn(%v) = %v, want %v", c.r, c.c, got, c.want)
+		}
+	}
+}
+
+func TestResourceArithmetic(t *testing.T) {
+	a := Resource{2, 1024}
+	b := Resource{1, 512}
+	if got := a.Add(b); got != (Resource{3, 1536}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Resource{1, 512}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := b.Scale(3); got != (Resource{3, 1536}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if !(Resource{}).Zero() {
+		t.Error("zero resource not Zero()")
+	}
+	if a.Zero() {
+		t.Error("nonzero resource reported Zero()")
+	}
+}
+
+func TestResourceSubUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub underflow did not panic")
+		}
+	}()
+	Resource{1, 100}.Sub(Resource{2, 50})
+}
+
+// Property: Add then Sub round-trips for non-negative vectors.
+func TestQuickResourceAddSubRoundTrip(t *testing.T) {
+	f := func(av, am, bv, bm uint8) bool {
+		a := Resource{int(av), int(am)}
+		b := Resource{int(bv), int(bm)}
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominantOf(t *testing.T) {
+	total := Resource{VCores: 10, MemoryMB: 1000}
+	if d := DominantOf(Resource{5, 100}, total); d != DominantVCores {
+		t.Errorf("cpu-heavy usage: dominant = %v", d)
+	}
+	if d := DominantOf(Resource{1, 900}, total); d != DominantMemory {
+		t.Errorf("mem-heavy usage: dominant = %v", d)
+	}
+	// Ties favor vcores.
+	if d := DominantOf(Resource{5, 500}, total); d != DominantVCores {
+		t.Errorf("tie: dominant = %v", d)
+	}
+	// Degenerate totals do not divide by zero.
+	if d := DominantOf(Resource{5, 500}, Resource{}); d != DominantVCores {
+		t.Errorf("zero total: dominant = %v", d)
+	}
+}
+
+func TestDominantAccessors(t *testing.T) {
+	r := Resource{3, 700}
+	if DominantVCores.Of(r) != 3 || DominantMemory.Of(r) != 700 {
+		t.Errorf("Of accessors wrong: %d %d", DominantVCores.Of(r), DominantMemory.Of(r))
+	}
+	if DominantVCores.String() != "vcores" || DominantMemory.String() != "memory" {
+		t.Error("Dominant String() wrong")
+	}
+}
+
+func TestInstanceCatalogMatchesTableII(t *testing.T) {
+	want := []struct {
+		name   string
+		cores  int
+		memMB  int
+		diskGB int
+		price  float64
+	}{
+		{"A1", 1, 1792, 70, 0.09},
+		{"A2", 2, 3584, 135, 0.18},
+		{"A3", 4, 7168, 285, 0.36},
+	}
+	if len(InstanceCatalog) != len(want) {
+		t.Fatalf("catalog size = %d, want %d", len(InstanceCatalog), len(want))
+	}
+	for i, w := range want {
+		it := InstanceCatalog[i]
+		if it.Name != w.name || it.Cores != w.cores || it.MemoryMB != w.memMB ||
+			it.DiskGB != w.diskGB || it.PricePerHour != w.price {
+			t.Errorf("catalog[%d] = %+v, want %+v", i, it, w)
+		}
+	}
+}
+
+func TestInstanceByName(t *testing.T) {
+	it, err := InstanceByName("A2")
+	if err != nil || it.Cores != 2 {
+		t.Fatalf("InstanceByName(A2) = %+v, %v", it, err)
+	}
+	if _, err := InstanceByName("X9"); err == nil {
+		t.Fatal("unknown instance did not error")
+	}
+}
+
+func TestInstanceContainerFit(t *testing.T) {
+	// Hadoop 2.2 sizes containers by memory only: A3's 7 GB take seven 1 GB
+	// containers despite having 4 physical cores (CPU oversubscription).
+	if got := A3.MaxContainers(); got != 7 {
+		t.Errorf("A3.MaxContainers = %d, want 7", got)
+	}
+	// A2: 3.5 GB → 3 containers on 2 cores.
+	if got := A2.MaxContainers(); got != 3 {
+		t.Errorf("A2.MaxContainers = %d, want 3", got)
+	}
+	// A1: 1.75 GB → 1 container.
+	if got := A1.MaxContainers(); got != 1 {
+		t.Errorf("A1.MaxContainers = %d, want 1", got)
+	}
+	if got := A3.ContainerResource(); got != (Resource{1, 1024}) {
+		t.Errorf("A3.ContainerResource = %v", got)
+	}
+	// Schedulable vcores exceed physical cores by design.
+	if A3.SchedulableVCores() != 7 || A3.Cores != 4 {
+		t.Errorf("A3 vcores/cores = %d/%d", A3.SchedulableVCores(), A3.Cores)
+	}
+	// Explicit VCores override.
+	it := A2
+	it.VCores = 4
+	if it.SchedulableVCores() != 4 {
+		t.Errorf("override SchedulableVCores = %d", it.SchedulableVCores())
+	}
+	it.VCores = 0
+	if it.SchedulableVCores() != it.Cores {
+		t.Errorf("default SchedulableVCores = %d", it.SchedulableVCores())
+	}
+}
+
+func TestCostParityOfPaperClusters(t *testing.T) {
+	// The paper compares a 10-node A2 cluster with a 5-node A3 cluster
+	// "which have around the same cost" — verify from our Table II data.
+	a2Cost := 10 * A2.PricePerHour
+	a3Cost := 5 * A3.PricePerHour
+	if a2Cost != a3Cost {
+		t.Errorf("cost parity broken: 10×A2 = $%.2f, 5×A3 = $%.2f", a2Cost, a3Cost)
+	}
+}
+
+func TestNewClusterShape(t *testing.T) {
+	eng := sim.NewEngine()
+	c, err := NewCluster(eng, Spec{Instance: A3, Workers: 4, Racks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 5 {
+		t.Fatalf("nodes = %d, want 5 (1 master + 4 workers)", len(c.Nodes))
+	}
+	if len(c.Workers()) != 4 {
+		t.Fatalf("workers = %d, want 4", len(c.Workers()))
+	}
+	if c.Master().ID != 0 {
+		t.Fatalf("master ID = %d", c.Master().ID)
+	}
+	// Round-robin racks: workers 1..4 → rack-0, rack-1, rack-0, rack-1.
+	racks := map[string]int{}
+	for _, n := range c.Workers() {
+		racks[n.Rack]++
+	}
+	if racks["rack-0"] != 2 || racks["rack-1"] != 2 {
+		t.Fatalf("rack distribution = %v, want 2/2", racks)
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewCluster(eng, Spec{Instance: A1, Workers: 0}); err == nil {
+		t.Fatal("zero workers did not error")
+	}
+	// More racks than workers clamps.
+	c, err := NewCluster(eng, Spec{Instance: A1, Workers: 2, Racks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	racks := map[string]bool{}
+	for _, n := range c.Workers() {
+		racks[n.Rack] = true
+	}
+	if len(racks) != 2 {
+		t.Fatalf("got %d racks for 2 workers, want 2", len(racks))
+	}
+}
+
+func TestClusterRackQueries(t *testing.T) {
+	eng := sim.NewEngine()
+	c, _ := NewCluster(eng, Spec{Instance: A2, Workers: 4, Racks: 2})
+	w := c.Workers()
+	if !SameRack(w[0], w[2]) {
+		t.Error("workers 1 and 3 should share rack-0")
+	}
+	if SameRack(w[0], w[1]) {
+		t.Error("workers 1 and 2 should be in different racks")
+	}
+	in0 := c.NodesInRack("rack-0")
+	if len(in0) != 3 { // master + workers 1,3
+		t.Errorf("rack-0 has %d nodes, want 3", len(in0))
+	}
+	if c.RackOf(w[0]) != "rack-0" {
+		t.Errorf("RackOf = %q", c.RackOf(w[0]))
+	}
+}
+
+func TestTotalWorkerResource(t *testing.T) {
+	eng := sim.NewEngine()
+	c, _ := NewCluster(eng, Spec{Instance: A3, Workers: 4})
+	got := c.TotalWorkerResource()
+	want := Resource{VCores: 28, MemoryMB: 4 * 7168}
+	if got != want {
+		t.Fatalf("TotalWorkerResource = %v, want %v", got, want)
+	}
+}
+
+func TestNodeDevices(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNode(eng, 3, "rack-1", A2)
+	if n.Disk.Rate() != A2.DiskReadBps {
+		t.Errorf("disk rate = %v", n.Disk.Rate())
+	}
+	if n.NIC.Rate() != A2.NetworkBps {
+		t.Errorf("nic rate = %v", n.NIC.Rate())
+	}
+	if n.Cores.Total() != 2 {
+		t.Errorf("physical cores = %d", n.Cores.Total())
+	}
+	if n.Capacity() != (Resource{3, 3584}) {
+		t.Errorf("capacity = %v", n.Capacity())
+	}
+	if n.String() == "" || n.Name != "node-03" {
+		t.Errorf("naming wrong: %q / %q", n.String(), n.Name)
+	}
+}

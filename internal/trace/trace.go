@@ -1,0 +1,89 @@
+// Package trace records a structured event log of a simulation run —
+// which component did what at which virtual instant — for debugging
+// scheduling decisions and for the CLI's -trace output. Tracing is
+// optional: a nil *Log is safe to use and records nothing.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"mrapid/internal/sim"
+)
+
+// Event is one timestamped log entry.
+type Event struct {
+	At        sim.Time
+	Component string // "rm", "nm/node-01", "am/wc", "hdfs", ...
+	Message   string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12s  %-14s %s", e.At, e.Component, e.Message)
+}
+
+// Log accumulates events in firing order. The zero value is unusable; nil
+// is a valid "disabled" log.
+type Log struct {
+	eng    *sim.Engine
+	events []Event
+	limit  int
+}
+
+// New creates a log bound to the engine's clock. limit bounds memory (0
+// means unlimited); beyond it old events are dropped from the front.
+func New(eng *sim.Engine, limit int) *Log {
+	return &Log{eng: eng, limit: limit}
+}
+
+// Add records an event at the current virtual time. Safe on a nil log.
+func (l *Log) Add(component, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, Event{
+		At:        l.eng.Now(),
+		Component: component,
+		Message:   fmt.Sprintf(format, args...),
+	})
+	if l.limit > 0 && len(l.events) > l.limit {
+		l.events = l.events[len(l.events)-l.limit:]
+	}
+}
+
+// Len reports the number of retained events. Safe on a nil log.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Events returns the retained events in order. Safe on a nil log.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Filter returns the events whose component matches exactly.
+func (l *Log) Filter(component string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Component == component {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes every retained event, one per line. Safe on a nil log.
+func (l *Log) Dump(w io.Writer) error {
+	for _, e := range l.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

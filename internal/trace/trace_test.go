@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mrapid/internal/sim"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add("rm", "message %d", 1)
+	if l.Len() != 0 || l.Events() != nil {
+		t.Fatal("nil log retained events")
+	}
+	var b strings.Builder
+	if err := l.Dump(&b); err != nil || b.Len() != 0 {
+		t.Fatal("nil dump wrote output")
+	}
+}
+
+func TestAddRecordsVirtualTime(t *testing.T) {
+	eng := sim.NewEngine()
+	l := New(eng, 0)
+	eng.After(2*time.Second, func() { l.Add("rm", "allocated %d", 3) })
+	eng.Run()
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	e := l.Events()[0]
+	if e.At != sim.Time(2*time.Second) || e.Component != "rm" || e.Message != "allocated 3" {
+		t.Fatalf("event = %+v", e)
+	}
+	if !strings.Contains(e.String(), "rm") {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestLimitDropsOldest(t *testing.T) {
+	eng := sim.NewEngine()
+	l := New(eng, 3)
+	for i := 0; i < 10; i++ {
+		l.Add("c", "event %d", i)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if l.Events()[0].Message != "event 7" {
+		t.Fatalf("oldest retained = %q", l.Events()[0].Message)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	eng := sim.NewEngine()
+	l := New(eng, 0)
+	l.Add("rm", "a")
+	l.Add("nm/node-01", "b")
+	l.Add("rm", "c")
+	got := l.Filter("rm")
+	if len(got) != 2 || got[0].Message != "a" || got[1].Message != "c" {
+		t.Fatalf("Filter = %+v", got)
+	}
+}
+
+func TestDumpWritesLines(t *testing.T) {
+	eng := sim.NewEngine()
+	l := New(eng, 0)
+	l.Add("hdfs", "read 10 bytes")
+	var b strings.Builder
+	if err := l.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "read 10 bytes") {
+		t.Fatalf("Dump = %q", b.String())
+	}
+}

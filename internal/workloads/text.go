@@ -1,0 +1,123 @@
+// Package workloads provides the three benchmark applications the paper
+// evaluates — WordCount, TeraSort, and PI — as real, executing MapReduce
+// jobs: generators that synthesize their inputs deterministically, job
+// specifications with genuine map/reduce functions, and output verifiers
+// used by the test suite.
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// Corpus generates deterministic English-like text for WordCount inputs.
+// Words are drawn from a fixed-size vocabulary under a Zipf distribution,
+// which yields the skewed word frequencies real text has (a heavy head that
+// the combiner, when enabled, can collapse).
+type Corpus struct {
+	vocab [][]byte
+	zipf  *rand.Zipf
+	rng   *rand.Rand
+}
+
+// NewCorpus builds a corpus with the given vocabulary size and seed. The
+// same (size, seed) always produces the same text.
+func NewCorpus(vocabSize int, seed int64) *Corpus {
+	if vocabSize <= 0 {
+		panic("workloads: vocabulary must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vocab := make([][]byte, vocabSize)
+	seen := make(map[string]bool, vocabSize)
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	for i := range vocab {
+		for {
+			n := 3 + rng.Intn(8)
+			w := make([]byte, n)
+			for j := range w {
+				w[j] = letters[rng.Intn(len(letters))]
+			}
+			if !seen[string(w)] {
+				seen[string(w)] = true
+				vocab[i] = w
+				break
+			}
+		}
+	}
+	return &Corpus{
+		vocab: vocab,
+		zipf:  rand.NewZipf(rng, 1.2, 1.0, uint64(vocabSize-1)),
+		rng:   rng,
+	}
+}
+
+// Generate produces approximately size bytes of newline-separated text,
+// always ending cleanly at a line boundary.
+func (c *Corpus) Generate(size int64) []byte {
+	var buf bytes.Buffer
+	buf.Grow(int(size) + 128)
+	line := 0
+	for int64(buf.Len()) < size {
+		w := c.vocab[c.zipf.Uint64()]
+		buf.Write(w)
+		line += len(w) + 1
+		if line >= 70 {
+			buf.WriteByte('\n')
+			line = 0
+		} else {
+			buf.WriteByte(' ')
+		}
+	}
+	b := buf.Bytes()
+	if len(b) > 0 && b[len(b)-1] != '\n' {
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// InputFileName names the i-th generated input file for a job under a
+// common prefix, e.g. /in/wordcount/part-00003.
+func InputFileName(prefix string, i int) string {
+	return fmt.Sprintf("%s/part-%05d", prefix, i)
+}
+
+// streamCache memoizes generated corpus streams by (vocabulary, seed). The
+// benchmark harness builds hundreds of simulations over the same synthetic
+// inputs; regenerating Zipf text each time is pure host-CPU waste, and a
+// cached stream is byte-identical to a regenerated one by construction.
+// Not safe for concurrent use, like the rest of the single-threaded
+// simulator.
+var streamCache = map[streamKey][]byte{}
+
+type streamKey struct {
+	vocab int
+	seed  int64
+}
+
+// corpusStream returns at least n bytes of the deterministic corpus stream
+// for (vocab, seed), extending the cached stream as needed.
+func corpusStream(vocab int, seed int64, n int64) []byte {
+	k := streamKey{vocab, seed}
+	s := streamCache[k]
+	if int64(len(s)) < n {
+		// Regenerate from scratch at the larger size: Corpus generation is
+		// stateful, so extending requires replaying from the seed anyway.
+		s = NewCorpus(vocab, seed).Generate(n)
+		streamCache[k] = s
+	}
+	return s
+}
+
+// cutAtLine returns the prefix of data of at least n bytes ending at a line
+// boundary (falling back to all of data).
+func cutAtLine(data []byte, n int64) []byte {
+	if n >= int64(len(data)) {
+		return data
+	}
+	i := n
+	for i < int64(len(data)) && data[i-1] != '\n' {
+		i++
+	}
+	return data[:i]
+}

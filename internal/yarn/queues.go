@@ -1,0 +1,125 @@
+package yarn
+
+import (
+	"fmt"
+
+	"mrapid/internal/topology"
+)
+
+// QueueConfig sizes one tenant queue as a fraction of cluster capacity.
+// The paper's background section describes this CapacityScheduler feature:
+// "allows multiple tenants to share a large cluster and allocate resources
+// under constraints of specified capacities for each user."
+type QueueConfig struct {
+	Name     string
+	Capacity float64 // fraction of cluster capacity, (0, 1]
+}
+
+// DefaultQueue is where apps land when no queue is named, or when queues
+// are not configured at all.
+const DefaultQueue = "default"
+
+// queues tracks per-queue usage against configured capacity ceilings. This
+// models hard capacities (CapacityScheduler with maximum-capacity equal to
+// capacity); elastic over-capacity borrowing is out of scope for the
+// paper's experiments, which run a single tenant.
+type queues struct {
+	capacity map[string]float64
+	used     map[string]topology.Resource
+}
+
+// ConfigureQueues installs tenant queues on the RM. Capacities must each be
+// in (0, 1] and sum to at most 1. Apps name their queue at creation;
+// unknown queue names are rejected at submission time.
+func (rm *RM) ConfigureQueues(configs []QueueConfig) error {
+	if len(configs) == 0 {
+		return fmt.Errorf("yarn: ConfigureQueues needs at least one queue")
+	}
+	capacity := make(map[string]float64, len(configs))
+	var sum float64
+	for _, c := range configs {
+		if c.Name == "" {
+			return fmt.Errorf("yarn: queue needs a name")
+		}
+		if c.Capacity <= 0 || c.Capacity > 1 {
+			return fmt.Errorf("yarn: queue %q capacity %v outside (0,1]", c.Name, c.Capacity)
+		}
+		if _, dup := capacity[c.Name]; dup {
+			return fmt.Errorf("yarn: duplicate queue %q", c.Name)
+		}
+		capacity[c.Name] = c.Capacity
+		sum += c.Capacity
+	}
+	if sum > 1.0+1e-9 {
+		return fmt.Errorf("yarn: queue capacities sum to %v > 1", sum)
+	}
+	rm.queues = &queues{capacity: capacity, used: make(map[string]topology.Resource)}
+	return nil
+}
+
+// queueOf resolves an app's effective queue.
+func queueOf(app *App) string {
+	if app.Queue == "" {
+		return DefaultQueue
+	}
+	return app.Queue
+}
+
+// QueueAllows reports whether granting r to the app would keep its queue
+// within capacity. With no queues configured, everything is allowed.
+func (rm *RM) QueueAllows(app *App, r topology.Resource) bool {
+	if rm.queues == nil {
+		return true
+	}
+	q := queueOf(app)
+	frac, ok := rm.queues.capacity[q]
+	if !ok {
+		return false
+	}
+	total := rm.TotalCapacity()
+	limit := topology.Resource{
+		VCores:   int(float64(total.VCores) * frac),
+		MemoryMB: int(float64(total.MemoryMB) * frac),
+	}
+	want := rm.queues.used[q].Add(r)
+	return want.FitsIn(limit)
+}
+
+// QueueUsed reports a queue's current allocation.
+func (rm *RM) QueueUsed(name string) topology.Resource {
+	if rm.queues == nil {
+		return topology.Resource{}
+	}
+	return rm.queues.used[name]
+}
+
+// chargeQueue and creditQueue keep per-queue accounting in step with
+// grants and releases.
+func (rm *RM) chargeQueue(app *App, r topology.Resource) {
+	if rm.queues == nil {
+		return
+	}
+	q := queueOf(app)
+	rm.queues.used[q] = rm.queues.used[q].Add(r)
+}
+
+func (rm *RM) creditQueue(app *App, r topology.Resource) {
+	if rm.queues == nil {
+		return
+	}
+	q := queueOf(app)
+	rm.queues.used[q] = rm.queues.used[q].Sub(r)
+}
+
+// ValidQueue reports whether the queue name is submittable.
+func (rm *RM) ValidQueue(name string) bool {
+	if rm.queues == nil {
+		return name == "" || name == DefaultQueue
+	}
+	if name == "" {
+		_, ok := rm.queues.capacity[DefaultQueue]
+		return ok
+	}
+	_, ok := rm.queues.capacity[name]
+	return ok
+}

@@ -1,0 +1,204 @@
+package yarn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mrapid/internal/costmodel"
+	"mrapid/internal/sim"
+	"mrapid/internal/topology"
+)
+
+func TestConfigureQueuesValidation(t *testing.T) {
+	_, _, rm := testRM(t, 2)
+	bad := [][]QueueConfig{
+		{},
+		{{Name: "", Capacity: 0.5}},
+		{{Name: "a", Capacity: 0}},
+		{{Name: "a", Capacity: 1.5}},
+		{{Name: "a", Capacity: 0.5}, {Name: "a", Capacity: 0.5}},
+		{{Name: "a", Capacity: 0.7}, {Name: "b", Capacity: 0.7}},
+	}
+	for i, cfg := range bad {
+		if err := rm.ConfigureQueues(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := rm.ConfigureQueues([]QueueConfig{
+		{Name: "default", Capacity: 0.5}, {Name: "adhoc", Capacity: 0.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueValidation(t *testing.T) {
+	_, _, rm := testRM(t, 2)
+	// Without queues, only the default is valid.
+	if !rm.ValidQueue("") || !rm.ValidQueue(DefaultQueue) || rm.ValidQueue("other") {
+		t.Fatal("pre-config queue validity wrong")
+	}
+	rm.ConfigureQueues([]QueueConfig{{Name: "prod", Capacity: 1.0}})
+	if rm.ValidQueue("") { // no "default" queue configured
+		t.Fatal("empty queue valid without a default queue")
+	}
+	if !rm.ValidQueue("prod") || rm.ValidQueue("dev") {
+		t.Fatal("post-config queue validity wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAppInQueue with unknown queue did not panic")
+		}
+	}()
+	rm.NewAppInQueue("x", "dev")
+}
+
+func TestQueueCapacityEnforced(t *testing.T) {
+	eng, _, rm := testRM(t, 2) // 2×A3 workers: 14 vcores, 14336 MB total
+	if err := rm.ConfigureQueues([]QueueConfig{
+		{Name: "default", Capacity: 0.5},
+		{Name: "batch", Capacity: 0.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	app := rm.NewAppInQueue("j", "batch")
+	var asks []*Ask
+	for i := 0; i < 12; i++ { // far over batch's 7-vcore half
+		asks = append(asks, &Ask{App: app, Resource: oneContainer(), Tag: "m"})
+	}
+	var got []*Container
+	eng.After(0, func() {
+		rm.Allocate(app, asks, func([]*Container) {
+			eng.After(3*rm.Params.AMHeartbeat, func() {
+				rm.Allocate(app, nil, func(cs []*Container) { got = cs })
+			})
+		})
+	})
+	eng.RunUntil(sim.Time(10 * time.Second))
+	if len(got) != 7 {
+		t.Fatalf("batch queue received %d containers, want 7 (half of 14 vcores)", len(got))
+	}
+	used := rm.QueueUsed("batch")
+	if used.VCores != 7 {
+		t.Fatalf("QueueUsed = %v", used)
+	}
+	// Releasing containers frees queue budget at the next NM heartbeat and
+	// the remaining asks proceed.
+	for _, c := range got[:4] {
+		rm.ReleaseContainer(c)
+	}
+	var more []*Container
+	eng.After(0, func() {
+		eng.After(2*time.Second, func() {
+			rm.Allocate(app, nil, func(cs []*Container) { more = cs })
+		})
+	})
+	eng.RunUntil(sim.Time(20 * time.Second))
+	if len(more) != 4 {
+		t.Fatalf("after release got %d more, want 4", len(more))
+	}
+	if u := rm.QueueUsed("batch"); u.VCores != 7 {
+		t.Fatalf("steady-state queue usage = %v, want back at the 7-vcore cap", u)
+	}
+}
+
+func TestQueuesIsolateTenants(t *testing.T) {
+	eng, _, rm := testRM(t, 2)
+	rm.ConfigureQueues([]QueueConfig{
+		{Name: "default", Capacity: 0.5},
+		{Name: "batch", Capacity: 0.5},
+	})
+	hog := rm.NewAppInQueue("hog", "batch")
+	light := rm.NewAppInQueue("light", "default")
+	var hogAsks []*Ask
+	for i := 0; i < 20; i++ {
+		hogAsks = append(hogAsks, &Ask{App: hog, Resource: oneContainer(), Tag: "m"})
+	}
+	var lightGot []*Container
+	eng.After(0, func() {
+		rm.Allocate(hog, hogAsks, func([]*Container) {})
+		// The light tenant submits after the hog has flooded the queue.
+		eng.After(2*time.Second, func() {
+			rm.Allocate(light, []*Ask{{App: light, Resource: oneContainer(), Tag: "m"}}, func([]*Container) {
+				eng.After(2*rm.Params.AMHeartbeat, func() {
+					rm.Allocate(light, nil, func(cs []*Container) { lightGot = cs })
+				})
+			})
+		})
+	})
+	eng.RunUntil(sim.Time(15 * time.Second))
+	if len(lightGot) != 1 {
+		t.Fatalf("light tenant starved despite its own queue: got %d", len(lightGot))
+	}
+	if u := rm.QueueUsed("batch"); u.VCores > 7 {
+		t.Fatalf("hog exceeded its queue: %v", u)
+	}
+}
+
+// Property: under random ask streams across two tenants, neither queue's
+// usage ever exceeds its capacity ceiling.
+func TestQuickQueueNeverOverCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		c, _ := topology.NewCluster(eng, topology.Spec{Instance: topology.A3, Workers: 2 + rng.Intn(4), Racks: 2})
+		rm := NewRM(eng, c, costmodel.Default(), NewStockScheduler())
+		rm.Start()
+		fracA := 0.2 + rng.Float64()*0.5
+		if err := rm.ConfigureQueues([]QueueConfig{
+			{Name: "a", Capacity: fracA},
+			{Name: "b", Capacity: 1 - fracA},
+		}); err != nil {
+			return false
+		}
+		appA := rm.NewAppInQueue("a", "a")
+		appB := rm.NewAppInQueue("b", "b")
+		for i := 0; i < 30; i++ {
+			app := appA
+			if rng.Intn(2) == 0 {
+				app = appB
+			}
+			ask := &Ask{App: app, Resource: oneContainer(), Tag: "m"}
+			eng.After(time.Duration(rng.Intn(3000))*time.Millisecond, func() {
+				rm.Allocate(app, []*Ask{ask}, func(cs []*Container) {
+					for _, ctr := range cs {
+						ctr := ctr
+						eng.After(time.Duration(rng.Intn(2000))*time.Millisecond, func() {
+							rm.ReleaseContainer(ctr)
+						})
+					}
+				})
+			})
+		}
+		ok := true
+		check := eng.Every(500*time.Millisecond, func() {
+			total := rm.TotalCapacity()
+			for q, frac := range map[string]float64{"a": fracA, "b": 1 - fracA} {
+				u := rm.QueueUsed(q)
+				if u.VCores > int(float64(total.VCores)*frac) ||
+					u.MemoryMB > int(float64(total.MemoryMB)*frac) {
+					ok = false
+				}
+			}
+		})
+		eng.RunUntil(sim.Time(20 * time.Second))
+		check.Stop()
+		rm.Stop()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoQueuesMeansUnlimited(t *testing.T) {
+	_, _, rm := testRM(t, 2)
+	app := rm.NewApp("j")
+	if !rm.QueueAllows(app, topology.Resource{VCores: 100, MemoryMB: 1 << 20}) {
+		t.Fatal("unconfigured queues limited an allocation")
+	}
+	if got := rm.QueueUsed("anything"); !got.Zero() {
+		t.Fatal("usage nonzero without queues")
+	}
+}

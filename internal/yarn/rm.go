@@ -1,0 +1,289 @@
+package yarn
+
+import (
+	"fmt"
+	"time"
+
+	"mrapid/internal/costmodel"
+	"mrapid/internal/sim"
+	"mrapid/internal/topology"
+	"mrapid/internal/trace"
+)
+
+// Metrics counts protocol activity for analysis and tests.
+type Metrics struct {
+	AMHeartbeats  int64
+	NMHeartbeats  int64
+	Allocations   int64
+	Releases      int64
+	AppsSubmitted int64
+	AppsKilled    int64
+	// ByLocality counts allocations per achieved locality level.
+	ByLocality [3]int64
+}
+
+// RM is the simulated ResourceManager. It owns the authoritative per-node
+// resource view (the Cluster Resource structure of the paper's Figure 3),
+// drives NodeManager heartbeats, and delegates placement to a pluggable
+// Scheduler.
+type RM struct {
+	Eng     *sim.Engine
+	Cluster *topology.Cluster
+	Params  costmodel.Params
+	Sched   Scheduler
+	Metrics Metrics
+
+	// Trace, when non-nil, records scheduling events on the virtual clock.
+	Trace *trace.Log
+
+	trackers  []*NodeTracker
+	trackerOf map[*topology.Node]*NodeTracker
+	nms       map[*topology.Node]*NM
+
+	nextContainer ContainerID
+	nextApp       int
+	live          map[ContainerID]*Container
+	started       bool
+	tickers       []*sim.Ticker
+
+	// queues, when configured, enforces per-tenant capacity ceilings.
+	queues *queues
+}
+
+// NewRM builds a ResourceManager over the cluster's worker nodes.
+func NewRM(eng *sim.Engine, cluster *topology.Cluster, params costmodel.Params, sched Scheduler) *RM {
+	rm := &RM{
+		Eng:       eng,
+		Cluster:   cluster,
+		Params:    params,
+		Sched:     sched,
+		trackerOf: make(map[*topology.Node]*NodeTracker),
+		nms:       make(map[*topology.Node]*NM),
+		live:      make(map[ContainerID]*Container),
+	}
+	for _, n := range cluster.Workers() {
+		nt := &NodeTracker{Node: n, Cap: n.Capacity(), Avail: n.Capacity()}
+		rm.trackers = append(rm.trackers, nt)
+		rm.trackerOf[n] = nt
+		rm.nms[n] = newNM(rm, n)
+	}
+	return rm
+}
+
+// Start begins NodeManager heartbeats, staggered deterministically across
+// the heartbeat period so node reports interleave the way independent NM
+// daemons do rather than arriving in one burst.
+func (rm *RM) Start() {
+	if rm.started {
+		panic("yarn: RM started twice")
+	}
+	rm.started = true
+	n := len(rm.trackers)
+	for i, nt := range rm.trackers {
+		nt := nt
+		offset := rm.Params.NMHeartbeat * time.Duration(i+1) / time.Duration(n+1)
+		rm.Eng.After(offset, func() {
+			rm.nodeHeartbeat(nt)
+			rm.tickers = append(rm.tickers, rm.Eng.Every(rm.Params.NMHeartbeat, func() { rm.nodeHeartbeat(nt) }))
+		})
+	}
+}
+
+// Stop halts all NodeManager heartbeats so the event queue can drain; used
+// when a simulation run is complete. A stopped RM may be started again for
+// a subsequent job in the same simulation.
+func (rm *RM) Stop() {
+	for _, t := range rm.tickers {
+		t.Stop()
+	}
+	rm.tickers = nil
+	rm.started = false
+}
+
+func (rm *RM) nodeHeartbeat(nt *NodeTracker) {
+	rm.Metrics.NMHeartbeats++
+	nm := rm.nms[nt.Node]
+	// Releases reported by the NM free resources first, then the scheduler
+	// sees the NODE_STATUS_UPDATE.
+	for _, c := range nm.drainReleases() {
+		nt.Release(c.Resource)
+		rm.creditQueue(c.App, c.Resource)
+		delete(rm.live, c.ID)
+		rm.Metrics.Releases++
+		rm.Trace.Add("rm", "released %s", c)
+	}
+	rm.Sched.OnNodeUpdate(rm, nt)
+}
+
+// Trackers exposes the RM's per-node resource view — the Cluster Resource
+// structure the D+ scheduler allocates from.
+func (rm *RM) Trackers() []*NodeTracker { return rm.trackers }
+
+// TrackerFor returns the tracker for a worker node.
+func (rm *RM) TrackerFor(n *topology.Node) *NodeTracker { return rm.trackerOf[n] }
+
+// NMOn returns the NodeManager on a worker node.
+func (rm *RM) NMOn(n *topology.Node) *NM { return rm.nms[n] }
+
+// TotalUsed sums allocated resources cluster-wide.
+func (rm *RM) TotalUsed() topology.Resource {
+	var u topology.Resource
+	for _, nt := range rm.trackers {
+		u = u.Add(nt.Used())
+	}
+	return u
+}
+
+// TotalCapacity sums worker capacity.
+func (rm *RM) TotalCapacity() topology.Resource {
+	var c topology.Resource
+	for _, nt := range rm.trackers {
+		c = c.Add(nt.Cap)
+	}
+	return c
+}
+
+// NewApp registers an application record in the default queue.
+func (rm *RM) NewApp(name string) *App {
+	return rm.NewAppInQueue(name, "")
+}
+
+// NewAppInQueue registers an application under a tenant queue. An invalid
+// queue panics: submission-time validation belongs to the caller
+// (ValidQueue), and a scheduler must never see an unroutable app.
+func (rm *RM) NewAppInQueue(name, queue string) *App {
+	if !rm.ValidQueue(queue) {
+		panic(fmt.Sprintf("yarn: unknown queue %q", queue))
+	}
+	rm.nextApp++
+	rm.Metrics.AppsSubmitted++
+	return &App{ID: rm.nextApp, Name: name, Queue: queue, State: AppSubmitted}
+}
+
+// Grant is the scheduler's allocation primitive: it debits the node tracker,
+// mints a container, and records locality metrics. The caller decides how
+// the container reaches the app (buffered for the next AM heartbeat, direct
+// callback, or an immediate D+ response).
+func (rm *RM) Grant(ask *Ask, nt *NodeTracker) *Container {
+	nt.Allocate(ask.Resource)
+	rm.chargeQueue(ask.App, ask.Resource)
+	rm.nextContainer++
+	c := &Container{ID: rm.nextContainer, Node: nt.Node, Resource: ask.Resource, App: ask.App, Tag: ask.Tag}
+	rm.live[c.ID] = c
+	rm.Metrics.Allocations++
+	rm.Metrics.ByLocality[ask.LocalityOn(nt.Node)]++
+	rm.Trace.Add("rm", "granted %s to app %d (%s)", c, ask.App.ID, ask.LocalityOn(nt.Node))
+	return c
+}
+
+// Allocate is one AM→RM allocate heartbeat carrying new asks; the response
+// (delivered after the round-trip RPC latency) contains any containers
+// granted immediately by the scheduler plus everything buffered since the
+// previous heartbeat. With the stock scheduler a request is never satisfied
+// in its own heartbeat — the paper's "waiting for at least two heartbeats".
+func (rm *RM) Allocate(app *App, asks []*Ask, respond func([]*Container)) {
+	if respond == nil {
+		panic("yarn: Allocate needs a response callback")
+	}
+	rm.Eng.After(rm.Params.RPCLatency, func() {
+		rm.Metrics.AMHeartbeats++
+		if app.State == AppKilled || app.State == AppFinished {
+			rm.Eng.After(rm.Params.RPCLatency, func() { respond(nil) })
+			return
+		}
+		app.State = AppRunning
+		immediate := rm.Sched.OnAllocate(rm, app, asks)
+		response := append(app.granted, immediate...)
+		app.granted = nil
+		rm.Eng.After(rm.Params.RPCLatency, func() { respond(response) })
+	})
+}
+
+// SubmitApp models steps 1–3 of the Hadoop submission flow for a job that
+// does NOT use the MRapid submission framework: the client submits over RPC,
+// the scheduler finds an AM container (with the stock scheduler this waits
+// for a node heartbeat), the chosen NodeManager launches the AM JVM, and
+// launched(app, container) fires once the AM process is up (its own
+// initialization is charged by the caller).
+func (rm *RM) SubmitApp(name string, amResource topology.Resource, launched func(*App, *Container)) *App {
+	if launched == nil {
+		panic("yarn: SubmitApp needs a launch callback")
+	}
+	app := rm.NewApp(name)
+	ask := &Ask{App: app, Resource: amResource, Tag: "am"}
+	ask.direct = func(c *Container) {
+		rm.nms[c.Node].StartContainer(c, false, func() { launched(app, c) })
+	}
+	rm.Eng.After(rm.Params.RPCLatency, func() {
+		rm.Sched.OnAllocate(rm, app, []*Ask{ask})
+	})
+	return app
+}
+
+// ReleaseContainer returns a finished container's resources. The NM queues
+// the release and the RM learns of it at the node's next heartbeat, exactly
+// the lag stock Hadoop has. Releasing the same container again (an app kill
+// racing the task's own completion) is a no-op.
+func (rm *RM) ReleaseContainer(c *Container) {
+	if c.released {
+		return
+	}
+	c.released = true
+	nm, ok := rm.nms[c.Node]
+	if !ok {
+		panic(fmt.Sprintf("yarn: release on unknown node %s", c.Node.Name))
+	}
+	nm.queueRelease(c)
+}
+
+// KillApp terminates an application: queued asks are dropped and all its
+// live containers are released. Used by speculative execution to stop the
+// losing mode.
+func (rm *RM) KillApp(app *App) {
+	if app.State == AppKilled || app.State == AppFinished {
+		return
+	}
+	app.State = AppKilled
+	rm.Metrics.AppsKilled++
+	rm.Trace.Add("rm", "killed app %d (%s)", app.ID, app.Name)
+	app.queued = nil
+	app.granted = nil
+	for _, c := range rm.liveOf(app) {
+		rm.ReleaseContainer(c)
+	}
+}
+
+// FinishApp marks an application complete and releases any straggler
+// containers it still holds.
+func (rm *RM) FinishApp(app *App) {
+	if app.State == AppKilled || app.State == AppFinished {
+		return
+	}
+	app.State = AppFinished
+	for _, c := range rm.liveOf(app) {
+		rm.ReleaseContainer(c)
+	}
+}
+
+func (rm *RM) liveOf(app *App) []*Container {
+	var out []*Container
+	for _, c := range rm.live {
+		if c.App == app {
+			out = append(out, c)
+		}
+	}
+	// Deterministic order.
+	sortContainers(out)
+	return out
+}
+
+// LiveContainers reports the number of currently allocated containers.
+func (rm *RM) LiveContainers() int { return len(rm.live) }
+
+func sortContainers(cs []*Container) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].ID < cs[j-1].ID; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package yarn
+
+// StockScheduler reproduces the Hadoop 2 CapacityScheduler behaviour the
+// paper describes for short jobs:
+//
+//   - Container requests arriving on an AM heartbeat are only queued
+//     (CONTAINER_STATUS_UPDATE); nothing is granted in that heartbeat.
+//   - When a NodeManager heartbeat arrives (NODE_STATUS_UPDATE), the
+//     scheduler greedily packs the reporting node with as many queued asks
+//     as fit, regardless of data locality — "deploys tasks to DataNodes as
+//     few as possible".
+//   - Grants sit in the app's buffer until its next AM heartbeat.
+//
+// The result, for short jobs, is the paper's three defects: at least two
+// AM heartbeats of latency, container pile-up on whichever node reported
+// first, and locality-blind placement.
+type StockScheduler struct {
+	// queue is the FIFO of unsatisfied asks across all apps.
+	queue []*Ask
+}
+
+// NewStockScheduler returns the baseline Hadoop scheduler.
+func NewStockScheduler() *StockScheduler { return &StockScheduler{} }
+
+// Name implements Scheduler.
+func (s *StockScheduler) Name() string { return "hadoop-capacity" }
+
+// OnAllocate implements Scheduler: queue everything, grant nothing yet.
+func (s *StockScheduler) OnAllocate(rm *RM, app *App, asks []*Ask) []*Container {
+	for _, a := range asks {
+		if a.App != app {
+			panic("yarn: ask routed to wrong app")
+		}
+		s.queue = append(s.queue, a)
+		app.AddPending(a)
+	}
+	return nil
+}
+
+// OnNodeUpdate implements Scheduler: greedily pack the reporting node from
+// the front of the queue.
+func (s *StockScheduler) OnNodeUpdate(rm *RM, nt *NodeTracker) {
+	remaining := s.queue[:0]
+	for i, a := range s.queue {
+		if !a.App.Alive() {
+			a.App.RemovePending(a)
+			continue
+		}
+		if !a.Resource.FitsIn(nt.Avail) {
+			// Node full (or this ask too big): keep this and all later asks.
+			remaining = append(remaining, s.queue[i:]...)
+			s.queue = remaining
+			return
+		}
+		if !rm.QueueAllows(a.App, a.Resource) {
+			// This tenant is at its queue capacity: skip the ask (it stays
+			// queued) so other tenants behind it are not starved, the way
+			// the CapacityScheduler walks past blocked queues.
+			remaining = append(remaining, a)
+			continue
+		}
+		c := rm.Grant(a, nt)
+		a.App.RemovePending(a)
+		a.Deliver(c)
+	}
+	s.queue = remaining
+}
+
+// Queued reports the number of pending asks (for tests).
+func (s *StockScheduler) Queued() int { return len(s.queue) }

@@ -1,0 +1,195 @@
+// Package yarn implements the simulated cluster resource manager: a
+// ResourceManager with pluggable scheduling, per-node NodeManagers that
+// heartbeat status and launch containers, and the application-master
+// allocate protocol. The stock scheduler reproduces the Hadoop 2 behaviour
+// the paper criticizes — container requests are only served when a
+// NodeManager heartbeat arrives, greedily packing the reporting node — so
+// that the D+ scheduler (package core) has the real baseline to beat.
+package yarn
+
+import (
+	"fmt"
+
+	"mrapid/internal/topology"
+)
+
+// ContainerID identifies a granted container.
+type ContainerID int
+
+// Container is a granted lease of resources on one node.
+type Container struct {
+	ID       ContainerID
+	Node     *topology.Node
+	Resource topology.Resource
+	App      *App
+	Tag      string // diagnostic label, e.g. "map-3", "reduce-0", "am"
+
+	// released guards against double release: an app kill and the task's
+	// own completion can both hand the container back.
+	released bool
+}
+
+func (c *Container) String() string {
+	return fmt.Sprintf("container-%d(%s on %s)", c.ID, c.Tag, c.Node.Name)
+}
+
+// Locality classifies how well an allocation matched its ask's preference.
+type Locality int
+
+// Locality levels, best first.
+const (
+	NodeLocal Locality = iota
+	RackLocal
+	Any
+)
+
+func (l Locality) String() string {
+	switch l {
+	case NodeLocal:
+		return "NODE_LOCAL"
+	case RackLocal:
+		return "RACK_LOCAL"
+	default:
+		return "ANY"
+	}
+}
+
+// Ask is one container request with locality preferences, the unit the
+// scheduler works on. PreferredNodes come from the input split's replica
+// locations; PreferredRacks from those replicas' racks.
+type Ask struct {
+	App            *App
+	Resource       topology.Resource
+	PreferredNodes []*topology.Node
+	PreferredRacks []string
+	Tag            string
+
+	// direct, when set, receives the granted container immediately instead
+	// of the grant being buffered for the app's next AM heartbeat. The RM
+	// uses it for ApplicationMaster containers, which have no AM to
+	// heartbeat yet.
+	direct func(*Container)
+}
+
+// IsDirect reports whether this ask bypasses heartbeat delivery (AM
+// container asks). Schedulers must route direct asks through Deliver even
+// when answering a request in its own heartbeat.
+func (a *Ask) IsDirect() bool { return a.direct != nil }
+
+// Deliver routes a granted container: direct asks fire their callback, all
+// others buffer on the app until its next allocate heartbeat drains them.
+func (a *Ask) Deliver(c *Container) {
+	if a.direct != nil {
+		a.direct(c)
+		return
+	}
+	a.App.granted = append(a.App.granted, c)
+}
+
+// LocalityOn classifies what locality assigning this ask to node n achieves.
+func (a *Ask) LocalityOn(n *topology.Node) Locality {
+	for _, p := range a.PreferredNodes {
+		if p == n {
+			return NodeLocal
+		}
+	}
+	for _, r := range a.PreferredRacks {
+		if r == n.Rack {
+			return RackLocal
+		}
+	}
+	return Any
+}
+
+// NodeTracker is the ResourceManager's view of one node: its capacity and
+// currently unallocated resources. This collection is exactly the "Cluster
+// Resource" structure of the paper's Figure 3, which the D+ scheduler
+// consults to answer requests without waiting for node heartbeats.
+type NodeTracker struct {
+	Node  *topology.Node
+	Cap   topology.Resource
+	Avail topology.Resource
+}
+
+// Allocate reserves r on the node. It panics on overcommit: scheduler bugs
+// must fail loudly.
+func (nt *NodeTracker) Allocate(r topology.Resource) {
+	nt.Avail = nt.Avail.Sub(r)
+}
+
+// Release returns r to the node.
+func (nt *NodeTracker) Release(r topology.Resource) {
+	nt.Avail = nt.Avail.Add(r)
+	if !nt.Avail.FitsIn(nt.Cap) {
+		panic(fmt.Sprintf("yarn: node %s over-released: %v > %v", nt.Node.Name, nt.Avail, nt.Cap))
+	}
+}
+
+// Used returns the allocated resources.
+func (nt *NodeTracker) Used() topology.Resource { return nt.Cap.Sub(nt.Avail) }
+
+// Scheduler decides container placement. Implementations: the stock greedy
+// CapacityScheduler (this package) and MRapid's Algorithm 1 (package core).
+type Scheduler interface {
+	// Name identifies the scheduler in traces and metrics.
+	Name() string
+
+	// OnAllocate handles the asks arriving on an AM heartbeat
+	// (CONTAINER_STATUS_UPDATE). It may grant immediately from the RM's
+	// cluster-resource view and return the containers — the D+ behaviour —
+	// or queue the asks and return nil, the stock behaviour.
+	OnAllocate(rm *RM, app *App, asks []*Ask) []*Container
+
+	// OnNodeUpdate handles a node heartbeat (NODE_STATUS_UPDATE), the only
+	// moment the stock scheduler hands out that node's resources. Grants
+	// made here are buffered on the app and delivered at its next AM
+	// heartbeat.
+	OnNodeUpdate(rm *RM, nt *NodeTracker)
+}
+
+// AppState tracks an application's lifecycle.
+type AppState int
+
+// Application lifecycle states.
+const (
+	AppSubmitted AppState = iota
+	AppRunning
+	AppFinished
+	AppKilled
+)
+
+// App is the ResourceManager's record of one running application.
+type App struct {
+	ID    int
+	Name  string
+	State AppState
+	// Queue is the tenant queue the app submits to ("" = default).
+	Queue string
+
+	// granted buffers containers allocated by node-heartbeat-driven
+	// scheduling until the AM's next allocate heartbeat picks them up.
+	granted []*Container
+	// queued are asks accepted but not yet satisfied.
+	queued []*Ask
+}
+
+// PendingAsks returns the app's unsatisfied asks (the scheduler's queue).
+func (a *App) PendingAsks() []*Ask { return a.queued }
+
+// AddPending records an accepted-but-unsatisfied ask on the app. Schedulers
+// call it when they enqueue an ask.
+func (a *App) AddPending(ask *Ask) { a.queued = append(a.queued, ask) }
+
+// RemovePending drops a satisfied or abandoned ask from the app's pending
+// list; removing an unknown ask is a no-op.
+func (a *App) RemovePending(ask *Ask) {
+	for i, x := range a.queued {
+		if x == ask {
+			a.queued = append(a.queued[:i], a.queued[i+1:]...)
+			return
+		}
+	}
+}
+
+// Alive reports whether the app can still receive containers.
+func (a *App) Alive() bool { return a.State != AppKilled && a.State != AppFinished }

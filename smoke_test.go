@@ -1,0 +1,43 @@
+package mrapid_test
+
+import (
+	"strings"
+	"testing"
+
+	"mrapid/internal/bench"
+)
+
+// TestRegistrySmoke checks every registered experiment is wired (ID, runner,
+// description) and that the cheapest one actually runs, so `go test ./...`
+// exercises the top-level harness without paying for a full sweep.
+func TestRegistrySmoke(t *testing.T) {
+	if len(bench.Registry) < 11 {
+		t.Fatalf("registry has %d experiments", len(bench.Registry))
+	}
+	seen := map[string]bool{}
+	for _, r := range bench.Registry {
+		if r.ID == "" || r.Run == nil || r.Short == "" {
+			t.Fatalf("registry entry %+v incomplete", r.ID)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment %q", r.ID)
+		}
+		seen[r.ID] = true
+		if _, ok := bench.Lookup(r.ID); !ok {
+			t.Fatalf("Lookup(%q) failed", r.ID)
+		}
+	}
+	fig, err := bench.TableII(bench.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := bench.Render(&b, fig); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"A1", "A2", "A3", "0.36"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("rendered Table II missing %q", want)
+		}
+	}
+}
