@@ -21,10 +21,11 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		scale = flag.Float64("scale", 1.0, "input-size scale factor (1.0 = paper sizes)")
-		seed  = flag.Int64("seed", 1, "input synthesis / placement seed")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale   = flag.Float64("scale", 1.0, "input-size scale factor (1.0 = paper sizes)")
+		seed    = flag.Int64("seed", 1, "input synthesis / placement seed")
+		workers = flag.Int("workers", -1, "host worker threads for map/reduce computations: 0|1 sequential, >1 pool size, -1 all cores (figures are identical either way)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 		}
 	}
 
-	opts := bench.Options{Scale: *scale, Seed: *seed}
+	opts := bench.Options{Scale: *scale, Seed: *seed, HostWorkers: *workers}
 	failures := 0
 	for _, r := range bench.Registry {
 		if len(selected) > 0 && !selected[r.ID] {

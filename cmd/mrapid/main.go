@@ -37,18 +37,19 @@ func main() {
 		samples = flag.Int64("samples", 400_000_000, "pi total samples")
 		maps    = flag.Int("maps", 4, "pi map tasks")
 		seed    = flag.Int64("seed", 1, "generator seed")
+		workers = flag.Int("workers", 0, "host worker threads for map/reduce computations: 0|1 sequential, >1 pool size, -1 all cores (virtual results are identical)")
 		verbose = flag.Bool("verbose", false, "print per-task profile")
 		traceN  = flag.Int("trace", 0, "print the last N scheduling/task trace events")
 	)
 	flag.Parse()
 
-	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *verbose, *traceN); err != nil {
+	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN); err != nil {
 		fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, verbose bool, traceN int) error {
+func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int) error {
 	var setup bench.ClusterSetup
 	switch cluster {
 	case "A3x4":
@@ -59,6 +60,7 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 		return fmt.Errorf("unknown cluster %q", cluster)
 	}
 	setup.Seed = seed
+	setup.HostWorkers = workers
 
 	var variant bench.Variant
 	speculative := false
@@ -83,6 +85,7 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 	if err != nil {
 		return err
 	}
+	defer env.Close()
 	var tlog *trace.Log
 	if traceN > 0 {
 		tlog = trace.New(env.Eng, traceN)

@@ -36,6 +36,12 @@ type ClusterSetup struct {
 	Racks    int
 	Params   costmodel.Params
 	Seed     int64
+
+	// HostWorkers opts the runtime into parallel host-side execution of
+	// the pure map/reduce computations (see mapreduce.Runtime.Workers):
+	// 0 or 1 is sequential, > 1 sizes the worker pool, < 0 uses
+	// GOMAXPROCS. Simulated results are identical either way.
+	HostWorkers int
 }
 
 // A3x4 is the paper's first testbed: 1 NameNode + 4 A3 DataNodes.
@@ -131,6 +137,7 @@ func NewEnv(setup ClusterSetup, v Variant) (*Env, error) {
 	rm.Start()
 	rt := mapreduce.NewRuntime(eng, cluster, dfs, rm, params)
 	rt.MapCache = sharedMapCache
+	rt.Workers = setup.HostWorkers
 	env := &Env{Eng: eng, Cluster: cluster, DFS: dfs, RM: rm, RT: rt}
 	if v.UseFramework {
 		fw := core.NewFramework(rt, v.PoolSize, v.UOpts)
@@ -145,6 +152,10 @@ func NewEnv(setup ClusterSetup, v Variant) (*Env, error) {
 	}
 	return env, nil
 }
+
+// Close releases host-side resources (the worker pool, when HostWorkers
+// enabled one). The simulated state is untouched.
+func (e *Env) Close() { e.RT.CloseWorkers() }
 
 // Run executes one job under the variant and returns the client-observed
 // result. The simulation is driven until the job completes.

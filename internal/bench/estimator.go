@@ -33,10 +33,12 @@ func EstimatorAccuracy(o Options) (*Figure, error) {
 		for _, v := range []Variant{VariantDPlus(), VariantUPlus()} {
 			setup := A3x4()
 			setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
+			setup.HostWorkers = o.HostWorkers
 			env, err := NewEnv(setup, v)
 			if err != nil {
 				return nil, err
 			}
+			defer env.Close()
 			names, err := workloads.GenerateWordCountInput(env.DFS, env.Cluster, "/in/wc", workloads.WordCountConfig{
 				Files: files, FileBytes: o.bytes(10 * mb), Seed: o.Seed,
 			})

@@ -20,6 +20,10 @@ type Options struct {
 	Scale float64
 	// Seed drives input synthesis and replica placement.
 	Seed int64
+	// HostWorkers enables parallel host-side execution of the pure
+	// map/reduce computations (see ClusterSetup.HostWorkers). Purely a
+	// wall-clock optimization; every figure's numbers are identical.
+	HostWorkers int
 }
 
 func (o Options) normalized() Options {
@@ -75,10 +79,12 @@ const mb = float64(1 << 20)
 // fresh simulation and returns the completion time in seconds.
 func runWordCount(setup ClusterSetup, v Variant, files int, fileBytes int64, o Options) (float64, error) {
 	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
+	setup.HostWorkers = o.HostWorkers
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return 0, err
 	}
+	defer env.Close()
 	names, err := workloads.GenerateWordCountInput(env.DFS, env.Cluster, "/in/wc", workloads.WordCountConfig{
 		Files: files, FileBytes: fileBytes, Seed: o.Seed,
 	})
@@ -96,10 +102,12 @@ func runWordCount(setup ClusterSetup, v Variant, files int, fileBytes int64, o O
 // runTeraSort executes one TeraSort configuration.
 func runTeraSort(setup ClusterSetup, v Variant, rows int64, files int, o Options) (float64, error) {
 	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
+	setup.HostWorkers = o.HostWorkers
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return 0, err
 	}
+	defer env.Close()
 	names, err := workloads.TeraGen(env.DFS, env.Cluster, "/in/ts", workloads.TeraGenConfig{
 		Rows: rows, Files: files, Seed: o.Seed,
 	})
@@ -122,10 +130,12 @@ func runTeraSort(setup ClusterSetup, v Variant, rows int64, files int, o Options
 
 // runPi executes one PI configuration.
 func runPi(setup ClusterSetup, v Variant, maps int, samples int64, o Options) (float64, error) {
+	setup.HostWorkers = o.HostWorkers
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return 0, err
 	}
+	defer env.Close()
 	names, err := workloads.GeneratePiInput(env.DFS, env.Cluster, "/in/pi", workloads.PiConfig{
 		Maps: maps, Samples: samples / int64(maps),
 	})

@@ -20,10 +20,12 @@ func SpeculationOverhead(o Options) (firstRun, historyRun float64, err error) {
 	v.UOpts = core.FullUPlus()
 	setup := A3x4()
 	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
+	setup.HostWorkers = o.HostWorkers
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer env.Close()
 	inputs, err := workloads.GenerateWordCountInput(env.DFS, env.Cluster, "/in/spec", workloads.WordCountConfig{
 		Files: 4, FileBytes: o.bytes(10 * mb), Seed: o.Seed,
 	})

@@ -81,7 +81,10 @@ func (f *Framework) SubmitSpeculative(spec *mapreduce.JobSpec, done func(*SpecRe
 	})
 }
 
-// race runs both modes and arbitrates (steps 3–6).
+// race runs both modes and arbitrates (steps 3–6). A mode that crashes
+// (e.g. a fault-injected task exhausting MaxTaskAttempts) drops out of the
+// race and the surviving mode wins by default; the job as a whole fails
+// only when no runnable mode remains.
 func (f *Framework) race(spec *mapreduce.JobSpec, done func(*SpecResult)) {
 	dSpec := *spec
 	dSpec.OutputFile = tempOutput(spec.OutputFile, ModeDPlus)
@@ -93,6 +96,8 @@ func (f *Framework) race(spec *mapreduce.JobSpec, done func(*SpecResult)) {
 	finished := false
 	var dHandle, uHandle *handle
 	var dSample, uSample *profiler.TaskProfile
+	crashed := map[ModeKind]bool{}
+	var firstErr error
 
 	finish := func(winner ModeKind, res *mapreduce.Result) {
 		if finished {
@@ -117,6 +122,51 @@ func (f *Framework) race(spec *mapreduce.JobSpec, done func(*SpecResult)) {
 		out.Winner = winner
 		f.recordOutcome(spec, winner, res)
 		done(out)
+	}
+
+	// handleOf returns the launch handle for a mode (once assigned).
+	handleOf := func(mode ModeKind) *handle {
+		if mode == ModeDPlus {
+			return dHandle
+		}
+		return uHandle
+	}
+
+	// dropOut removes a crashed mode from the race. If the other mode is
+	// still runnable it simply inherits the win; if it already crashed or
+	// was killed by the decision maker, nobody can produce output and the
+	// job fails with the first crash's error.
+	dropOut := func(mode ModeKind, res *mapreduce.Result) {
+		if finished {
+			return
+		}
+		crashed[mode] = true
+		if firstErr == nil {
+			firstErr = res.Err
+		}
+		// The estimator must not kill the sole survivor after this point.
+		decided = true
+		f.RT.DFS.DeletePrefix(tempOutput(spec.OutputFile, mode))
+		other := loserOf(mode)
+		otherH := handleOf(other)
+		if crashed[other] || (otherH != nil && otherH.killed) {
+			finished = true
+			f.RT.DFS.DeletePrefix(tempOutput(spec.OutputFile, other))
+			out.Result = &mapreduce.Result{Spec: spec, Err: firstErr}
+			done(out)
+		}
+	}
+
+	// modeDone routes a mode's completion: clean finishes arbitrate the
+	// race, crashes drop the mode out.
+	modeDone := func(mode ModeKind) func(*mapreduce.Result) {
+		return func(res *mapreduce.Result) {
+			if res.Err != nil {
+				dropOut(mode, res)
+				return
+			}
+			finish(mode, res)
+		}
 	}
 
 	// Step 5: once the profiler has a sample, estimate both modes and kill
@@ -163,17 +213,13 @@ func (f *Framework) race(spec *mapreduce.JobSpec, done func(*SpecResult)) {
 			dSample = tp
 			decide()
 		}
-	}, func(res *mapreduce.Result) {
-		finish(ModeDPlus, res)
-	})
+	}, modeDone(ModeDPlus))
 	uHandle = f.launchUPlus(&uSpec, func(tp *profiler.TaskProfile) {
 		if uSample == nil {
 			uSample = tp
 			decide()
 		}
-	}, func(res *mapreduce.Result) {
-		finish(ModeUPlus, res)
-	})
+	}, modeDone(ModeUPlus))
 }
 
 func loserOf(winner ModeKind) ModeKind {

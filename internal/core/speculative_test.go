@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"mrapid/internal/mapreduce"
@@ -166,6 +167,107 @@ func TestSpeculativeNeedsPool(t *testing.T) {
 		}
 	}()
 	f.SubmitSpeculative(testWCSpec([]string{"/x"}, "/out"), func(*SpecResult) {})
+}
+
+// failAllMapAttempts scripts every attempt of every map task to crash
+// almost immediately, for jobs whose output file the filter accepts.
+func failAllMapAttempts(rt *mapreduce.Runtime, splits, maxAttempts int, filter func(string) bool) {
+	fi := mapreduce.NewFaultInjector(1, 0, 0)
+	fi.JobFilter = filter
+	for idx := 0; idx < splits; idx++ {
+		for a := 0; a < maxAttempts; a++ {
+			fi.Fail("map", idx, a, 0.01)
+		}
+	}
+	rt.Faults = fi
+}
+
+// Regression for the speculative-race failure bug: a mode that crashes
+// (here U+, via fatal map faults exhausting MaxTaskAttempts) used to be
+// declared the race winner — killing the healthy D+, promoting a
+// nonexistent output, and failing the whole job. The crashed mode must
+// drop out and the survivor must win.
+func TestSpeculativeSurvivesOneModeCrash(t *testing.T) {
+	rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+	f := startFramework(t, rt, 3)
+	names, all := stageInput(t, rt, 4, 1<<20)
+	failAllMapAttempts(rt, 4, rt.Params.MaxTaskAttempts, func(out string) bool {
+		return strings.HasSuffix(out, ".__uplus")
+	})
+
+	res := runSpeculative(t, f, testWCSpec(names, "/out"))
+	if res.Result.Err != nil {
+		t.Fatalf("job failed despite a healthy D+ mode: %v", res.Result.Err)
+	}
+	if res.Winner != ModeDPlus {
+		t.Fatalf("winner = %v, want the surviving dplus", res.Winner)
+	}
+	if rt.Faults.Injected == 0 {
+		t.Fatal("no faults delivered; the test exercised nothing")
+	}
+	verifyWC(t, rt, "/out", all)
+	// The crashed mode's temp output is cleaned up.
+	for _, name := range rt.DFS.List() {
+		if strings.HasPrefix(name, "/out.__") {
+			t.Errorf("leftover temp file %s", name)
+		}
+	}
+	// Both AMs returned to the pool (the crashed one released on failure).
+	if f.Pool.Idle() != 3 {
+		t.Fatalf("pool idle = %d, want 3", f.Pool.Idle())
+	}
+	// The survivor's win is recorded for future pre-decisions.
+	if w, ok := f.History.Winner("wordcount"); !ok || w != ModeDPlus {
+		t.Fatalf("history winner = %v/%v", w, ok)
+	}
+}
+
+// Mirror case: D+ crashes, U+ survives and wins.
+func TestSpeculativeSurvivesDPlusCrash(t *testing.T) {
+	rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+	f := startFramework(t, rt, 3)
+	names, all := stageInput(t, rt, 4, 1<<20)
+	failAllMapAttempts(rt, 4, rt.Params.MaxTaskAttempts, func(out string) bool {
+		return strings.HasSuffix(out, ".__dplus")
+	})
+
+	res := runSpeculative(t, f, testWCSpec(names, "/out"))
+	if res.Result.Err != nil {
+		t.Fatalf("job failed despite a healthy U+ mode: %v", res.Result.Err)
+	}
+	if res.Winner != ModeUPlus {
+		t.Fatalf("winner = %v, want the surviving uplus", res.Winner)
+	}
+	verifyWC(t, rt, "/out", all)
+	if f.Pool.Idle() != 3 {
+		t.Fatalf("pool idle = %d, want 3", f.Pool.Idle())
+	}
+}
+
+// Only when both modes crash does the speculative job fail as a whole —
+// with the underlying task error, clean temp state, and a free pool.
+func TestSpeculativeBothModesCrashFailsJob(t *testing.T) {
+	rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+	f := startFramework(t, rt, 3)
+	names, _ := stageInput(t, rt, 4, 512<<10)
+	failAllMapAttempts(rt, 4, rt.Params.MaxTaskAttempts, nil) // both modes
+
+	res := runSpeculative(t, f, testWCSpec(names, "/out"))
+	if res.Result.Err == nil {
+		t.Fatal("job succeeded with every mode crashed")
+	}
+	for _, name := range rt.DFS.List() {
+		if strings.HasPrefix(name, "/out") {
+			t.Errorf("output or temp file %s exists after total failure", name)
+		}
+	}
+	if f.Pool.Idle() != 3 {
+		t.Fatalf("pool idle = %d, want 3", f.Pool.Idle())
+	}
+	// A failed run must not poison the history with a phantom winner.
+	if _, ok := f.History.Winner("wordcount"); ok {
+		t.Fatal("failed job recorded a history winner")
+	}
 }
 
 func TestSpeculativeOutputMatchesSingleMode(t *testing.T) {

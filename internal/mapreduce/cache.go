@@ -3,23 +3,43 @@ package mapreduce
 import (
 	"fmt"
 	"hash/fnv"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
 )
 
 // MapCache memoizes pure ExecMap results across simulations. The benchmark
 // harness compares four execution modes over byte-identical inputs; the map
 // function's real output is the same every time, only the virtual-clock
 // charges differ, so recomputing it per mode is pure host-CPU waste. The
-// cache is keyed by the job identity plus a fingerprint of the actual split
-// bytes, and it never affects simulated timing: ExecMap is instantaneous on
-// the virtual clock whether it hits or misses.
+// cache is keyed by the job identity plus a hash of the full split content,
+// and it never affects simulated timing: ExecMap is instantaneous on the
+// virtual clock whether it hits or misses.
+//
+// MapCache is safe for concurrent use: entries live in sharded,
+// mutex-protected maps so worker-pool goroutines (Runtime.Workers > 1) and
+// the engine goroutine can hit it simultaneously, and a single
+// mutex-protected FIFO ledger enforces the global byte budget on the rarer
+// store path.
 type MapCache struct {
-	limit   int64
-	used    int64
-	entries map[string]*cachedExec
-	order   []string // FIFO eviction
+	shards [cacheShardCount]cacheShard
 
-	Hits   int64
-	Misses int64
+	// mu guards the eviction ledger: insertion order and retained bytes.
+	mu    sync.Mutex
+	limit int64
+	used  int64
+	order []string // FIFO eviction
+	count int64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+const cacheShardCount = 16
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cachedExec
 }
 
 type cachedExec struct {
@@ -36,87 +56,122 @@ func NewMapCache(limitBytes int64) *MapCache {
 	if limitBytes <= 0 {
 		panic("mapreduce: MapCache needs a positive limit")
 	}
-	return &MapCache{limit: limitBytes, entries: make(map[string]*cachedExec)}
+	c := &MapCache{limit: limitBytes}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cachedExec)
+	}
+	return c
 }
 
 // key builds the cache key: job identity, split coordinates, partitioning
-// configuration, and a content fingerprint guarding against two generators
+// configuration, and the full-content hash guarding against two generators
 // producing different bytes under the same names.
 func (c *MapCache) key(spec *JobSpec, file string, offset int64, data []byte) string {
 	return fmt.Sprintf("%s|%s|%d|%d|%d|%t|%x",
 		spec.Key(), file, offset, len(data), spec.NumReduces, spec.Combine != nil, fingerprint(data))
 }
 
-// fingerprint hashes the length plus three sampled windows — cheap on
-// multi-megabyte splits yet specific enough for deterministic generators.
+// fingerprintSeed is fixed per process; the cache never outlives it.
+var fingerprintSeed = maphash.MakeSeed()
+
+// fingerprint hashes the entire split content. An earlier version sampled
+// three 4 KiB windows, which let two same-length splits differing only
+// outside the windows collide — a silent wrong-output bug on a cache hit.
+// Hashing everything (maphash runs at memory speed) is still far cheaper
+// than re-running the map function.
 func fingerprint(data []byte) uint64 {
-	h := fnv.New64a()
-	var lenBuf [8]byte
-	n := len(data)
-	for i := 0; i < 8; i++ {
-		lenBuf[i] = byte(n >> (8 * i))
-	}
-	h.Write(lenBuf[:])
-	const window = 4 << 10
-	for _, start := range []int{0, n/2 - window/2, n - window} {
-		if start < 0 {
-			start = 0
-		}
-		end := start + window
-		if end > n {
-			end = n
-		}
-		h.Write(data[start:end])
-	}
-	return h.Sum64()
+	return maphash.Bytes(fingerprintSeed, data)
+}
+
+// shardFor picks the shard holding a key.
+func (c *MapCache) shardFor(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShardCount]
 }
 
 // lookup returns a previously computed result for identical input, if any.
+// The returned MapOutput gets its own PartBytes slice — callers treat it as
+// their own — while the (immutable once stored) partition data is shared.
 func (c *MapCache) lookup(spec *JobSpec, file string, offset int64, data []byte) (*MapOutput, bool) {
-	e, ok := c.entries[c.key(spec, file, offset, data)]
+	k := c.key(spec, file, offset, data)
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	s.mu.Unlock()
 	if !ok {
-		c.Misses++
+		c.misses.Add(1)
 		return nil, false
 	}
-	c.Hits++
+	c.hits.Add(1)
 	return &MapOutput{
 		Partitions: e.partitions,
-		PartBytes:  e.partBytes,
+		PartBytes:  append([]int64(nil), e.partBytes...),
 		TotalBytes: e.totalBytes,
 		Records:    e.records,
 	}, true
 }
 
 // store saves a computed result, evicting oldest entries past the budget.
+// Concurrent stores of the same key keep the first; the cache never holds
+// two entries for one key.
 func (c *MapCache) store(spec *JobSpec, file string, offset int64, data []byte, mo *MapOutput) {
 	k := c.key(spec, file, offset, data)
-	if _, exists := c.entries[k]; exists {
-		return
-	}
 	// Pairs alias the input data, so the whole split stays alive.
 	retained := int64(len(data)) + mo.TotalBytes + 48*mo.Records
 	e := &cachedExec{
 		partitions: mo.Partitions,
-		partBytes:  mo.PartBytes,
+		partBytes:  append([]int64(nil), mo.PartBytes...),
 		totalBytes: mo.TotalBytes,
 		records:    mo.Records,
 		retained:   retained,
 	}
-	c.entries[k] = e
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if _, exists := s.entries[k]; exists {
+		s.mu.Unlock()
+		return
+	}
+	s.entries[k] = e
+	s.mu.Unlock()
+
+	c.mu.Lock()
 	c.order = append(c.order, k)
 	c.used += retained
+	c.count++
+	// Evict down to the budget, always keeping at least one entry so
+	// oversized splits still memoize.
 	for c.used > c.limit && len(c.order) > 1 {
 		victim := c.order[0]
 		c.order = c.order[1:]
-		if v, ok := c.entries[victim]; ok {
+		vs := c.shardFor(victim)
+		vs.mu.Lock()
+		if v, ok := vs.entries[victim]; ok {
 			c.used -= v.retained
-			delete(c.entries, victim)
+			c.count--
+			delete(vs.entries, victim)
 		}
+		vs.mu.Unlock()
 	}
+	c.mu.Unlock()
 }
 
 // Len reports the number of cached map results.
-func (c *MapCache) Len() int { return len(c.entries) }
+func (c *MapCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int(c.count)
+}
 
 // Used reports the approximate retained host bytes.
-func (c *MapCache) Used() int64 { return c.used }
+func (c *MapCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Hits reports how many lookups found an entry.
+func (c *MapCache) Hits() int64 { return c.hits.Load() }
+
+// Misses reports how many lookups came up empty.
+func (c *MapCache) Misses() int64 { return c.misses.Load() }

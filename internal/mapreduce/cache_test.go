@@ -2,6 +2,8 @@ package mapreduce
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
 
 	"mrapid/internal/profiler"
@@ -31,8 +33,8 @@ func TestMapCacheHitReturnsEqualResult(t *testing.T) {
 	if len(hit.Partitions[0]) != len(fresh.Partitions[0]) {
 		t.Fatal("cached partitions differ")
 	}
-	if c.Hits != 1 || c.Misses != 1 {
-		t.Fatalf("counters = %d/%d", c.Hits, c.Misses)
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("counters = %d/%d", c.Hits(), c.Misses())
 	}
 }
 
@@ -69,12 +71,63 @@ func TestMapCacheKeyDiscriminates(t *testing.T) {
 	}
 }
 
+// Regression: the old fingerprint sampled three 4 KiB windows, so two
+// same-length splits differing only outside the windows collided and a
+// cache hit silently returned the wrong job's output.
+func TestMapCacheSameLengthDifferentContentNoCollision(t *testing.T) {
+	spec := wcSpec([]string{"/in"}, "/out")
+	a := bytes.Repeat([]byte("the quick brown fox jumps over the dog\n"), 8000) // ~300 KB
+	b := append([]byte(nil), a...)
+	// Mutate a region far from the start, middle, and end windows the old
+	// fingerprint sampled.
+	copy(b[80_000:], []byte("CORRUPTED RECORD"))
+	if len(a) != len(b) {
+		t.Fatal("test needs equal lengths")
+	}
+	if fingerprint(a) == fingerprint(b) {
+		t.Fatal("same-length different-content splits share a fingerprint")
+	}
+	c := NewMapCache(1 << 30)
+	c.store(spec, "/in", 0, a, ExecMap(spec, a))
+	if _, ok := c.lookup(spec, "/in", 0, b); ok {
+		t.Fatal("cache hit for different content: wrong job output would be returned")
+	}
+	mb := ExecMap(spec, b)
+	c.store(spec, "/in", 0, b, mb)
+	hit, ok := c.lookup(spec, "/in", 0, b)
+	if !ok {
+		t.Fatal("no hit for b after storing b")
+	}
+	if hit.Records != mb.Records || hit.TotalBytes != mb.TotalBytes {
+		t.Fatal("hit returned a different split's result")
+	}
+}
+
+// lookup must hand out a private PartBytes slice: callers own the returned
+// MapOutput, and a shared slice would let one job's mutation corrupt every
+// later hit.
+func TestMapCacheLookupCopiesPartBytes(t *testing.T) {
+	spec := wcSpec([]string{"/in"}, "/out")
+	data := bytes.Repeat([]byte("isolated part bytes\n"), 1000)
+	c := NewMapCache(1 << 30)
+	c.store(spec, "/in", 0, data, ExecMap(spec, data))
+	first, _ := c.lookup(spec, "/in", 0, data)
+	first.PartBytes[0] = -1
+	second, ok := c.lookup(spec, "/in", 0, data)
+	if !ok {
+		t.Fatal("no hit")
+	}
+	if second.PartBytes[0] == -1 {
+		t.Fatal("cached PartBytes shared with a returned MapOutput")
+	}
+}
+
 func TestMapCacheEvictsFIFO(t *testing.T) {
 	spec := wcSpec([]string{"/in"}, "/out")
 	mk := func(tag byte) []byte {
 		return bytes.Repeat([]byte{tag, ' ', tag, '\n'}, 30_000) // ~120 KB
 	}
-	c := NewMapCache(600 << 10) // fits ~2 entries (each retains ~data+pairs)
+	c := NewMapCache(600 << 10) // far under one entry's retained bytes
 	for i := 0; i < 5; i++ {
 		data := mk(byte('a' + i))
 		c.store(spec, "/in", int64(i), data, ExecMap(spec, data))
@@ -89,6 +142,59 @@ func TestMapCacheEvictsFIFO(t *testing.T) {
 	newest := mk(byte('a' + 4))
 	if _, ok := c.lookup(spec, "/in", 4, newest); !ok {
 		t.Fatal("newest entry evicted")
+	}
+	// Evicted entries are gone.
+	if _, ok := c.lookup(spec, "/in", 0, mk('a')); ok {
+		t.Fatal("oldest entry still cached")
+	}
+}
+
+// Concurrent stress: many goroutines hammer lookup/store over overlapping
+// keys. Run under -race this proves the sharded locking is sound; the
+// assertions prove no entry is ever corrupted.
+func TestMapCacheConcurrentStress(t *testing.T) {
+	spec := wcSpec([]string{"/in"}, "/out")
+	const splits = 8
+	datas := make([][]byte, splits)
+	want := make([]*MapOutput, splits)
+	for i := range datas {
+		datas[i] = bytes.Repeat([]byte(fmt.Sprintf("split %d words here\n", i)), 500+100*i)
+		want[i] = ExecMap(spec, datas[i])
+	}
+	c := NewMapCache(1 << 30)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				i := (g + iter) % splits
+				mo, ok := c.lookup(spec, "/in", int64(i), datas[i])
+				if !ok {
+					mo = ExecMap(spec, datas[i])
+					c.store(spec, "/in", int64(i), datas[i], mo)
+				}
+				if mo.Records != want[i].Records || mo.TotalBytes != want[i].TotalBytes {
+					t.Errorf("split %d: got %d/%d records/bytes, want %d/%d",
+						i, mo.Records, mo.TotalBytes, want[i].Records, want[i].TotalBytes)
+					return
+				}
+				mo.PartBytes[0] = -7 // must never leak into the cache
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range datas {
+		mo, ok := c.lookup(spec, "/in", int64(i), datas[i])
+		if !ok {
+			t.Fatalf("split %d missing after stress", i)
+		}
+		if mo.PartBytes[0] != want[i].PartBytes[0] {
+			t.Fatalf("split %d PartBytes corrupted: %d", i, mo.PartBytes[0])
+		}
+	}
+	if c.Hits()+c.Misses() != 16*50+int64(splits) {
+		t.Fatalf("counter total = %d, want %d", c.Hits()+c.Misses(), 16*50+splits)
 	}
 }
 
@@ -127,8 +233,8 @@ func TestMapCacheNeverChangesSimulatedTiming(t *testing.T) {
 	if o1 != o2 || o2 != o3 {
 		t.Fatalf("outputs differ: %d / %d / %d", o1, o2, o3)
 	}
-	if cache.Hits != 1 {
-		t.Fatalf("Hits = %d", cache.Hits)
+	if cache.Hits() != 1 {
+		t.Fatalf("Hits = %d", cache.Hits())
 	}
 }
 
@@ -139,9 +245,16 @@ func TestFingerprintSensitivity(t *testing.T) {
 		t.Fatal("length change not detected")
 	}
 	c := append([]byte{}, a...)
-	c[50_000] = 'z' // middle window
+	c[50_000] = 'z'
 	if fingerprint(a) == fingerprint(c) {
 		t.Fatal("middle mutation not detected")
+	}
+	// Mutations anywhere must be detected now that the full content is
+	// hashed (the old sampled windows missed this position).
+	d := append([]byte{}, a...)
+	d[30_000] = 'z'
+	if fingerprint(a) == fingerprint(d) {
+		t.Fatal("off-window mutation not detected")
 	}
 	if fingerprint(a) != fingerprint(append([]byte{}, a...)) {
 		t.Fatal("identical content fingerprints differ")

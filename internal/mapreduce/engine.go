@@ -36,6 +36,37 @@ type Runtime struct {
 
 	// Trace, when non-nil, records task lifecycle events.
 	Trace *trace.Log
+
+	// Workers opts into parallel host-side execution of the pure map and
+	// reduce computations: 0 or 1 keeps the fully sequential path, a value
+	// > 1 sizes a bounded worker pool of real OS threads, and a negative
+	// value asks for DefaultWorkers (GOMAXPROCS). The virtual timeline is
+	// byte-for-byte identical across all settings — the pool changes host
+	// wall-clock time only. Set before the first task runs.
+	Workers int
+
+	pool *WorkerPool
+}
+
+// workerPool lazily builds the pool selected by Workers. Called only from
+// the engine goroutine, like every other Runtime method.
+func (rt *Runtime) workerPool() *WorkerPool {
+	if rt.Workers >= 0 && rt.Workers <= 1 {
+		return nil
+	}
+	if rt.pool == nil {
+		rt.pool = NewWorkerPool(rt.Workers) // Workers < 0 → DefaultWorkers
+	}
+	return rt.pool
+}
+
+// CloseWorkers shuts the worker pool down (a no-op when none was started).
+// Call it when a Runtime with Workers > 1 is discarded.
+func (rt *Runtime) CloseWorkers() {
+	if rt.pool != nil {
+		rt.pool.Close()
+		rt.pool = nil
+	}
 }
 
 // NewRuntime wires a runtime together.
@@ -216,7 +247,7 @@ func spillCount(n, sortBuf int64) int {
 	if c < 1 {
 		c = 1
 	}
-	return 1 * c
+	return c
 }
 
 // MapTaskOptions control how a map task charges its output I/O.
@@ -266,7 +297,7 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 		}
 		tp.ReadDur = rt.Eng.Now().Sub(readStart)
 		tp.InputBytes = int64(len(data))
-		if fail, point := rt.Faults.MapAttempt(split.Index, opts.Attempt); fail {
+		if fail, point := rt.Faults.MapAttemptFor(spec.OutputFile, split.Index, opts.Attempt); fail {
 			// The attempt crashes partway through its compute phase: charge
 			// the core for the work done before the death, then surface the
 			// failure for the AM to reschedule.
@@ -285,42 +316,60 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 			})
 			return
 		}
+		// Dispatch the pure map computation as soon as the bytes are known:
+		// on the worker pool it overlaps with other tasks (and with the
+		// engine itself); on the sequential path Async runs it inline here.
+		// Either way the virtual timeline below is identical.
+		fut := Async(rt.workerPool(), func() *MapOutput {
+			return rt.execMapCached(spec, split, data)
+		})
 		node.Cores.Acquire(1, func() {
-			var mo *MapOutput
-			if rt.MapCache != nil {
-				if hit, ok := rt.MapCache.lookup(spec, split.File, split.Offset, data); ok {
-					mo = hit
-				}
-			}
-			if mo == nil {
-				mo = ExecMapFile(spec, split.File, data)
-				if rt.MapCache != nil {
-					rt.MapCache.store(spec, split.File, split.Offset, data, mo)
-				}
-			}
-			mo.Split = split
-			mo.Node = node
-			mo.InMemory = opts.keepInMemory(mo.TotalBytes)
-			tp.Records = mo.Records
-			tp.OutputBytes = mo.TotalBytes
-
+			// Charge the map function first — its cost depends only on the
+			// input size — and await the real result when the output-sized
+			// sort charge needs it. The await point is a fixed event on the
+			// virtual timeline, so parallelism never reorders anything.
 			compute := spec.MapComputeTime(split, int64(len(data)), node)
-			// Sorting/serializing the output buffer is CPU charged with the
-			// map function.
-			compute += time.Duration(float64(mo.TotalBytes) / (rt.Params.SortCPUBytesPerSec * node.Type.CPUSpeed) * float64(time.Second))
 			computeStart := rt.Eng.Now()
 			rt.Eng.After(compute, func() {
-				tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
-				node.Cores.Release(1)
-				rt.spillPhase(mo, node, opts, tp, func() {
-					tp.Ended = rt.Eng.Now()
-					rt.Trace.Add("task", "map %d attempt %d done on %s (in=%d out=%d mem=%v)",
-						split.Index, opts.Attempt, node.Name, tp.InputBytes, tp.OutputBytes, mo.InMemory)
-					done(mo, tp, nil)
+				mo := fut.Wait()
+				mo.Split = split
+				mo.Node = node
+				mo.InMemory = opts.keepInMemory(mo.TotalBytes)
+				tp.Records = mo.Records
+				tp.OutputBytes = mo.TotalBytes
+				// Sorting/serializing the output buffer is CPU charged with
+				// the map function.
+				sort := time.Duration(float64(mo.TotalBytes) / (rt.Params.SortCPUBytesPerSec * node.Type.CPUSpeed) * float64(time.Second))
+				rt.Eng.After(sort, func() {
+					tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
+					node.Cores.Release(1)
+					rt.spillPhase(mo, node, opts, tp, func() {
+						tp.Ended = rt.Eng.Now()
+						rt.Trace.Add("task", "map %d attempt %d done on %s (in=%d out=%d mem=%v)",
+							split.Index, opts.Attempt, node.Name, tp.InputBytes, tp.OutputBytes, mo.InMemory)
+						done(mo, tp, nil)
+					})
 				})
 			})
 		})
 	})
+}
+
+// execMapCached runs ExecMapFile through the MapCache. It is called from
+// worker-pool goroutines, possibly concurrently for the same key (e.g. the
+// two speculative modes mapping the same split); the cache's sharded locks
+// make that safe, and the duplicate store deduplicates.
+func (rt *Runtime) execMapCached(spec *JobSpec, split *hdfs.Split, data []byte) *MapOutput {
+	if rt.MapCache != nil {
+		if hit, ok := rt.MapCache.lookup(spec, split.File, split.Offset, data); ok {
+			return hit
+		}
+	}
+	mo := ExecMapFile(spec, split.File, data)
+	if rt.MapCache != nil {
+		rt.MapCache.store(spec, split.File, split.Offset, data, mo)
+	}
+	return mo
 }
 
 // spillPhase charges the spill and merge sub-phases of Eq. 1: the spill
@@ -445,7 +494,7 @@ func (rt *Runtime) RunReducePhase(spec *JobSpec, part, attempt int, outputs []*M
 		in += mo.PartBytes[part]
 	}
 	tp.InputBytes = in
-	if fail, point := rt.Faults.ReduceAttempt(part, attempt); fail {
+	if fail, point := rt.Faults.ReduceAttemptFor(spec.OutputFile, part, attempt); fail {
 		node.Cores.Acquire(1, func() {
 			partial := time.Duration(float64(spec.ReduceComputeTime(in, node)) * point)
 			computeStart := rt.Eng.Now()
@@ -460,21 +509,29 @@ func (rt *Runtime) RunReducePhase(spec *JobSpec, part, attempt int, outputs []*M
 		})
 		return
 	}
-	node.Cores.Acquire(1, func() {
+	// The reduce computation is pure over already-materialized map outputs;
+	// dispatch it now and await the encoded bytes only at the write point.
+	type reduced struct {
+		encoded []byte
+		records int64
+	}
+	fut := Async(rt.workerPool(), func() reduced {
 		result := ExecReduce(spec, part, outputs)
-		encoded := EncodePairs(result)
-		tp.OutputBytes = int64(len(encoded))
-		tp.Records = int64(len(result))
-
+		return reduced{encoded: EncodePairs(result), records: int64(len(result))}
+	})
+	node.Cores.Acquire(1, func() {
 		compute := spec.ReduceComputeTime(in, node)
 		// Merge-sort CPU over the shuffled bytes.
 		compute += time.Duration(float64(in) / (rt.Params.SortCPUBytesPerSec * node.Type.CPUSpeed) * float64(time.Second))
 		computeStart := rt.Eng.Now()
 		rt.Eng.After(compute, func() {
+			r := fut.Wait()
+			tp.OutputBytes = int64(len(r.encoded))
+			tp.Records = r.records
 			tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
 			node.Cores.Release(1)
 			writeStart := rt.Eng.Now()
-			rt.DFS.Write(PartFileName(spec.OutputFile, part), encoded, node, func(_ *hdfs.File, err error) {
+			rt.DFS.Write(PartFileName(spec.OutputFile, part), r.encoded, node, func(_ *hdfs.File, err error) {
 				tp.SpillDur = rt.Eng.Now().Sub(writeStart)
 				tp.Ended = rt.Eng.Now()
 				rt.Trace.Add("task", "reduce %d attempt %d done on %s (in=%d out=%d)",

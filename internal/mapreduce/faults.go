@@ -37,6 +37,12 @@ type FaultInjector struct {
 	// regardless of event interleaving.
 	decisions map[string]faultDecision
 
+	// JobFilter, when non-nil, restricts injection to executions whose
+	// output file it accepts. Speculative execution gives each racing mode
+	// a distinct temporary output prefix, so a filter on the output file
+	// can crash exactly one mode of a race.
+	JobFilter func(outputFile string) bool
+
 	// Injected counts failures actually delivered.
 	Injected int64
 }
@@ -92,6 +98,38 @@ func (fi *FaultInjector) ReduceAttempt(index, attempt int) (fail bool, point flo
 	}
 	d := fi.decide("reduce", index, attempt, fi.ReduceFailProb)
 	return d.fail, d.point
+}
+
+// Fail scripts a specific attempt to fail at the given compute fraction,
+// overriding the probabilistic draw. kind is "map" or "reduce". Tests use
+// it for deterministic failure scenarios.
+func (fi *FaultInjector) Fail(kind string, index, attempt int, point float64) {
+	if point < 0 || point >= 1 {
+		panic("mapreduce: failure point must be within [0,1)")
+	}
+	fi.decisions[fmt.Sprintf("%s/%d/%d", kind, index, attempt)] = faultDecision{fail: true, point: point}
+}
+
+// accepts applies the optional JobFilter to an execution's output file.
+func (fi *FaultInjector) accepts(outputFile string) bool {
+	return fi.JobFilter == nil || fi.JobFilter(outputFile)
+}
+
+// MapAttemptFor is MapAttempt gated by the JobFilter (the task runtime's
+// entry point; it passes the executing job's output file).
+func (fi *FaultInjector) MapAttemptFor(outputFile string, index, attempt int) (fail bool, point float64) {
+	if fi == nil || !fi.accepts(outputFile) {
+		return false, 0
+	}
+	return fi.MapAttempt(index, attempt)
+}
+
+// ReduceAttemptFor is ReduceAttempt gated by the JobFilter.
+func (fi *FaultInjector) ReduceAttemptFor(outputFile string, index, attempt int) (fail bool, point float64) {
+	if fi == nil || !fi.accepts(outputFile) {
+		return false, 0
+	}
+	return fi.ReduceAttempt(index, attempt)
 }
 
 // FailNow records a delivered failure (called by the task runtime).

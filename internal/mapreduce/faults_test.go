@@ -103,6 +103,51 @@ func TestInjectorValidation(t *testing.T) {
 	NewFaultInjector(1, 1.5, 0)
 }
 
+func TestFailScriptsAttempts(t *testing.T) {
+	fi := NewFaultInjector(1, 0, 0) // zero probability: only scripts fail
+	fi.Fail("map", 3, 1, 0.25)
+	if fail, _ := fi.MapAttempt(3, 0); fail {
+		t.Fatal("unscripted attempt failed")
+	}
+	fail, point := fi.MapAttempt(3, 1)
+	if !fail || point != 0.25 {
+		t.Fatalf("scripted attempt = %v/%v, want true/0.25", fail, point)
+	}
+	if fail, _ := fi.ReduceAttempt(3, 1); fail {
+		t.Fatal("script leaked across task kinds")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fail accepted point=1 (task would complete before dying)")
+		}
+	}()
+	fi.Fail("map", 0, 0, 1)
+}
+
+func TestJobFilterScopesInjection(t *testing.T) {
+	fi := NewFaultInjector(1, 0, 0)
+	fi.Fail("map", 0, 0, 0.5)
+	fi.JobFilter = func(out string) bool { return out == "/out.__uplus" }
+	if fail, _ := fi.MapAttemptFor("/out.__dplus", 0, 0); fail {
+		t.Fatal("filtered-out job was injected")
+	}
+	if fail, _ := fi.MapAttemptFor("/out.__uplus", 0, 0); !fail {
+		t.Fatal("accepted job was not injected")
+	}
+	if fail, _ := fi.ReduceAttemptFor("/out.__dplus", 0, 0); fail {
+		t.Fatal("filtered-out reduce was injected")
+	}
+	// Nil receiver and nil filter stay safe.
+	var nilFI *FaultInjector
+	if fail, _ := nilFI.MapAttemptFor("/out", 0, 0); fail {
+		t.Fatal("nil injector failed an attempt")
+	}
+	fi.JobFilter = nil
+	if fail, _ := fi.MapAttemptFor("/anything", 0, 0); !fail {
+		t.Fatal("nil filter should accept every job")
+	}
+}
+
 // distributedJobWithFaults runs a small distributed WordCount with the
 // given injector and returns the result plus the profile.
 func distributedJobWithFaults(t *testing.T, fi *FaultInjector) *Result {

@@ -1,0 +1,111 @@
+package mapreduce
+
+import "runtime"
+
+// DefaultWorkers returns the pool size used when a caller asks for "all
+// cores": the process's GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Host-side parallel execution layer.
+//
+// The discrete-event engine is strictly single-threaded: every virtual-time
+// charge and every completion callback fires on the one goroutine driving
+// sim.Engine. The *pure* computations embedded in the simulation, however —
+// ExecMapFile scans/sorts, ExecReduce merges — have no effect on virtual
+// time beyond their already-known cost-model charges, so they can run on
+// real OS threads while the engine keeps processing other events.
+//
+// The pattern is dispatch-early / await-late: a task's computation is
+// submitted to the WorkerPool the moment its input bytes are known (a point
+// in virtual time), and the engine blocks on the Future only at the later
+// virtual instant where the result feeds back into the simulation (output
+// sizes for the sort charge, encoded bytes for the HDFS write). Because the
+// await happens at exactly the event where the sequential path ran the
+// computation inline, the event order, every virtual timestamp, and every
+// output byte are identical whether zero, one, or N workers execute the
+// closures — only host wall-clock time changes.
+type WorkerPool struct {
+	jobs      chan func()
+	size      int
+	closeOnce chan struct{} // closed exactly once by Close
+}
+
+// NewWorkerPool starts size worker goroutines; size <= 0 means
+// DefaultWorkers (GOMAXPROCS).
+func NewWorkerPool(size int) *WorkerPool {
+	if size <= 0 {
+		size = DefaultWorkers()
+	}
+	p := &WorkerPool{
+		jobs:      make(chan func(), 4*size),
+		size:      size,
+		closeOnce: make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		go func() {
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Size reports the number of worker goroutines.
+func (p *WorkerPool) Size() int { return p.size }
+
+// Submit enqueues f for execution; it blocks when the bounded queue is
+// full, providing natural backpressure on the dispatching engine thread.
+func (p *WorkerPool) Submit(f func()) { p.jobs <- f }
+
+// Close stops the workers after queued work drains. Futures already
+// submitted still resolve; Submit after Close panics.
+func (p *WorkerPool) Close() {
+	select {
+	case <-p.closeOnce:
+		return
+	default:
+		close(p.closeOnce)
+		close(p.jobs)
+	}
+}
+
+// Future is the pending result of a computation dispatched with Async.
+type Future[T any] struct {
+	done chan struct{}
+	val  T
+}
+
+// Wait blocks until the computation finishes and returns its result. It is
+// safe to call from any goroutine and more than once.
+func (f *Future[T]) Wait() T {
+	<-f.done
+	return f.val
+}
+
+// Resolved reports whether Wait would return without blocking.
+func (f *Future[T]) Resolved() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Async runs fn on the pool and returns its Future. A nil pool runs fn
+// inline before returning — the sequential path — so call sites need no
+// branching between modes.
+func Async[T any](p *WorkerPool, fn func() T) *Future[T] {
+	f := &Future[T]{done: make(chan struct{})}
+	if p == nil {
+		f.val = fn()
+		close(f.done)
+		return f
+	}
+	p.Submit(func() {
+		f.val = fn()
+		close(f.done)
+	})
+	return f
+}
