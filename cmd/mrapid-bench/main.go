@@ -17,15 +17,17 @@ import (
 	"time"
 
 	"mrapid/internal/bench"
+	"mrapid/internal/mapreduce"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		scale   = flag.Float64("scale", 1.0, "input-size scale factor (1.0 = paper sizes)")
-		seed    = flag.Int64("seed", 1, "input synthesis / placement seed")
-		workers = flag.Int("workers", -1, "host worker threads for map/reduce computations: 0|1 sequential, >1 pool size, -1 all cores (figures are identical either way)")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		run      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale    = flag.Float64("scale", 1.0, "input-size scale factor (1.0 = paper sizes)")
+		seed     = flag.Int64("seed", 1, "input synthesis / placement seed")
+		workers  = flag.Int("workers", -1, "host worker threads for map/reduce computations: 0|1 sequential, >1 pool size, -1 all cores (figures are identical either way)")
+		nodeFail = flag.String("node-fail", "", "node-fault schedule 'node@at[:restartAfter]', comma-separated, injected into every simulation (times measured from cluster-ready)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -48,7 +50,13 @@ func main() {
 		}
 	}
 
-	opts := bench.Options{Scale: *scale, Seed: *seed, HostWorkers: *workers}
+	faults, err := mapreduce.ParseNodeFaults(*nodeFail)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrapid-bench: %v\n", err)
+		os.Exit(2)
+	}
+
+	opts := bench.Options{Scale: *scale, Seed: *seed, HostWorkers: *workers, NodeFaults: faults}
 	failures := 0
 	for _, r := range bench.Registry {
 		if len(selected) > 0 && !selected[r.ID] {

@@ -28,28 +28,29 @@ import (
 
 func main() {
 	var (
-		job     = flag.String("job", "wordcount", "workload: wordcount | terasort | pi")
-		mode    = flag.String("mode", "speculative", "mode: hadoop | uber | dplus | uplus | speculative")
-		cluster = flag.String("cluster", "A3x4", "cluster: A3x4 | A2x9")
-		files   = flag.Int("files", 4, "wordcount/terasort input files")
-		sizeMB  = flag.Float64("size-mb", 10, "wordcount file size in MB")
-		rows    = flag.Int64("rows", 400_000, "terasort rows")
-		samples = flag.Int64("samples", 400_000_000, "pi total samples")
-		maps    = flag.Int("maps", 4, "pi map tasks")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		workers = flag.Int("workers", 0, "host worker threads for map/reduce computations: 0|1 sequential, >1 pool size, -1 all cores (virtual results are identical)")
-		verbose = flag.Bool("verbose", false, "print per-task profile")
-		traceN  = flag.Int("trace", 0, "print the last N scheduling/task trace events")
+		job      = flag.String("job", "wordcount", "workload: wordcount | terasort | pi")
+		mode     = flag.String("mode", "speculative", "mode: hadoop | uber | dplus | uplus | speculative")
+		cluster  = flag.String("cluster", "A3x4", "cluster: A3x4 | A2x9")
+		files    = flag.Int("files", 4, "wordcount/terasort input files")
+		sizeMB   = flag.Float64("size-mb", 10, "wordcount file size in MB")
+		rows     = flag.Int64("rows", 400_000, "terasort rows")
+		samples  = flag.Int64("samples", 400_000_000, "pi total samples")
+		maps     = flag.Int("maps", 4, "pi map tasks")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		workers  = flag.Int("workers", 0, "host worker threads for map/reduce computations: 0|1 sequential, >1 pool size, -1 all cores (virtual results are identical)")
+		verbose  = flag.Bool("verbose", false, "print per-task profile")
+		traceN   = flag.Int("trace", 0, "print the last N scheduling/task trace events")
+		nodeFail = flag.String("node-fail", "", "node-fault schedule 'node@at[:restartAfter]', comma-separated (e.g. 'node-02@5s:20s'); times measured from cluster-ready")
 	)
 	flag.Parse()
 
-	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN); err != nil {
+	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN, *nodeFail); err != nil {
 		fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int) error {
+func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int, nodeFail string) error {
 	var setup bench.ClusterSetup
 	switch cluster {
 	case "A3x4":
@@ -61,6 +62,11 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 	}
 	setup.Seed = seed
 	setup.HostWorkers = workers
+	faults, err := mapreduce.ParseNodeFaults(nodeFail)
+	if err != nil {
+		return err
+	}
+	setup.NodeFaults = faults
 
 	var variant bench.Variant
 	speculative := false

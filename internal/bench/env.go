@@ -42,6 +42,11 @@ type ClusterSetup struct {
 	// 0 or 1 is sequential, > 1 sizes the worker pool, < 0 uses
 	// GOMAXPROCS. Simulated results are identical either way.
 	HostWorkers int
+
+	// NodeFaults scripts machine crashes for fault-tolerance runs. Crash
+	// times are measured from cluster-ready (after the AM pool is up, just
+	// before the job is submitted).
+	NodeFaults []mapreduce.NodeFault
 }
 
 // A3x4 is the paper's first testbed: 1 NameNode + 4 A3 DataNodes.
@@ -149,6 +154,11 @@ func NewEnv(setup ClusterSetup, v Variant) (*Env, error) {
 			return nil, fmt.Errorf("bench: AM pool failed to start")
 		}
 		env.FW = fw
+	}
+	if len(setup.NodeFaults) > 0 {
+		if err := rt.ScheduleNodeFaults(setup.NodeFaults); err != nil {
+			return nil, err
+		}
 	}
 	return env, nil
 }

@@ -34,6 +34,7 @@ func EstimatorAccuracy(o Options) (*Figure, error) {
 			setup := A3x4()
 			setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
 			setup.HostWorkers = o.HostWorkers
+			setup.NodeFaults = o.NodeFaults
 			env, err := NewEnv(setup, v)
 			if err != nil {
 				return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mrapid/internal/core"
+	"mrapid/internal/mapreduce"
 	"mrapid/internal/topology"
 	"mrapid/internal/workloads"
 	"mrapid/internal/yarn"
@@ -24,6 +25,11 @@ type Options struct {
 	// map/reduce computations (see ClusterSetup.HostWorkers). Purely a
 	// wall-clock optimization; every figure's numbers are identical.
 	HostWorkers int
+	// NodeFaults scripts machine crashes into every simulation of the run
+	// (crash times measured from cluster-ready). The fault-tolerance
+	// machinery re-executes lost work, so figures still complete — slower,
+	// which is the point of running them this way.
+	NodeFaults []mapreduce.NodeFault
 }
 
 func (o Options) normalized() Options {
@@ -80,6 +86,7 @@ const mb = float64(1 << 20)
 func runWordCount(setup ClusterSetup, v Variant, files int, fileBytes int64, o Options) (float64, error) {
 	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
 	setup.HostWorkers = o.HostWorkers
+	setup.NodeFaults = o.NodeFaults
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return 0, err
@@ -103,6 +110,7 @@ func runWordCount(setup ClusterSetup, v Variant, files int, fileBytes int64, o O
 func runTeraSort(setup ClusterSetup, v Variant, rows int64, files int, o Options) (float64, error) {
 	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
 	setup.HostWorkers = o.HostWorkers
+	setup.NodeFaults = o.NodeFaults
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return 0, err
@@ -131,6 +139,7 @@ func runTeraSort(setup ClusterSetup, v Variant, rows int64, files int, o Options
 // runPi executes one PI configuration.
 func runPi(setup ClusterSetup, v Variant, maps int, samples int64, o Options) (float64, error) {
 	setup.HostWorkers = o.HostWorkers
+	setup.NodeFaults = o.NodeFaults
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mrapid/internal/costmodel"
+	"mrapid/internal/hdfs"
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/profiler"
+	"mrapid/internal/sim"
+	"mrapid/internal/topology"
+	"mrapid/internal/yarn"
+)
+
+// chaosRuntime is newRuntime with a caller-chosen placement seed, so the
+// chaos suite can repeat its scenarios across several deterministic worlds.
+func chaosRuntime(t testing.TB, seed int64) *mapreduce.Runtime {
+	t.Helper()
+	eng := sim.NewEngine()
+	cluster, err := topology.NewCluster(eng, topology.Spec{Instance: topology.A3, Workers: 4, Racks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := costmodel.Default()
+	dfs := hdfs.New(eng, cluster, params.HDFSBlockBytes, params.Replication, seed)
+	rm := yarn.NewRM(eng, cluster, params, NewDPlusScheduler(FullDPlus()))
+	rm.Start()
+	return mapreduce.NewRuntime(eng, cluster, dfs, rm, params)
+}
+
+// runChaosDPlus runs a pooled D+ WordCount with an optional node fault and
+// returns the result, the output bytes, and the framework. The RM keeps
+// heartbeating after job completion so pool replenishment can finish.
+func runChaosDPlus(t *testing.T, seed int64, faults []mapreduce.NodeFault) (*mapreduce.Result, []byte, *Framework) {
+	t.Helper()
+	rt := chaosRuntime(t, seed)
+	f := startFramework(t, rt, 3)
+	names, all := stageInput(t, rt, 4, 1<<20)
+	if len(faults) > 0 {
+		if err := rt.ScheduleNodeFaults(faults); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var res *mapreduce.Result
+	rt.Eng.After(0, func() {
+		f.SubmitDPlus(testWCSpec(names, "/out"), func(r *mapreduce.Result) { res = r })
+	})
+	rt.Eng.RunUntil(rt.Eng.Now().Add(600 * time.Second))
+	rt.RM.Stop()
+	if res == nil {
+		t.Fatal("job did not finish")
+	}
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+	verifyWC(t, rt, "/out", all)
+	out, err := rt.DFS.Contents(mapreduce.PartFileName("/out", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, out, f
+}
+
+// A mid-job machine crash must never change what the job computes: across
+// several placement seeds, the faulty run's output is byte-identical to the
+// fault-free run's.
+func TestChaosOutputByteIdenticalAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		clean, cleanOut, _ := runChaosDPlus(t, seed, nil)
+		mid := time.Duration(float64(clean.Elapsed())/2*float64(time.Second)) + time.Millisecond
+		victim := "node-02"
+		_, faultyOut, _ := runChaosDPlus(t, seed, []mapreduce.NodeFault{{Node: victim, At: mid}})
+		if !bytes.Equal(cleanOut, faultyOut) {
+			t.Fatalf("seed %d: output diverged after crashing %s at %s", seed, victim, mid)
+		}
+	}
+}
+
+// Killing a pooled AM's machine must trigger background replenishment: the
+// pool detects the loss, relaunches a standby on a surviving node, and the
+// submitted job still completes with correct output.
+func TestPoolAMNodeCrashReplenished(t *testing.T) {
+	rt := chaosRuntime(t, 1)
+	f := startFramework(t, rt, 3)
+	victim := f.Pool.ams[0].Node
+	names, all := stageInput(t, rt, 4, 1<<20)
+	var res *mapreduce.Result
+	rt.Eng.After(500*time.Millisecond, victim.Fail)
+	rt.Eng.After(0, func() {
+		f.SubmitDPlus(testWCSpec(names, "/out"), func(r *mapreduce.Result) { res = r })
+	})
+	rt.Eng.RunUntil(rt.Eng.Now().Add(600 * time.Second))
+	rt.RM.Stop()
+	if res == nil || res.Err != nil {
+		t.Fatalf("job did not survive the AM-node crash: %+v", res)
+	}
+	verifyWC(t, rt, "/out", all)
+	if f.Pool.Lost < 1 || f.Pool.Replenished < 1 {
+		t.Fatalf("pool lost/replenished = %d/%d, want >= 1 each", f.Pool.Lost, f.Pool.Replenished)
+	}
+	if f.Pool.AliveAMs() != 3 {
+		t.Fatalf("pool holds %d AMs after replenishment, want 3", f.Pool.AliveAMs())
+	}
+	for _, am := range f.Pool.ams {
+		if am.Node == victim {
+			t.Fatal("replenished AM placed on the dead node")
+		}
+	}
+}
+
+// With every pooled AM gone and the replacement still launching, a D+
+// submission must degrade gracefully to the stock submission path instead of
+// deadlocking on an empty pool.
+func TestPoolExhaustionFallsBackToStock(t *testing.T) {
+	rt := chaosRuntime(t, 1)
+	f := startFramework(t, rt, 1)
+	victim := f.Pool.ams[0].Node
+	names, all := stageInput(t, rt, 4, 1<<20)
+	rt.Eng.After(time.Second, victim.Fail)
+	var res *mapreduce.Result
+	submitted := false
+	ticker := rt.Eng.Every(200*time.Millisecond, func() {
+		if submitted || !f.Pool.Exhausted() {
+			return
+		}
+		submitted = true
+		f.SubmitDPlus(testWCSpec(names, "/out"), func(r *mapreduce.Result) { res = r })
+	})
+	rt.Eng.RunUntil(rt.Eng.Now().Add(600 * time.Second))
+	ticker.Stop()
+	rt.RM.Stop()
+	if !submitted {
+		t.Fatal("pool never reported exhaustion after its only AM's node died")
+	}
+	if res == nil {
+		t.Fatal("fallback submission deadlocked")
+	}
+	if res.Err != nil {
+		t.Fatalf("fallback job failed: %v", res.Err)
+	}
+	if f.StockFallbacks != 1 {
+		t.Fatalf("StockFallbacks = %d, want 1", f.StockFallbacks)
+	}
+	verifyWC(t, rt, "/out", all)
+	if f.Pool.AliveAMs() != 1 {
+		t.Fatalf("pool did not recover: %d AMs alive", f.Pool.AliveAMs())
+	}
+}
+
+// When one racing speculative mode's AM machine dies before the decision
+// point, that mode drops out and the survivor wins with correct output.
+func TestSpeculativeSurvivesAMNodeCrash(t *testing.T) {
+	rt := chaosRuntime(t, 1)
+	f := startFramework(t, rt, 3)
+	names, all := stageInput(t, rt, 8, 8<<20)
+	var res *SpecResult
+	rt.Eng.After(0, func() {
+		f.SubmitSpeculative(testWCSpec(names, "/out"), func(r *SpecResult) { res = r })
+	})
+	// Crash the first pooled AM to go busy — one of the two racing modes —
+	// the moment it acquires, well before the estimator's decision point.
+	crashed := false
+	ticker := rt.Eng.Every(100*time.Millisecond, func() {
+		if crashed {
+			return
+		}
+		for _, am := range f.Pool.ams {
+			if am.busy {
+				am.Node.Fail()
+				crashed = true
+				return
+			}
+		}
+	})
+	rt.Eng.RunUntil(rt.Eng.Now().Add(900 * time.Second))
+	ticker.Stop()
+	rt.RM.Stop()
+	if !crashed {
+		t.Fatal("no pooled AM ever went busy for the speculative race")
+	}
+	if res == nil {
+		t.Fatal("speculative job did not finish")
+	}
+	if res.Result.Err != nil {
+		t.Fatalf("speculative job failed: %v", res.Result.Err)
+	}
+	verifyWC(t, rt, "/out", all)
+	t.Logf("winner=%s", res.Winner)
+}
+
+// Whitebox: a map attempt that dies after admitting its output to the U+
+// memory cache must refund the admitted bytes before the retry, or every
+// crashed-and-retried map leaks budget. The phantom admission stands in for
+// the dead attempt's charge; after the retry succeeds the cache must hold
+// exactly the successful attempt's bytes.
+func TestUPlusCacheRefundOnCrashedAttempt(t *testing.T) {
+	rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+	fi := mapreduce.NewFaultInjector(1, 0, 0)
+	fi.Fail("map", 0, 0, 0.5)
+	rt.Faults = fi
+	names, _ := stageInput(t, rt, 1, 256<<10)
+	app := rt.RM.NewApp("uplus-refund")
+	node := rt.Cluster.Workers()[0]
+	prof := &profiler.JobProfile{}
+	am, err := NewUPlusAM(rt, testWCSpec(names, "/out"), app, node, prof, FullUPlus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const phantom = int64(10_000)
+	am.admitted[0] = phantom
+	am.cacheUsed = phantom
+	var jobErr error
+	finished := false
+	rt.Eng.After(0, func() {
+		am.Run(func(_ *profiler.JobProfile, err error) {
+			finished = true
+			jobErr = err
+		})
+	})
+	rt.Eng.RunUntil(horizon)
+	if !finished || jobErr != nil {
+		t.Fatalf("job finished=%v err=%v", finished, jobErr)
+	}
+	var out int64
+	for _, tp := range prof.Tasks {
+		if tp.Kind == profiler.MapTask && !tp.Failed {
+			out = tp.OutputBytes
+		}
+	}
+	if out == 0 {
+		t.Fatal("no successful map attempt recorded")
+	}
+	if am.CacheUsed() != out {
+		t.Fatalf("cacheUsed = %d, want %d (phantom %d not refunded before retry)",
+			am.CacheUsed(), out, phantom)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"mrapid/internal/mapreduce"
 	"mrapid/internal/profiler"
 	"mrapid/internal/yarn"
@@ -20,6 +22,11 @@ type Framework struct {
 	// only for the "reducing communication" ablation (Figures 14–15); the
 	// real framework always notifies directly.
 	NotifyPoll bool
+
+	// StockFallbacks counts jobs routed through the stock submission path
+	// because the AM pool had no live AM to offer (every reserved AM died
+	// and the replacements were still launching).
+	StockFallbacks int64
 
 	started bool
 }
@@ -89,6 +96,9 @@ func (h *handle) attach(kill func()) {
 // SubmitDPlus runs a job in D+ mode through the framework: artifacts are
 // uploaded, a pooled AM is dispatched by the proxy (no AM allocation or JVM
 // start), and the distributed AM requests containers from the D+ scheduler.
+// If the serving AM dies with its node the job is relaunched (fresh pooled
+// AM, partial output removed) up to Params.MaxAMAttempts times; if the pool
+// has no live AM at all, the job degrades to the stock submission path.
 func (f *Framework) SubmitDPlus(spec *mapreduce.JobSpec, done func(*mapreduce.Result)) {
 	if done == nil {
 		panic("core: SubmitDPlus needs a completion callback")
@@ -98,11 +108,28 @@ func (f *Framework) SubmitDPlus(spec *mapreduce.JobSpec, done func(*mapreduce.Re
 			done(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Err: err})
 			return
 		}
-		f.launchDPlus(spec, nil, done)
+		f.runDPlus(spec, 1, done)
 	})
 }
 
-// SubmitUPlus runs a job in U+ mode through the framework.
+func (f *Framework) runDPlus(spec *mapreduce.JobSpec, attempt int, done func(*mapreduce.Result)) {
+	if f.Pool.Size() == 0 || f.Pool.Exhausted() {
+		f.fallBackToStock(spec, func() {
+			mapreduce.Submit(f.RT, spec, mapreduce.ModeDistributed, done)
+		})
+		return
+	}
+	f.launchDPlus(spec, nil, func(res *mapreduce.Result) {
+		if f.retryLostAM(spec, attempt, res, func() { f.runDPlus(spec, attempt+1, done) }) {
+			return
+		}
+		done(res)
+	})
+}
+
+// SubmitUPlus runs a job in U+ mode through the framework, with the same
+// AM-loss relaunch and pool-exhaustion degradation as SubmitDPlus (the
+// stock path for U+ is a cold-submitted uber-style AM).
 func (f *Framework) SubmitUPlus(spec *mapreduce.JobSpec, done func(*mapreduce.Result)) {
 	if done == nil {
 		panic("core: SubmitUPlus needs a completion callback")
@@ -112,8 +139,44 @@ func (f *Framework) SubmitUPlus(spec *mapreduce.JobSpec, done func(*mapreduce.Re
 			done(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Err: err})
 			return
 		}
-		f.launchUPlus(spec, nil, done)
+		f.runUPlus(spec, 1, done)
 	})
+}
+
+func (f *Framework) runUPlus(spec *mapreduce.JobSpec, attempt int, done func(*mapreduce.Result)) {
+	if f.Pool.Size() == 0 || f.Pool.Exhausted() {
+		f.fallBackToStock(spec, func() {
+			SubmitUPlusCold(f.RT, spec, f.UOpts, done)
+		})
+		return
+	}
+	f.launchUPlus(spec, nil, func(res *mapreduce.Result) {
+		if f.retryLostAM(spec, attempt, res, func() { f.runUPlus(spec, attempt+1, done) }) {
+			return
+		}
+		done(res)
+	})
+}
+
+// fallBackToStock records and traces a pool-exhaustion degradation, then
+// runs the stock submission closure.
+func (f *Framework) fallBackToStock(spec *mapreduce.JobSpec, submit func()) {
+	f.StockFallbacks++
+	f.RT.Trace.Add("proxy", "AM pool exhausted; job %s falls back to stock submission", spec.Name)
+	submit()
+}
+
+// retryLostAM relaunches a job whose serving AM died, if the attempt budget
+// allows: partial output is removed first so the re-run's writes don't
+// collide. Returns true when the retry was taken.
+func (f *Framework) retryLostAM(spec *mapreduce.JobSpec, attempt int, res *mapreduce.Result, relaunch func()) bool {
+	if !errors.Is(res.Err, mapreduce.ErrAMLost) || attempt >= f.RT.Params.MaxAMAttempts {
+		return false
+	}
+	f.RT.Trace.Add("proxy", "job %s attempt %d lost its AM; relaunching", spec.Name, attempt)
+	f.RT.DFS.DeletePrefix(spec.OutputFile)
+	relaunch()
+	return true
 }
 
 // launchDPlus dispatches an uploaded job to a pooled AM in D+ mode. onMap,
@@ -135,10 +198,26 @@ func (f *Framework) launchDPlus(spec *mapreduce.JobSpec, onMap func(*profiler.Ta
 				f.Pool.Release(pam)
 			}
 		}
+		finished := false
+		finish := func(res *mapreduce.Result) {
+			if finished {
+				return
+			}
+			finished = true
+			release()
+			f.notify(prof, res, done)
+		}
+		// If the AM's node dies at any point while serving this job, the
+		// attempt is gone: kill whatever work the job app still has out on
+		// other nodes and report the loss (the submit wrapper may relaunch).
+		pam.onLost = func() {
+			h.Kill()
+			prof.DoneAt = f.RT.Eng.Now()
+			finish(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Profile: prof, Err: mapreduce.ErrAMLost})
+		}
 		f.RT.Localize(spec, pam.Node, func(err error) {
-			finish := func(res *mapreduce.Result) {
-				release()
-				f.notify(prof, res, done)
+			if finished {
+				return
 			}
 			if err != nil {
 				prof.DoneAt = f.RT.Eng.Now()
@@ -186,10 +265,23 @@ func (f *Framework) launchUPlus(spec *mapreduce.JobSpec, onMap func(*profiler.Ta
 				f.Pool.Release(pam)
 			}
 		}
+		finished := false
+		finish := func(res *mapreduce.Result) {
+			if finished {
+				return
+			}
+			finished = true
+			release()
+			f.notify(prof, res, done)
+		}
+		pam.onLost = func() {
+			h.Kill()
+			prof.DoneAt = f.RT.Eng.Now()
+			finish(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: prof, Err: mapreduce.ErrAMLost})
+		}
 		f.RT.Localize(spec, pam.Node, func(err error) {
-			finish := func(res *mapreduce.Result) {
-				release()
-				f.notify(prof, res, done)
+			if finished {
+				return
 			}
 			if err != nil {
 				prof.DoneAt = f.RT.Eng.Now()
@@ -241,10 +333,16 @@ func SubmitUPlusCold(rt *mapreduce.Runtime, spec *mapreduce.JobSpec, uopts UPlus
 			fail(err)
 			return
 		}
-		amRes := rt.Cluster.Workers()[0].Type.ContainerResource()
-		rt.RM.SubmitApp(spec.Name, amRes, func(app *yarn.App, amC *yarn.Container) {
+		app := rt.RM.SubmitApp(spec.Name, rt.AMResource(), func(app *yarn.App, amC *yarn.Container) {
+			amEpoch := amC.Node.Epoch()
 			rt.Eng.After(rt.Params.AMInit, func() {
+				if !amC.Node.AliveEpoch(amEpoch) {
+					return
+				}
 				rt.Localize(spec, amC.Node, func(err error) {
+					if !amC.Node.AliveEpoch(amEpoch) {
+						return
+					}
 					if err != nil {
 						fail(err)
 						return
@@ -267,6 +365,13 @@ func SubmitUPlusCold(rt *mapreduce.Runtime, spec *mapreduce.JobSpec, uopts UPlus
 				})
 			})
 		})
+		// Covers the window before the U+ AM installs its own handler in
+		// Run(): an AM node death here would otherwise hang the client.
+		app.OnContainerLost = func(c *yarn.Container) {
+			if c.Tag == "am" {
+				fail(mapreduce.ErrAMLost)
+			}
+		}
 	})
 }
 

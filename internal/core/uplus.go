@@ -51,12 +51,15 @@ type UPlusAM struct {
 	prof   *profiler.JobProfile
 	opts   UPlusOptions
 
-	splits         []*hdfs.Split
-	next           int
-	inFlight       int
-	completed      int
-	outputs        []*mapreduce.MapOutput
-	cacheUsed      int64
+	splits    []*hdfs.Split
+	next      int
+	inFlight  int
+	completed int
+	outputs   []*mapreduce.MapOutput
+	cacheUsed int64
+	// admitted remembers how many cache bytes each split's running attempt
+	// charged, so a crashed attempt refunds its budget before the retry.
+	admitted       map[int]int64
 	mapAttempts    map[int]int
 	reduceAttempts map[int]int
 	killed         bool
@@ -86,6 +89,7 @@ func NewUPlusAM(rt *mapreduce.Runtime, spec *mapreduce.JobSpec, app *yarn.App, a
 	return &UPlusAM{
 		rt: rt, spec: spec, app: app, amNode: amNode, prof: prof, opts: opts, splits: splits,
 		mapAttempts: make(map[int]int), reduceAttempts: make(map[int]int),
+		admitted: make(map[int]int64),
 	}, nil
 }
 
@@ -95,6 +99,10 @@ func (am *UPlusAM) Run(done func(*profiler.JobProfile, error)) {
 		panic("core: UPlusAM.Run needs a completion callback")
 	}
 	am.done = done
+	// Cold-submitted U+ owns its AM container through this app; losing it
+	// loses the attempt. (A pooled U+ job's app owns no containers — the AM
+	// container belongs to the pool's app, which notifies the framework.)
+	am.app.OnContainerLost = func(*yarn.Container) { am.Abort(mapreduce.ErrAMLost) }
 	am.prof.FirstTaskAt = am.rt.Eng.Now()
 	am.pump()
 }
@@ -146,9 +154,15 @@ func (am *UPlusAM) admitToCache(outBytes int64) bool {
 
 func (am *UPlusAM) runOne(s *hdfs.Split) {
 	opts := mapreduce.MapTaskOptions{
-		SpillToDisk:  true,
-		KeepInMemory: am.admitToCache,
-		Attempt:      am.mapAttempts[s.Index],
+		SpillToDisk: true,
+		KeepInMemory: func(b int64) bool {
+			if !am.admitToCache(b) {
+				return false
+			}
+			am.admitted[s.Index] = b
+			return true
+		},
+		Attempt: am.mapAttempts[s.Index],
 	}
 	am.rt.RunMapTask(am.spec, s, am.amNode, opts, func(mo *mapreduce.MapOutput, tp *profiler.TaskProfile, err error) {
 		if am.killed {
@@ -158,6 +172,14 @@ func (am *UPlusAM) runOne(s *hdfs.Split) {
 		var ae *mapreduce.AttemptError
 		if errors.As(err, &ae) {
 			// Retry the crashed map thread in place, within the wave limit.
+			// Any cache budget the dead attempt admitted is refunded first —
+			// its in-heap output died with it, and without the refund every
+			// crashed-and-retried map would leak budget until U+ degrades to
+			// spilling everything.
+			if b, ok := am.admitted[s.Index]; ok {
+				am.cacheUsed -= b
+				delete(am.admitted, s.Index)
+			}
 			am.prof.Add(tp)
 			am.mapAttempts[s.Index]++
 			if am.mapAttempts[s.Index] >= am.rt.Params.MaxTaskAttempts {
@@ -202,7 +224,16 @@ func (am *UPlusAM) runReduce() {
 	}
 	for _, mo := range am.outputs {
 		for p := 0; p < am.spec.NumReduces; p++ {
-			am.rt.FetchPartition(mo, p, am.amNode, func() {
+			am.rt.FetchPartition(mo, p, am.amNode, func(err error) {
+				if am.killed {
+					return
+				}
+				if err != nil {
+					// U+ outputs live on the AM's own node; losing them means
+					// the AM node itself died, which kills the attempt.
+					am.Abort(err)
+					return
+				}
 				remaining--
 				if remaining == 0 {
 					am.runReducePartitions(0)
@@ -210,6 +241,15 @@ func (am *UPlusAM) runReduce() {
 			})
 		}
 	}
+}
+
+// Abort ends the job with err (the AM's node died; the submission framework
+// decides whether to relaunch).
+func (am *UPlusAM) Abort(err error) {
+	if am.killed {
+		return
+	}
+	am.fail(err)
 }
 
 func (am *UPlusAM) runReducePartitions(p int) {

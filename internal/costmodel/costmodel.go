@@ -95,6 +95,32 @@ type Params struct {
 	// MaxTaskAttempts is how many times a failed task attempt is retried
 	// before the job fails (mapreduce.map.maxattempts, default 4).
 	MaxTaskAttempts int
+
+	// NMLivenessInterval is how often the RM's liveness monitor scans for
+	// NodeManagers that stopped heartbeating
+	// (yarn.resourcemanager.nm.liveness-monitor.interval-ms).
+	NMLivenessInterval time.Duration
+
+	// NMExpiry is how long a NodeManager may stay silent before the RM
+	// declares the node lost and reports its containers to their AMs
+	// (yarn.nm.liveness-monitor.expiry-interval-ms; Hadoop defaults to 10
+	// min — far longer than a short job — so the simulation uses a few
+	// heartbeat periods to keep failure experiments in the same time scale
+	// as the jobs).
+	NMExpiry time.Duration
+
+	// MaxAMAttempts bounds how many times the framework relaunches a job
+	// whose ApplicationMaster was lost to node failure
+	// (yarn.resourcemanager.am.max-attempts, default 2).
+	MaxAMAttempts int
+
+	// AMContainerMB and AMContainerVCores size the ApplicationMaster
+	// container (yarn.app.mapreduce.am.resource.mb / .cpu-vcores). The AM
+	// resource is a job-configuration constant, never derived from any
+	// particular node's shape — deriving it from Workers()[0] breaks on
+	// heterogeneous clusters.
+	AMContainerMB     int
+	AMContainerVCores int
 }
 
 // Default returns the calibrated baseline used by all experiments. Values
@@ -121,6 +147,11 @@ func Default() Params {
 		ClientPollInterval:      1000 * time.Millisecond,
 		SpeculationProfileWaves: 1,
 		MaxTaskAttempts:         4,
+		NMLivenessInterval:      1000 * time.Millisecond,
+		NMExpiry:                5000 * time.Millisecond,
+		MaxAMAttempts:           2,
+		AMContainerMB:           1024,
+		AMContainerVCores:       1,
 	}
 }
 
@@ -155,6 +186,16 @@ func (p Params) Validate() error {
 		return errBad("SpeculationProfileWaves")
 	case p.MaxTaskAttempts <= 0:
 		return errBad("MaxTaskAttempts")
+	case p.NMLivenessInterval <= 0:
+		return errBad("NMLivenessInterval")
+	case p.NMExpiry < p.NMHeartbeat:
+		return errBad("NMExpiry") // would expire nodes between healthy heartbeats
+	case p.MaxAMAttempts <= 0:
+		return errBad("MaxAMAttempts")
+	case p.AMContainerMB <= 0:
+		return errBad("AMContainerMB")
+	case p.AMContainerVCores <= 0:
+		return errBad("AMContainerVCores")
 	}
 	return nil
 }

@@ -182,12 +182,20 @@ func (d *DFS) List() []string {
 // different node in that same remote rack. Additional replicas (replication
 // > 3) go to random distinct workers.
 func (d *DFS) place(writer *topology.Node) []*topology.Node {
-	workers := d.cluster.Workers()
+	// Only live DataNodes take new replicas — the NameNode never targets a
+	// dead node. (Existing replicas on a crashed node survive on its disk
+	// and are readable again after a restart; see bestReplica.)
+	var workers []*topology.Node
+	for _, n := range d.cluster.Workers() {
+		if n.Alive() {
+			workers = append(workers, n)
+		}
+	}
 	if len(workers) == 0 {
-		panic("hdfs: cluster has no workers")
+		panic("hdfs: cluster has no live workers")
 	}
 	var first *topology.Node
-	if writer != nil && writer != d.cluster.Master() {
+	if writer != nil && writer != d.cluster.Master() && writer.Alive() {
 		first = writer
 	} else {
 		first = workers[d.rng.Intn(len(workers))]
@@ -321,17 +329,28 @@ func (d *DFS) Write(name string, data []byte, writer *topology.Node, done func(*
 	}
 }
 
-// bestReplica picks the cheapest replica for a reader, preferring node-local
-// then rack-local then any, and updates the locality counters.
+// bestReplica picks the cheapest live replica for a reader, preferring
+// node-local then rack-local then any, and updates the locality counters.
+// It returns nil when every replica's node is down (with the default
+// replication of 3 that takes a multi-node failure), and the read fails.
 func (d *DFS) bestReplica(b *Block, reader *topology.Node) *topology.Node {
+	var live []*topology.Node
+	for _, r := range b.Replicas {
+		if r.Alive() {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
 	if reader != nil {
-		for _, r := range b.Replicas {
+		for _, r := range live {
 			if r == reader {
 				d.LocalReads++
 				return r
 			}
 		}
-		for _, r := range b.Replicas {
+		for _, r := range live {
 			if r.Rack == reader.Rack {
 				d.RackReads++
 				return r
@@ -339,7 +358,7 @@ func (d *DFS) bestReplica(b *Block, reader *topology.Node) *topology.Node {
 		}
 	}
 	d.RemoteReads++
-	return b.Replicas[0]
+	return live[0]
 }
 
 // ReadRange reads length bytes starting at offset from the named file on
@@ -391,6 +410,13 @@ func (d *DFS) ReadRange(name string, offset, length int64, reader *topology.Node
 		n := hi - lo
 		d.BytesRead += n
 		src := d.bestReplica(b, reader)
+		if src == nil {
+			bid := b.ID
+			d.eng.After(0, func() {
+				done(nil, fmt.Errorf("hdfs: all replicas of %q block %d are offline", name, bid))
+			})
+			return
+		}
 		pending++
 		src.Disk.Use(n, complete)
 		if reader != nil && src != reader {

@@ -35,16 +35,29 @@ type DistributedAM struct {
 	completedMaps int
 	failed        error
 
-	// Attempt counters per split / reduce partition for failure retries.
-	mapAttempts    map[int]int
-	reduceAttempts map[int]int
-	retryAsks      []*yarn.Ask
+	// mapAttempts / reduceAttempts are the next attempt ordinals (unique
+	// attempt IDs); failedMapAttempts / failedReduceAttempts count only
+	// attempts that FAILED. Hadoop distinguishes FAILED from KILLED: a task
+	// lost with its node is killed through no fault of its own and must not
+	// consume the MaxTaskAttempts failure budget.
+	mapAttempts       map[int]int
+	reduceAttempts    map[int]int
+	failedMapAttempts map[int]int
+	retryAsks         []*yarn.Ask
+
+	// runningMaps tracks which split each live map container is executing so
+	// a lost-container report can requeue exactly the stranded work.
+	runningMaps map[*yarn.Container]*hdfs.Split
 
 	reduceContainer *yarn.Container
 	reduceReady     bool
 	reduceRunning   bool
 	fetched         map[*MapOutput]bool
 	fetchesDone     int
+	// reduceGen is bumped when the reduce container is lost; in-flight
+	// shuffle completions from the previous reduce attempt carry the old
+	// generation and are dropped.
+	reduceGen int
 
 	ticker      *sim.Ticker
 	sentMapAsks bool
@@ -72,17 +85,19 @@ func NewDistributedAM(rt *Runtime, spec *JobSpec, app *yarn.App, amNode *topolog
 		return nil, fmt.Errorf("mapreduce: job %q has no input splits", spec.Name)
 	}
 	am := &DistributedAM{
-		rt:             rt,
-		spec:           spec,
-		app:            app,
-		amNode:         amNode,
-		prof:           prof,
-		splits:         splits,
-		pendingMaps:    append([]*hdfs.Split(nil), splits...),
-		containerRes:   amNode.Type.ContainerResource(),
-		fetched:        make(map[*MapOutput]bool),
-		mapAttempts:    make(map[int]int),
-		reduceAttempts: make(map[int]int),
+		rt:                rt,
+		spec:              spec,
+		app:               app,
+		amNode:            amNode,
+		prof:              prof,
+		splits:            splits,
+		pendingMaps:       append([]*hdfs.Split(nil), splits...),
+		containerRes:      amNode.Type.ContainerResource(),
+		fetched:           make(map[*MapOutput]bool),
+		mapAttempts:       make(map[int]int),
+		reduceAttempts:    make(map[int]int),
+		failedMapAttempts: make(map[int]int),
+		runningMaps:       make(map[*yarn.Container]*hdfs.Split),
 	}
 	prof.NumMaps = len(splits)
 	prof.NumReduces = spec.NumReduces
@@ -97,6 +112,7 @@ func (am *DistributedAM) Run(done func(*profiler.JobProfile, error)) {
 		panic("mapreduce: DistributedAM.Run needs a completion callback")
 	}
 	am.done = done
+	am.app.OnContainerLost = am.onContainerLost
 	am.heartbeat() // first allocate immediately after AM init
 	am.ticker = am.rt.Eng.Every(am.rt.Params.AMHeartbeat, am.heartbeat)
 }
@@ -185,6 +201,10 @@ func (am *DistributedAM) place(c *yarn.Container) {
 		am.rt.RM.ReleaseContainer(c)
 		return
 	}
+	// Bind the split to the container before the start RPC: if the node dies
+	// from here on, the lost-container report tells us exactly which split to
+	// requeue.
+	am.runningMaps[c] = s
 	nm := am.rt.RM.NMOn(c.Node)
 	nm.StartContainer(c, false, func() {
 		if am.killed {
@@ -243,26 +263,16 @@ func (am *DistributedAM) runMap(c *yarn.Container, s *hdfs.Split) {
 			// The attempt crashed: give the container back, record the
 			// failed attempt, and reschedule on a fresh container unless
 			// the attempt budget is exhausted (Hadoop's maxattempts).
+			delete(am.runningMaps, c)
 			am.rt.RM.ReleaseContainer(c)
 			am.prof.Add(tp)
-			am.mapAttempts[s.Index]++
-			if am.mapAttempts[s.Index] >= am.rt.Params.MaxTaskAttempts {
+			am.failedMapAttempts[s.Index]++
+			if am.failedMapAttempts[s.Index] >= am.rt.Params.MaxTaskAttempts {
 				am.fail(fmt.Errorf("mapreduce: map %d failed %d attempts: %w",
-					s.Index, am.mapAttempts[s.Index], err))
+					s.Index, am.failedMapAttempts[s.Index], err))
 				return
 			}
-			am.pendingMaps = append(am.pendingMaps, s)
-			racks := make([]string, 0, len(s.Hosts))
-			for _, h := range s.Hosts {
-				racks = append(racks, h.Rack)
-			}
-			am.retryAsks = append(am.retryAsks, &yarn.Ask{
-				App:            am.app,
-				Resource:       am.containerRes,
-				PreferredNodes: s.Hosts,
-				PreferredRacks: racks,
-				Tag:            fmt.Sprintf("map-%d-attempt-%d", s.Index, am.mapAttempts[s.Index]),
-			})
+			am.rescheduleMap(s, "attempt failed")
 			return
 		}
 		if err != nil {
@@ -272,6 +282,17 @@ func (am *DistributedAM) runMap(c *yarn.Container, s *hdfs.Split) {
 		// Commit handshake with the AM, then the container is released (a
 		// fresh one is requested per task, as in MRv2).
 		am.rt.Eng.After(am.rt.Params.TaskCommit, func() {
+			if am.killed {
+				am.rt.RM.ReleaseContainer(c)
+				return
+			}
+			if _, ok := am.runningMaps[c]; !ok {
+				// The node (and this container) died during the commit
+				// handshake: the RM already reported the loss and the task
+				// was rescheduled. Drop the stale completion.
+				return
+			}
+			delete(am.runningMaps, c)
 			am.rt.RM.ReleaseContainer(c)
 			am.prof.Add(tp)
 			am.mapOutputs = append(am.mapOutputs, mo)
@@ -315,26 +336,43 @@ func (am *DistributedAM) startReduceContainer(c *yarn.Container) {
 
 // pumpShuffle fetches any completed-but-unfetched map outputs to the reduce
 // node, overlapping with still-running map waves, and starts the reduce
-// when everything has arrived.
+// when everything has arrived. A fetch failure (the map's node died with
+// the intermediate data on its local disk) is Hadoop's
+// too-many-fetch-failures signal: the AM declares the completed map lost
+// and re-executes it.
 func (am *DistributedAM) pumpShuffle() {
 	if am.killed || !am.reduceReady {
 		return
 	}
 	dst := am.reduceContainer.Node
-	for _, mo := range am.mapOutputs {
+	gen := am.reduceGen
+	for _, mo := range append([]*MapOutput(nil), am.mapOutputs...) {
 		if am.fetched[mo] {
 			continue
 		}
 		am.fetched[mo] = true
 		// Fetch every partition this reducer will handle (all of them: one
 		// physical reduce container processes each partition in turn).
+		mo := mo
 		total := 0
+		failed := false
 		for p := 0; p < am.spec.NumReduces; p++ {
 			total++
-			p := p
-			am.rt.FetchPartition(mo, p, dst, func() {
+			am.rt.FetchPartition(mo, p, dst, func(err error) {
+				if am.killed || gen != am.reduceGen {
+					// The reduce attempt this fetch fed was itself lost;
+					// the replacement reshuffles from scratch.
+					return
+				}
+				if err != nil {
+					if !failed {
+						failed = true
+						am.loseMapOutput(mo)
+					}
+					return
+				}
 				total--
-				if total == 0 {
+				if total == 0 && !failed {
 					am.fetchesDone++
 					am.maybeReduce()
 				}
@@ -342,6 +380,109 @@ func (am *DistributedAM) pumpShuffle() {
 		}
 	}
 	am.maybeReduce()
+}
+
+// loseMapOutput handles a completed map whose output died with its node:
+// the map reverts to incomplete and is re-executed on a fresh container.
+func (am *DistributedAM) loseMapOutput(mo *MapOutput) {
+	for i, x := range am.mapOutputs {
+		if x == mo {
+			am.mapOutputs = append(am.mapOutputs[:i], am.mapOutputs[i+1:]...)
+			delete(am.fetched, mo)
+			am.completedMaps--
+			am.rt.Trace.Add("am", "map %d output lost on %s; re-executing", mo.Split.Index, mo.Node.Name)
+			am.rescheduleMap(mo.Split, "output lost")
+			return
+		}
+	}
+}
+
+// rescheduleMap requeues a split and asks for a replacement container with
+// the split's locality preferences. The attempt ordinal advances (attempt
+// IDs are never reused) but the failure budget is only charged by the
+// AttemptError path in runMap — a task killed by node loss is KILLED, not
+// FAILED, in Hadoop's accounting.
+func (am *DistributedAM) rescheduleMap(s *hdfs.Split, why string) {
+	am.mapAttempts[s.Index]++
+	am.pendingMaps = append(am.pendingMaps, s)
+	racks := make([]string, 0, len(s.Hosts))
+	for _, h := range s.Hosts {
+		racks = append(racks, h.Rack)
+	}
+	am.retryAsks = append(am.retryAsks, &yarn.Ask{
+		App:            am.app,
+		Resource:       am.containerRes,
+		PreferredNodes: s.Hosts,
+		PreferredRacks: racks,
+		Tag:            fmt.Sprintf("map-%d-attempt-%d", s.Index, am.mapAttempts[s.Index]),
+	})
+	am.rt.Trace.Add("am", "map %d rescheduled (%s) as attempt %d", s.Index, why, am.mapAttempts[s.Index])
+}
+
+// onContainerLost is the RM's report that one of this job's containers
+// vanished with its node. In-flight maps requeue their split; the reduce
+// container triggers a full reshuffle onto a replacement; a cold-submitted
+// AM's own container means the job attempt itself is gone.
+func (am *DistributedAM) onContainerLost(c *yarn.Container) {
+	if am.killed {
+		return
+	}
+	am.rt.Trace.Add("am", "lost %s", c)
+	if c.Tag == "am" {
+		// Our own AM container (cold submission): the whole attempt dies;
+		// the submitter decides whether to relaunch.
+		am.fail(ErrAMLost)
+		return
+	}
+	if s, ok := am.runningMaps[c]; ok {
+		delete(am.runningMaps, c)
+		am.rescheduleMap(s, "node lost")
+		return
+	}
+	if c == am.reduceContainer {
+		am.recoverReduce()
+		return
+	}
+	if len(c.Tag) >= 6 && c.Tag[:6] == "reduce" {
+		// A reduce grant lost before it was started: ask again.
+		am.retryAsks = append(am.retryAsks, &yarn.Ask{
+			App:      am.app,
+			Resource: am.containerRes,
+			Tag:      "reduce-recovery",
+		})
+		return
+	}
+	// A map grant that died before being bound to a split (it sat in the
+	// RM's undelivered-grant buffer): some pending split now has no
+	// container coming, so request a replacement.
+	am.retryAsks = append(am.retryAsks, &yarn.Ask{
+		App:      am.app,
+		Resource: am.containerRes,
+		Tag:      "map-replacement",
+	})
+}
+
+// recoverReduce restarts the reduce side after its container was lost:
+// every fetch must be redone on the replacement node, and any partition
+// files a previous attempt already committed are removed so the re-run's
+// writes don't collide. Node loss does not charge the reduce failure
+// budget (KILLED, not FAILED).
+func (am *DistributedAM) recoverReduce() {
+	am.reduceGen++
+	am.reduceContainer = nil
+	am.reduceReady = false
+	am.reduceRunning = false
+	am.fetchesDone = 0
+	am.fetched = make(map[*MapOutput]bool)
+	for p := 0; p < am.spec.NumReduces; p++ {
+		am.rt.DFS.Delete(PartFileName(am.spec.OutputFile, p))
+	}
+	am.retryAsks = append(am.retryAsks, &yarn.Ask{
+		App:      am.app,
+		Resource: am.containerRes,
+		Tag:      "reduce-recovery",
+	})
+	am.rt.Trace.Add("am", "reduce container lost; restarting shuffle (gen %d)", am.reduceGen)
 }
 
 func (am *DistributedAM) maybeReduce() {
@@ -360,8 +501,14 @@ func (am *DistributedAM) runReducePartitions(p int) {
 		am.finish(nil)
 		return
 	}
+	if am.reduceContainer == nil {
+		// The reduce container was lost; recovery restarts from partition 0
+		// once a replacement arrives.
+		return
+	}
+	gen := am.reduceGen
 	am.rt.RunReducePhase(am.spec, p, am.reduceAttempts[p], am.mapOutputs, am.reduceContainer.Node, func(tp *profiler.TaskProfile, err error) {
-		if am.killed {
+		if am.killed || gen != am.reduceGen {
 			return
 		}
 		var ae *AttemptError

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"bytes"
 	"container/heap"
+	"errors"
 	"fmt"
 	"slices"
 	"time"
@@ -74,6 +75,14 @@ func NewRuntime(eng *sim.Engine, cluster *topology.Cluster, dfs *hdfs.DFS, rm *y
 	return &Runtime{Eng: eng, Cluster: cluster, DFS: dfs, RM: rm, Params: params}
 }
 
+// AMResource returns the ApplicationMaster container request. It comes from
+// the job configuration (Params), never from any particular node's shape:
+// deriving it from Workers()[0] gives the wrong answer on heterogeneous
+// clusters.
+func (rt *Runtime) AMResource() topology.Resource {
+	return topology.Resource{VCores: rt.Params.AMContainerVCores, MemoryMB: rt.Params.AMContainerMB}
+}
+
 // MapOutput is the materialized result of one map task: real intermediate
 // pairs bucketed by reduce partition, each bucket sorted by key.
 type MapOutput struct {
@@ -86,7 +95,27 @@ type MapOutput struct {
 	// InMemory marks outputs held in the U+ memory cache; their reduce-side
 	// read is free.
 	InMemory bool
+
+	// NodeEpoch is the hosting node's boot generation when the output was
+	// produced. Map output lives on the task node's local disk (or the AM
+	// heap), not in HDFS — if the node has since crashed, the output is gone
+	// and shuffle fetches against it fail.
+	NodeEpoch int
 }
+
+// Available reports whether the output can still be fetched (its node is up
+// and has not rebooted since the map ran).
+func (mo *MapOutput) Available() bool { return mo.Node.AliveEpoch(mo.NodeEpoch) }
+
+// ErrOutputLost is reported by FetchPartition when a completed map's output
+// vanished with its node — Hadoop's too-many-fetch-failures signal, which
+// makes the AM re-execute the map.
+var ErrOutputLost = errors.New("mapreduce: map output lost with its node")
+
+// ErrAMLost reports that a job's ApplicationMaster died with its node. The
+// submission framework treats it as retryable: the job is relaunched from
+// scratch up to MaxAMAttempts times (yarn.resourcemanager.am.max-attempts).
+var ErrAMLost = errors.New("mapreduce: application master lost with its node")
 
 // ExecMap runs the map function for real over split data: scan records,
 // map, partition, sort each partition, and optionally combine. It is pure
@@ -289,8 +318,17 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 		NodeLocal: split.HostedOn(node),
 		Attempt:   opts.Attempt,
 	}
+	// The task process dies silently if its node crashes: engine events
+	// cannot be cancelled, so every continuation below re-checks the boot
+	// generation captured here and abandons the task (no done, no core
+	// release — the reborn node starts with fresh devices). The AM learns of
+	// the loss from the RM's lost-container report instead.
+	epoch := node.Epoch()
 	readStart := rt.Eng.Now()
 	rt.DFS.ReadRange(split.File, split.Offset, split.Length, node, func(data []byte, err error) {
+		if !node.AliveEpoch(epoch) {
+			return
+		}
 		if err != nil {
 			done(nil, tp, err)
 			return
@@ -302,9 +340,15 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 			// the core for the work done before the death, then surface the
 			// failure for the AM to reschedule.
 			node.Cores.Acquire(1, func() {
+				if !node.AliveEpoch(epoch) {
+					return
+				}
 				partial := time.Duration(float64(spec.MapComputeTime(split, int64(len(data)), node)) * point)
 				computeStart := rt.Eng.Now()
 				rt.Eng.After(partial, func() {
+					if !node.AliveEpoch(epoch) {
+						return
+					}
 					tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
 					node.Cores.Release(1)
 					tp.Failed = true
@@ -324,6 +368,10 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 			return rt.execMapCached(spec, split, data)
 		})
 		node.Cores.Acquire(1, func() {
+			if !node.AliveEpoch(epoch) {
+				fut.Wait() // drain the host-side computation
+				return
+			}
 			// Charge the map function first — its cost depends only on the
 			// input size — and await the real result when the output-sized
 			// sort charge needs it. The await point is a fixed event on the
@@ -332,8 +380,12 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 			computeStart := rt.Eng.Now()
 			rt.Eng.After(compute, func() {
 				mo := fut.Wait()
+				if !node.AliveEpoch(epoch) {
+					return
+				}
 				mo.Split = split
 				mo.Node = node
+				mo.NodeEpoch = epoch
 				mo.InMemory = opts.keepInMemory(mo.TotalBytes)
 				tp.Records = mo.Records
 				tp.OutputBytes = mo.TotalBytes
@@ -341,9 +393,12 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 				// the map function.
 				sort := time.Duration(float64(mo.TotalBytes) / (rt.Params.SortCPUBytesPerSec * node.Type.CPUSpeed) * float64(time.Second))
 				rt.Eng.After(sort, func() {
+					if !node.AliveEpoch(epoch) {
+						return
+					}
 					tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
 					node.Cores.Release(1)
-					rt.spillPhase(mo, node, opts, tp, func() {
+					rt.spillPhase(mo, node, epoch, opts, tp, func() {
 						tp.Ended = rt.Eng.Now()
 						rt.Trace.Add("task", "map %d attempt %d done on %s (in=%d out=%d mem=%v)",
 							split.Index, opts.Attempt, node.Name, tp.InputBytes, tp.OutputBytes, mo.InMemory)
@@ -375,15 +430,23 @@ func (rt *Runtime) execMapCached(spec *JobSpec, split *hdfs.Split, data []byte) 
 // spillPhase charges the spill and merge sub-phases of Eq. 1: the spill
 // writes s^o once; when the output needed multiple spills, the merge pass
 // reads everything back and writes it again.
-func (rt *Runtime) spillPhase(mo *MapOutput, node *topology.Node, opts MapTaskOptions, tp *profiler.TaskProfile, done func()) {
+func (rt *Runtime) spillPhase(mo *MapOutput, node *topology.Node, epoch int, opts MapTaskOptions, tp *profiler.TaskProfile, done func()) {
 	if mo.InMemory || mo.TotalBytes == 0 {
 		tp.Spills = 0
-		rt.Eng.After(0, done)
+		rt.Eng.After(0, func() {
+			if !node.AliveEpoch(epoch) {
+				return
+			}
+			done()
+		})
 		return
 	}
 	tp.Spills = spillCount(mo.TotalBytes, rt.Params.SortBufferBytes)
 	spillStart := rt.Eng.Now()
 	node.Disk.Use(mo.TotalBytes, func() {
+		if !node.AliveEpoch(epoch) {
+			return
+		}
 		tp.SpillDur = rt.Eng.Now().Sub(spillStart)
 		if tp.Spills <= 1 {
 			done()
@@ -392,6 +455,9 @@ func (rt *Runtime) spillPhase(mo *MapOutput, node *topology.Node, opts MapTaskOp
 		mergeStart := rt.Eng.Now()
 		node.Disk.Use(mo.TotalBytes, func() { // read spills back
 			node.Disk.Use(mo.TotalBytes, func() { // write merged file
+				if !node.AliveEpoch(epoch) {
+					return
+				}
 				tp.MergeDur = rt.Eng.Now().Sub(mergeStart)
 				done()
 			})
@@ -402,23 +468,39 @@ func (rt *Runtime) spillPhase(mo *MapOutput, node *topology.Node, opts MapTaskOp
 // FetchPartition models the reduce-side fetch of one map output partition:
 // a local disk read when the output sits on the reducer's node, a free
 // access for U+ in-memory outputs, or a full network transfer (source disk,
-// both NICs, core switch across racks) otherwise.
-func (rt *Runtime) FetchPartition(mo *MapOutput, part int, dst *topology.Node, done func()) {
+// both NICs, core switch across racks) otherwise. done receives
+// ErrOutputLost when the map output's node died before — or while — the
+// fetch ran (Hadoop's fetch failure, which the AM answers by re-executing
+// the map).
+func (rt *Runtime) FetchPartition(mo *MapOutput, part int, dst *topology.Node, done func(error)) {
 	if done == nil {
 		panic("mapreduce: FetchPartition needs a completion callback")
 	}
+	if !mo.Available() {
+		rt.Eng.After(rt.Params.RPCLatency, func() { done(ErrOutputLost) })
+		return
+	}
 	n := mo.PartBytes[part]
 	if n == 0 {
-		rt.Eng.After(0, done)
+		rt.Eng.After(0, func() { done(nil) })
 		return
 	}
 	if mo.InMemory && mo.Node == dst {
 		// U+ memory cache: the reduce reads straight from the heap.
-		rt.Eng.After(0, done)
+		rt.Eng.After(0, func() { done(nil) })
 		return
 	}
+	// A fetch in flight when the source node dies is a failed fetch: the
+	// completion re-checks availability (the timing still charges the
+	// devices, matching a connection that drops partway through).
 	if mo.Node == dst {
-		dst.Disk.Use(n, done)
+		dst.Disk.Use(n, func() {
+			if !mo.Available() {
+				done(ErrOutputLost)
+				return
+			}
+			done(nil)
+		})
 		return
 	}
 	pending := 0
@@ -426,7 +508,11 @@ func (rt *Runtime) FetchPartition(mo *MapOutput, part int, dst *topology.Node, d
 	complete := func() {
 		pending--
 		if pending == 0 && finished {
-			done()
+			if !mo.Available() {
+				done(ErrOutputLost)
+				return
+			}
+			done(nil)
 		}
 	}
 	pending++
@@ -494,11 +580,20 @@ func (rt *Runtime) RunReducePhase(spec *JobSpec, part, attempt int, outputs []*M
 		in += mo.PartBytes[part]
 	}
 	tp.InputBytes = in
+	// Abandon silently if the node dies mid-phase (see RunMapTask): the AM
+	// hears about the lost container from the RM, never from the task.
+	epoch := node.Epoch()
 	if fail, point := rt.Faults.ReduceAttemptFor(spec.OutputFile, part, attempt); fail {
 		node.Cores.Acquire(1, func() {
+			if !node.AliveEpoch(epoch) {
+				return
+			}
 			partial := time.Duration(float64(spec.ReduceComputeTime(in, node)) * point)
 			computeStart := rt.Eng.Now()
 			rt.Eng.After(partial, func() {
+				if !node.AliveEpoch(epoch) {
+					return
+				}
 				tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
 				node.Cores.Release(1)
 				tp.Failed = true
@@ -520,18 +615,34 @@ func (rt *Runtime) RunReducePhase(spec *JobSpec, part, attempt int, outputs []*M
 		return reduced{encoded: EncodePairs(result), records: int64(len(result))}
 	})
 	node.Cores.Acquire(1, func() {
+		if !node.AliveEpoch(epoch) {
+			fut.Wait() // drain the host-side computation
+			return
+		}
 		compute := spec.ReduceComputeTime(in, node)
 		// Merge-sort CPU over the shuffled bytes.
 		compute += time.Duration(float64(in) / (rt.Params.SortCPUBytesPerSec * node.Type.CPUSpeed) * float64(time.Second))
 		computeStart := rt.Eng.Now()
 		rt.Eng.After(compute, func() {
 			r := fut.Wait()
+			if !node.AliveEpoch(epoch) {
+				return
+			}
 			tp.OutputBytes = int64(len(r.encoded))
 			tp.Records = r.records
 			tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
 			node.Cores.Release(1)
 			writeStart := rt.Eng.Now()
+			// A superseded attempt's write cannot be cancelled (engine events
+			// are uncancellable), so a stale part file may have landed after an
+			// AM relaunch wiped the output directory. Reduce output for a given
+			// (job, partition) is deterministic, so committing is safely
+			// last-writer-wins: clear any stale file and write ours.
+			rt.DFS.Delete(PartFileName(spec.OutputFile, part))
 			rt.DFS.Write(PartFileName(spec.OutputFile, part), r.encoded, node, func(_ *hdfs.File, err error) {
+				if !node.AliveEpoch(epoch) {
+					return
+				}
 				tp.SpillDur = rt.Eng.Now().Sub(writeStart)
 				tp.Ended = rt.Eng.Now()
 				rt.Trace.Add("task", "reduce %d attempt %d done on %s (in=%d out=%d)",

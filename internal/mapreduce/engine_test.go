@@ -278,7 +278,12 @@ func TestFetchPartitionCosts(t *testing.T) {
 		m2 := *m
 		m2.Node = c.Workers()[m.Node.ID-1]
 		var at sim.Time
-		r2.FetchPartition(&m2, 0, c.Workers()[to.ID-1], func() { at = e.Now() })
+		r2.FetchPartition(&m2, 0, c.Workers()[to.ID-1], func(err error) {
+			if err != nil {
+				t.Fatalf("fetch failed: %v", err)
+			}
+			at = e.Now()
+		})
 		e.Run()
 		return at.Seconds()
 	}

@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"errors"
+
 	"mrapid/internal/profiler"
 	"mrapid/internal/yarn"
 )
@@ -66,49 +68,80 @@ func Submit(rt *Runtime, spec *JobSpec, mode Mode, done func(*Result)) {
 			done(r)
 		})
 	}
-	fail := func(err error) {
-		notify(&Result{Spec: spec, Mode: mode.String(), Profile: prof, Err: err})
-	}
 	rt.UploadArtifacts(spec, func(err error) {
 		if err != nil {
-			fail(err)
+			notify(&Result{Spec: spec, Mode: mode.String(), Profile: prof, Err: err})
 			return
 		}
-		amRes := rt.Cluster.Workers()[0].Type.ContainerResource()
-		rt.RM.SubmitApp(spec.Name, amRes, func(app *yarn.App, amC *yarn.Container) {
-			// The AM initializes: fixed init cost plus localizing the job
-			// artifacts from HDFS.
-			rt.Eng.After(rt.Params.AMInit, func() {
-				rt.Localize(spec, amC.Node, func(err error) {
+		rt.launchStockAM(spec, mode, prof, 1, notify)
+	})
+}
+
+// launchStockAM runs one AM attempt of a stock submission. An attempt that
+// dies with its machine is relaunched — partial output removed, same staged
+// artifacts — up to Params.MaxAMAttempts times, mirroring YARN's
+// yarn.resourcemanager.am.max-attempts; any other failure, or exhausting the
+// budget, surfaces to the client.
+func (rt *Runtime) launchStockAM(spec *JobSpec, mode Mode, prof *profiler.JobProfile, attempt int, notify func(*Result)) {
+	var app *yarn.App
+	finish := func(p *profiler.JobProfile, err error) {
+		if errors.Is(err, ErrAMLost) && attempt < rt.Params.MaxAMAttempts {
+			rt.Trace.Add("am", "job %q AM attempt %d lost with its node; relaunching", spec.Name, attempt)
+			rt.RM.FinishApp(app)
+			rt.DFS.DeletePrefix(spec.OutputFile)
+			rt.launchStockAM(spec, mode, prof, attempt+1, notify)
+			return
+		}
+		notify(&Result{Spec: spec, Mode: mode.String(), Profile: p, Err: err})
+	}
+	fail := func(err error) { finish(prof, err) }
+	app = rt.RM.SubmitApp(spec.Name, rt.AMResource(), func(app *yarn.App, amC *yarn.Container) {
+		amEpoch := amC.Node.Epoch()
+		// The AM initializes: fixed init cost plus localizing the job
+		// artifacts from HDFS.
+		rt.Eng.After(rt.Params.AMInit, func() {
+			if !amC.Node.AliveEpoch(amEpoch) {
+				return
+			}
+			rt.Localize(spec, amC.Node, func(err error) {
+				if !amC.Node.AliveEpoch(amEpoch) {
+					return
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+				prof.AMReadyAt = rt.Eng.Now()
+				switch mode {
+				case ModeUber:
+					am, err := NewUberAM(rt, spec, app, amC.Node, prof)
 					if err != nil {
 						fail(err)
 						return
 					}
-					prof.AMReadyAt = rt.Eng.Now()
-					finish := func(p *profiler.JobProfile, err error) {
-						notify(&Result{Spec: spec, Mode: mode.String(), Profile: p, Err: err})
+					am.Run(finish)
+				default:
+					am, err := NewDistributedAM(rt, spec, app, amC.Node, prof)
+					if err != nil {
+						fail(err)
+						return
 					}
-					switch mode {
-					case ModeUber:
-						am, err := NewUberAM(rt, spec, app, amC.Node, prof)
-						if err != nil {
-							fail(err)
-							return
-						}
-						am.Run(finish)
-					default:
-						am, err := NewDistributedAM(rt, spec, app, amC.Node, prof)
-						if err != nil {
-							fail(err)
-							return
-						}
-						prof.NumContainers = clusterContainerSlots(rt)
-						am.Run(finish)
-					}
-				})
+					prof.NumContainers = clusterContainerSlots(rt)
+					am.Run(finish)
+				}
 			})
 		})
 	})
+	// If the AM's node dies before the AM installs its own loss handler
+	// (while the container launches, or during the AM's init/localization
+	// above), the attempt is dead and the client must hear about it —
+	// otherwise the job hangs forever. The AMs' Run() methods replace this
+	// handler.
+	app.OnContainerLost = func(c *yarn.Container) {
+		if c.Tag == "am" {
+			fail(ErrAMLost)
+		}
+	}
 }
 
 // clusterContainerSlots counts the task containers the cluster can hold, the

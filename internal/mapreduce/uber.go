@@ -83,7 +83,18 @@ func (am *UberAM) Run(done func(*profiler.JobProfile, error)) {
 		panic("mapreduce: UberAM.Run needs a completion callback")
 	}
 	am.done = done
+	am.app.OnContainerLost = func(*yarn.Container) { am.Abort(ErrAMLost) }
 	am.runMap(0)
+}
+
+// Abort ends the job with err: everything — tasks, intermediate data, the
+// AM itself — lived in the one AM container, so losing its node loses the
+// whole attempt.
+func (am *UberAM) Abort(err error) {
+	if am.killed {
+		return
+	}
+	am.finish(err)
 }
 
 // Kill abandons the job.
@@ -156,7 +167,16 @@ func (am *UberAM) runReduce() {
 	}
 	for _, mo := range am.outputs {
 		for p := 0; p < am.spec.NumReduces; p++ {
-			am.rt.FetchPartition(mo, p, am.amNode, func() {
+			am.rt.FetchPartition(mo, p, am.amNode, func(err error) {
+				if am.killed {
+					return
+				}
+				if err != nil {
+					// Uber outputs live on the AM's own node; losing them
+					// means the AM node itself died, which kills the attempt.
+					am.Abort(err)
+					return
+				}
 				remaining--
 				if remaining == 0 {
 					am.runReducePartitions(0)

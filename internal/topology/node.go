@@ -18,6 +18,15 @@ type Node struct {
 	Disk  *sim.Device    // sequential disk bandwidth, shared by all tasks on the node
 	NIC   *sim.Device    // network interface, shared by HDFS reads and shuffle
 	Cores *sim.Semaphore // physical cores; compute phases hold one core each
+
+	eng *sim.Engine
+
+	// down and epoch model machine liveness for fault injection. Simulated
+	// events cannot be cancelled, so in-flight work belonging to a crashed
+	// machine is abandoned instead: each task captures Epoch() when it starts
+	// and checks AliveEpoch at every continuation.
+	down  bool
+	epoch int
 }
 
 // NewNode builds a node of the given instance type.
@@ -31,7 +40,46 @@ func NewNode(eng *sim.Engine, id int, rack string, it InstanceType) *Node {
 		Disk:  sim.NewDevice(eng, name+"/disk", it.DiskReadBps),
 		NIC:   sim.NewDevice(eng, name+"/nic", it.NetworkBps),
 		Cores: sim.NewSemaphore(eng, name+"/cores", it.Cores),
+		eng:   eng,
 	}
+}
+
+// Alive reports whether the machine is up.
+func (n *Node) Alive() bool { return !n.down }
+
+// Epoch returns the machine's boot generation. It increments on every crash,
+// so a continuation scheduled before a crash can tell that the process it
+// belonged to no longer exists even if the machine has since rebooted.
+func (n *Node) Epoch() int { return n.epoch }
+
+// AliveEpoch reports whether the machine is up AND still in the given boot
+// generation — the check every in-flight task continuation makes.
+func (n *Node) AliveEpoch(e int) bool { return !n.down && n.epoch == e }
+
+// Fail crashes the machine: every process on it dies instantly. Local disk
+// contents (HDFS block replicas) survive and become readable again after
+// Restart, like a real machine losing power. Failing a dead machine is a
+// no-op.
+func (n *Node) Fail() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.epoch++
+}
+
+// Restart boots a crashed machine with fresh devices: queued work on the old
+// disk/NIC/cores belonged to processes that died with the previous epoch, so
+// the reborn machine starts with empty queues. Restarting a live machine is
+// a no-op.
+func (n *Node) Restart() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.Disk = sim.NewDevice(n.eng, n.Name+"/disk", n.Type.DiskReadBps)
+	n.NIC = sim.NewDevice(n.eng, n.Name+"/nic", n.Type.NetworkBps)
+	n.Cores = sim.NewSemaphore(n.eng, n.Name+"/cores", n.Type.Cores)
 }
 
 // Capacity returns the node's schedulable resource vector.

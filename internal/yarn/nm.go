@@ -37,11 +37,25 @@ func (nm *NM) StartContainer(c *Container, warm bool, ready func()) {
 	if !warm {
 		delay += p.ContainerLaunch + p.JVMStart
 	}
+	epoch := nm.Node.Epoch()
 	nm.rm.Eng.After(delay, func() {
+		if !nm.Node.AliveEpoch(epoch) {
+			// The node died before (or while) the container process came up:
+			// ready never fires, and the RM reports the container lost once
+			// the liveness monitor notices.
+			return
+		}
 		nm.running[c.ID] = c
 		nm.ContainersLaunched++
 		ready()
 	})
+}
+
+// crash wipes the NM's volatile state when its machine dies: running
+// containers are gone and queued release reports will never be sent.
+func (nm *NM) crash() {
+	nm.running = make(map[ContainerID]*Container)
+	nm.pendingRelease = nil
 }
 
 // queueRelease records a finished container; the RM is told at the next

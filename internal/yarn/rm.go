@@ -20,6 +20,13 @@ type Metrics struct {
 	AppsKilled    int64
 	// ByLocality counts allocations per achieved locality level.
 	ByLocality [3]int64
+
+	// NodesExpired counts nodes the liveness monitor declared lost;
+	// NodesRestored counts re-admissions after a restarted NM heartbeats
+	// again; ContainersLost counts containers that vanished with their node.
+	NodesExpired   int64
+	NodesRestored  int64
+	ContainersLost int64
 }
 
 // RM is the simulated ResourceManager. It owns the authoritative per-node
@@ -62,7 +69,7 @@ func NewRM(eng *sim.Engine, cluster *topology.Cluster, params costmodel.Params, 
 		live:      make(map[ContainerID]*Container),
 	}
 	for _, n := range cluster.Workers() {
-		nt := &NodeTracker{Node: n, Cap: n.Capacity(), Avail: n.Capacity()}
+		nt := &NodeTracker{Node: n, Cap: n.Capacity(), Avail: n.Capacity(), Live: true, epochSeen: n.Epoch()}
 		rm.trackers = append(rm.trackers, nt)
 		rm.trackerOf[n] = nt
 		rm.nms[n] = newNM(rm, n)
@@ -79,13 +86,20 @@ func (rm *RM) Start() {
 	}
 	rm.started = true
 	n := len(rm.trackers)
+	now := rm.Eng.Now()
 	for i, nt := range rm.trackers {
 		nt := nt
+		nt.lastHeartbeat = now // expiry countdown starts at RM start
 		offset := rm.Params.NMHeartbeat * time.Duration(i+1) / time.Duration(n+1)
 		rm.Eng.After(offset, func() {
 			rm.nodeHeartbeat(nt)
 			rm.tickers = append(rm.tickers, rm.Eng.Every(rm.Params.NMHeartbeat, func() { rm.nodeHeartbeat(nt) }))
 		})
+	}
+	// The liveness monitor expires nodes whose NM went silent. Guarded so
+	// hand-built Params without the liveness knobs keep their old behavior.
+	if rm.Params.NMLivenessInterval > 0 && rm.Params.NMExpiry > 0 {
+		rm.tickers = append(rm.tickers, rm.Eng.Every(rm.Params.NMLivenessInterval, rm.checkLiveness))
 	}
 }
 
@@ -101,6 +115,23 @@ func (rm *RM) Stop() {
 }
 
 func (rm *RM) nodeHeartbeat(nt *NodeTracker) {
+	if !nt.Node.Alive() {
+		// A crashed machine sends nothing; the liveness monitor will notice.
+		return
+	}
+	if nt.epochSeen != nt.Node.Epoch() {
+		// The node crashed and rebooted entirely between two reports: the NM
+		// re-registers (Hadoop's RESYNC) and every container it hosted died
+		// with the previous boot.
+		rm.loseNodeContainers(nt, "nm resync")
+		nt.epochSeen = nt.Node.Epoch()
+	}
+	nt.lastHeartbeat = rm.Eng.Now()
+	if !nt.Live {
+		nt.Live = true
+		rm.Metrics.NodesRestored++
+		rm.Trace.Add("rm", "node %s re-admitted", nt.Node.Name)
+	}
 	rm.Metrics.NMHeartbeats++
 	nm := rm.nms[nt.Node]
 	// Releases reported by the NM free resources first, then the scheduler
@@ -115,9 +146,76 @@ func (rm *RM) nodeHeartbeat(nt *NodeTracker) {
 	rm.Sched.OnNodeUpdate(rm, nt)
 }
 
+// checkLiveness is the RM's NM liveness monitor: any node silent for
+// NMExpiry is declared lost.
+func (rm *RM) checkLiveness() {
+	now := rm.Eng.Now()
+	for _, nt := range rm.trackers {
+		if nt.Live && now.Sub(nt.lastHeartbeat) >= rm.Params.NMExpiry {
+			rm.expireNode(nt)
+		}
+	}
+}
+
+// expireNode removes a silent node from the schedulable cluster and reports
+// its containers as lost to their owning applications.
+func (rm *RM) expireNode(nt *NodeTracker) {
+	nt.Live = false
+	rm.Metrics.NodesExpired++
+	rm.Trace.Add("rm", "node %s expired (no heartbeat for %s)", nt.Node.Name, rm.Params.NMExpiry)
+	rm.loseNodeContainers(nt, "node expired")
+}
+
+// loseNodeContainers declares every container on the node gone: resources
+// are returned to the (now empty) tracker and tenant queues, and owning apps
+// that registered OnContainerLost hear about it after one RPC latency.
+// Containers whose release was queued at the dead NM are cleaned up silently
+// — their work had already completed.
+func (rm *RM) loseNodeContainers(nt *NodeTracker, why string) {
+	rm.nms[nt.Node].crash()
+	for _, c := range rm.liveOnNode(nt.Node) {
+		delete(rm.live, c.ID)
+		rm.creditQueue(c.App, c.Resource)
+		rm.Metrics.ContainersLost++
+		rm.Trace.Add("rm", "lost %s (%s)", c, why)
+		if c.released {
+			continue
+		}
+		c.released = true
+		// An undelivered grant dies before the AM ever saw the container.
+		c.App.dropGranted(c)
+		if cb := c.App.OnContainerLost; cb != nil && c.App.Alive() {
+			cc := c
+			rm.Eng.After(rm.Params.RPCLatency, func() { cb(cc) })
+		}
+	}
+	nt.Avail = nt.Cap
+}
+
+func (rm *RM) liveOnNode(n *topology.Node) []*Container {
+	var out []*Container
+	for _, c := range rm.live {
+		if c.Node == n {
+			out = append(out, c)
+		}
+	}
+	// Deterministic order.
+	sortContainers(out)
+	return out
+}
+
 // Trackers exposes the RM's per-node resource view — the Cluster Resource
-// structure the D+ scheduler allocates from.
-func (rm *RM) Trackers() []*NodeTracker { return rm.trackers }
+// structure the D+ scheduler allocates from. Expired nodes are excluded: a
+// dead node must never appear in the snapshot the D+ scheduler packs.
+func (rm *RM) Trackers() []*NodeTracker {
+	live := make([]*NodeTracker, 0, len(rm.trackers))
+	for _, nt := range rm.trackers {
+		if nt.Live {
+			live = append(live, nt)
+		}
+	}
+	return live
+}
 
 // TrackerFor returns the tracker for a worker node.
 func (rm *RM) TrackerFor(n *topology.Node) *NodeTracker { return rm.trackerOf[n] }
@@ -125,19 +223,20 @@ func (rm *RM) TrackerFor(n *topology.Node) *NodeTracker { return rm.trackerOf[n]
 // NMOn returns the NodeManager on a worker node.
 func (rm *RM) NMOn(n *topology.Node) *NM { return rm.nms[n] }
 
-// TotalUsed sums allocated resources cluster-wide.
+// TotalUsed sums allocated resources across live nodes.
 func (rm *RM) TotalUsed() topology.Resource {
 	var u topology.Resource
-	for _, nt := range rm.trackers {
+	for _, nt := range rm.Trackers() {
 		u = u.Add(nt.Used())
 	}
 	return u
 }
 
-// TotalCapacity sums worker capacity.
+// TotalCapacity sums live worker capacity (an expired node's resources are
+// not schedulable, so tenant-queue ceilings shrink with it).
 func (rm *RM) TotalCapacity() topology.Resource {
 	var c topology.Resource
-	for _, nt := range rm.trackers {
+	for _, nt := range rm.Trackers() {
 		c = c.Add(nt.Cap)
 	}
 	return c

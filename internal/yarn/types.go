@@ -10,6 +10,7 @@ package yarn
 import (
 	"fmt"
 
+	"mrapid/internal/sim"
 	"mrapid/internal/topology"
 )
 
@@ -109,6 +110,17 @@ type NodeTracker struct {
 	Node  *topology.Node
 	Cap   topology.Resource
 	Avail topology.Resource
+
+	// Live is the RM's belief about the node. It lags reality: a crashed
+	// node stays Live (and schedulable) until the liveness monitor notices
+	// the missed heartbeats, exactly Hadoop's window of doomed allocations.
+	Live bool
+
+	// lastHeartbeat is when the node last reported; epochSeen is the node
+	// boot generation of that report, used to detect a crash+restart that
+	// happened entirely between two heartbeats (Hadoop's NM RESYNC).
+	lastHeartbeat sim.Time
+	epochSeen     int
 }
 
 // Allocate reserves r on the node. It panics on overcommit: scheduler bugs
@@ -171,6 +183,12 @@ type App struct {
 	granted []*Container
 	// queued are asks accepted but not yet satisfied.
 	queued []*Ask
+
+	// OnContainerLost, when set, is how the RM tells this app's AM that a
+	// container vanished with its node (delivered one RPC latency after the
+	// RM notices). The container's work must be considered gone: AMs
+	// reschedule the task, the AM pool replenishes a lost pooled AM.
+	OnContainerLost func(*Container)
 }
 
 // PendingAsks returns the app's unsatisfied asks (the scheduler's queue).
@@ -193,3 +211,14 @@ func (a *App) RemovePending(ask *Ask) {
 
 // Alive reports whether the app can still receive containers.
 func (a *App) Alive() bool { return a.State != AppKilled && a.State != AppFinished }
+
+// dropGranted removes a container from the undelivered-grant buffer (its
+// node died before the AM's next heartbeat could pick it up).
+func (a *App) dropGranted(c *Container) {
+	for i, g := range a.granted {
+		if g == c {
+			a.granted = append(a.granted[:i], a.granted[i+1:]...)
+			return
+		}
+	}
+}
