@@ -20,6 +20,7 @@ import (
 	"mrapid/internal/mapreduce"
 	"mrapid/internal/metrics"
 	"mrapid/internal/profiler"
+	"mrapid/internal/report"
 	"mrapid/internal/sim"
 	"mrapid/internal/trace"
 	"mrapid/internal/workloads"
@@ -41,16 +42,31 @@ func main() {
 		verbose  = flag.Bool("verbose", false, "print per-task profile")
 		traceN   = flag.Int("trace", 0, "print the last N scheduling/task trace events")
 		nodeFail = flag.String("node-fail", "", "node-fault schedule 'node@at[:restartAfter]', comma-separated (e.g. 'node-02@5s:20s'); times measured from cluster-ready")
+		traceOut = flag.String("trace-out", "", "write the run's span tree as Chrome trace_event JSON (load in Perfetto / chrome://tracing)")
+		metOut   = flag.String("metrics-out", "", "write the phase report and metrics registry as JSON")
+		phaseRep = flag.Bool("report", false, "print the critical-path phase-attribution report")
 	)
 	flag.Parse()
 
-	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN, *nodeFail); err != nil {
+	obs := observability{TraceOut: *traceOut, MetricsOut: *metOut, Report: *phaseRep}
+	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN, *nodeFail, obs); err != nil {
 		fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int, nodeFail string) error {
+// observability groups the -trace-out/-metrics-out/-report outputs.
+type observability struct {
+	TraceOut   string
+	MetricsOut string
+	Report     bool
+}
+
+func (o observability) enabled() bool {
+	return o.TraceOut != "" || o.MetricsOut != "" || o.Report
+}
+
+func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int, nodeFail string, obs observability) error {
 	var setup bench.ClusterSetup
 	switch cluster {
 	case "A3x4":
@@ -93,7 +109,16 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 	}
 	defer env.Close()
 	var tlog *trace.Log
-	if traceN > 0 {
+	if obs.enabled() {
+		limit := 1 << 16
+		if traceN > limit {
+			limit = traceN
+		}
+		env.EnableObservability(limit)
+		if traceN > 0 {
+			tlog = env.Trace
+		}
+	} else if traceN > 0 {
 		tlog = trace.New(env.Eng, traceN)
 		env.RM.Trace = tlog
 		env.RT.Trace = tlog
@@ -134,6 +159,7 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 
 	var prof *profiler.JobProfile
 	var winner string
+	var root trace.SpanID
 	if speculative {
 		var res *core.SpecResult
 		env.Eng.After(0, func() {
@@ -151,6 +177,7 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 		}
 		prof = res.Result.Profile
 		winner = string(res.Winner)
+		root = res.Span
 		fmt.Printf("speculative execution: winner=%s fromHistory=%v\n", res.Winner, res.FromHistory)
 		if res.EstimateD > 0 {
 			fmt.Printf("estimates: t_d=%.2fs t_u=%.2fs (decided at %s)\n",
@@ -163,6 +190,7 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 		}
 		prof = r.Profile
 		winner = r.Mode
+		root = prof.Span
 	}
 
 	fmt.Printf("job=%s mode=%s cluster=%s\n", job, winner, cluster)
@@ -203,6 +231,48 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 	if tlog != nil {
 		fmt.Printf("trace (last %d events):\n", traceN)
 		tlog.Dump(os.Stdout)
+	}
+
+	if obs.enabled() {
+		rep, err := report.Analyze(env.Trace, root)
+		if err != nil {
+			return err
+		}
+		if obs.Report {
+			fmt.Println("phase report:")
+			if err := rep.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if obs.TraceOut != "" {
+			f, err := os.Create(obs.TraceOut)
+			if err != nil {
+				return err
+			}
+			if err := env.Trace.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("chrome trace written to %s (%d spans, %d dropped events)\n",
+				obs.TraceOut, len(env.Trace.Spans()), env.Trace.Dropped())
+		}
+		if obs.MetricsOut != "" {
+			f, err := os.Create(obs.MetricsOut)
+			if err != nil {
+				return err
+			}
+			if err := report.WriteJSON(f, rep, env.Reg); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("metrics summary written to %s\n", obs.MetricsOut)
+		}
 	}
 
 	if verbose {

@@ -13,8 +13,10 @@ import (
 	"mrapid/internal/costmodel"
 	"mrapid/internal/hdfs"
 	"mrapid/internal/mapreduce"
+	"mrapid/internal/metrics"
 	"mrapid/internal/sim"
 	"mrapid/internal/topology"
+	"mrapid/internal/trace"
 	"mrapid/internal/yarn"
 )
 
@@ -122,6 +124,26 @@ type Env struct {
 	RM      *yarn.RM
 	RT      *mapreduce.Runtime
 	FW      *core.Framework
+
+	// Trace and Reg are set by EnableObservability; nil otherwise.
+	Trace *trace.Log
+	Reg   *metrics.Registry
+}
+
+// EnableObservability attaches a span tracer and a metrics registry to
+// every instrumented component (RM, runtime, HDFS). Call it right after
+// NewEnv, before submitting work, so spans form complete trees.
+func (e *Env) EnableObservability(eventLimit int) (*trace.Log, *metrics.Registry) {
+	if e.Trace == nil {
+		e.Trace = trace.New(e.Eng, eventLimit)
+		e.Reg = metrics.New()
+		e.RM.Trace = e.Trace
+		e.RM.Reg = e.Reg
+		e.RT.Trace = e.Trace
+		e.RT.Reg = e.Reg
+		e.DFS.Trace = e.Trace
+	}
+	return e.Trace, e.Reg
 }
 
 // NewEnv builds and starts a simulation for one variant. When the variant

@@ -497,6 +497,7 @@ var Registry = []struct {
 	{"fig14", Fig14, "D+ ablation"},
 	{"fig15", Fig15, "U+ ablation"},
 	{"estimator", EstimatorAccuracy, "Eq. 2/3 estimates vs measured (supplementary)"},
+	{"phases", PhaseBreakdown, "phase attribution per mode (observability)"},
 }
 
 // Lookup finds a registered experiment by ID.

@@ -5,6 +5,7 @@ import (
 
 	"mrapid/internal/mapreduce"
 	"mrapid/internal/profiler"
+	"mrapid/internal/trace"
 	"mrapid/internal/yarn"
 )
 
@@ -35,13 +36,17 @@ type Framework struct {
 // poll-aligned under the communication ablation.
 func (f *Framework) notify(prof *profiler.JobProfile, res *mapreduce.Result, done func(*mapreduce.Result)) {
 	if !f.NotifyPoll {
+		f.RT.Trace.EndSpan(prof.Span)
 		done(res)
 		return
 	}
+	pollStart := f.RT.Eng.Now()
 	f.RT.PollAlignedNotify(prof.SubmittedAt, func() {
 		if res.Profile != nil {
 			res.Profile.DoneAt = f.RT.Eng.Now()
 		}
+		f.RT.Trace.SpanSince(prof.Span, "client", "poll wait", "notify", pollStart)
+		f.RT.Trace.EndSpan(prof.Span)
 		done(res)
 	})
 }
@@ -103,24 +108,31 @@ func (f *Framework) SubmitDPlus(spec *mapreduce.JobSpec, done func(*mapreduce.Re
 	if done == nil {
 		panic("core: SubmitDPlus needs a completion callback")
 	}
+	root := f.RT.Trace.StartSpan(0, "job", spec.Name, "", trace.A("mode", string(ModeDPlus)))
+	finish := func(res *mapreduce.Result) {
+		f.RT.Trace.EndSpan(root)
+		done(res)
+	}
+	uploadStart := f.RT.Eng.Now()
 	f.RT.UploadArtifacts(spec, func(err error) {
+		f.RT.Trace.SpanSince(root, "client", "upload artifacts", "submit", uploadStart)
 		if err != nil {
-			done(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Err: err})
+			finish(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Err: err})
 			return
 		}
-		f.runDPlus(spec, 1, done)
+		f.runDPlus(spec, 1, root, finish)
 	})
 }
 
-func (f *Framework) runDPlus(spec *mapreduce.JobSpec, attempt int, done func(*mapreduce.Result)) {
+func (f *Framework) runDPlus(spec *mapreduce.JobSpec, attempt int, parent trace.SpanID, done func(*mapreduce.Result)) {
 	if f.Pool.Size() == 0 || f.Pool.Exhausted() {
 		f.fallBackToStock(spec, func() {
 			mapreduce.Submit(f.RT, spec, mapreduce.ModeDistributed, done)
 		})
 		return
 	}
-	f.launchDPlus(spec, nil, func(res *mapreduce.Result) {
-		if f.retryLostAM(spec, attempt, res, func() { f.runDPlus(spec, attempt+1, done) }) {
+	f.launchDPlus(spec, parent, nil, func(res *mapreduce.Result) {
+		if f.retryLostAM(spec, attempt, res, func() { f.runDPlus(spec, attempt+1, parent, done) }) {
 			return
 		}
 		done(res)
@@ -134,24 +146,31 @@ func (f *Framework) SubmitUPlus(spec *mapreduce.JobSpec, done func(*mapreduce.Re
 	if done == nil {
 		panic("core: SubmitUPlus needs a completion callback")
 	}
+	root := f.RT.Trace.StartSpan(0, "job", spec.Name, "", trace.A("mode", string(ModeUPlus)))
+	finish := func(res *mapreduce.Result) {
+		f.RT.Trace.EndSpan(root)
+		done(res)
+	}
+	uploadStart := f.RT.Eng.Now()
 	f.RT.UploadArtifacts(spec, func(err error) {
+		f.RT.Trace.SpanSince(root, "client", "upload artifacts", "submit", uploadStart)
 		if err != nil {
-			done(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Err: err})
+			finish(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Err: err})
 			return
 		}
-		f.runUPlus(spec, 1, done)
+		f.runUPlus(spec, 1, root, finish)
 	})
 }
 
-func (f *Framework) runUPlus(spec *mapreduce.JobSpec, attempt int, done func(*mapreduce.Result)) {
+func (f *Framework) runUPlus(spec *mapreduce.JobSpec, attempt int, parent trace.SpanID, done func(*mapreduce.Result)) {
 	if f.Pool.Size() == 0 || f.Pool.Exhausted() {
 		f.fallBackToStock(spec, func() {
 			SubmitUPlusCold(f.RT, spec, f.UOpts, done)
 		})
 		return
 	}
-	f.launchUPlus(spec, nil, func(res *mapreduce.Result) {
-		if f.retryLostAM(spec, attempt, res, func() { f.runUPlus(spec, attempt+1, done) }) {
+	f.launchUPlus(spec, parent, nil, func(res *mapreduce.Result) {
+		if f.retryLostAM(spec, attempt, res, func() { f.runUPlus(spec, attempt+1, parent, done) }) {
 			return
 		}
 		done(res)
@@ -180,14 +199,20 @@ func (f *Framework) retryLostAM(spec *mapreduce.JobSpec, attempt int, res *mapre
 }
 
 // launchDPlus dispatches an uploaded job to a pooled AM in D+ mode. onMap,
-// when non-nil, observes map completions (for the decision maker).
-func (f *Framework) launchDPlus(spec *mapreduce.JobSpec, onMap func(*profiler.TaskProfile), done func(*mapreduce.Result)) *handle {
+// when non-nil, observes map completions (for the decision maker). parent
+// is the trace span the attempt nests under (0 for an untraced run).
+func (f *Framework) launchDPlus(spec *mapreduce.JobSpec, parent trace.SpanID, onMap func(*profiler.TaskProfile), done func(*mapreduce.Result)) *handle {
 	h := &handle{}
 	prof := &profiler.JobProfile{
 		Job:         spec.Key(),
 		Mode:        string(ModeDPlus),
 		SubmittedAt: f.RT.Eng.Now(),
+		AMPoolHit:   true,
 	}
+	// The attempt span covers exactly [SubmittedAt, DoneAt]; f.notify
+	// closes it.
+	prof.Span = f.RT.Trace.StartSpan(parent, "job", spec.Name+" (dplus)", "")
+	dispatchStart := f.RT.Eng.Now()
 	f.Pool.Acquire(func(pam *PooledAM) {
 		// The pooled AM only needs the job's artifacts; its JVM and runtime
 		// are already warm.
@@ -225,6 +250,11 @@ func (f *Framework) launchDPlus(spec *mapreduce.JobSpec, onMap func(*profiler.Ta
 				return
 			}
 			prof.AMReadyAt = f.RT.Eng.Now()
+			prof.AMStartup = prof.AMReadyAt.Sub(prof.SubmittedAt)
+			// A pool hit pays only proxy dispatch + localization, never an
+			// AM allocation or JVM start — the paper's central saving.
+			f.RT.Trace.SpanSince(prof.Span, "proxy", "am-dispatch", "am", dispatchStart,
+				trace.A("pool_hit", "true"), trace.A("am_node", pam.Node.Name))
 			app := f.RT.RM.NewApp(spec.Name + "@dplus")
 			am, err := mapreduce.NewDistributedAM(f.RT, spec, app, pam.Node, prof)
 			if err != nil {
@@ -237,6 +267,8 @@ func (f *Framework) launchDPlus(spec *mapreduce.JobSpec, onMap func(*profiler.Ta
 			h.attach(func() {
 				am.Kill()
 				release()
+				// A speculative loser's span is closed at the kill instant.
+				f.RT.Trace.EndSpan(prof.Span, trace.A("killed", "true"))
 			})
 			if h.killed {
 				return
@@ -249,14 +281,18 @@ func (f *Framework) launchDPlus(spec *mapreduce.JobSpec, onMap func(*profiler.Ta
 	return h
 }
 
-// launchUPlus dispatches an uploaded job to a pooled AM in U+ mode.
-func (f *Framework) launchUPlus(spec *mapreduce.JobSpec, onMap func(*profiler.TaskProfile), done func(*mapreduce.Result)) *handle {
+// launchUPlus dispatches an uploaded job to a pooled AM in U+ mode. parent
+// is the trace span the attempt nests under (0 for an untraced run).
+func (f *Framework) launchUPlus(spec *mapreduce.JobSpec, parent trace.SpanID, onMap func(*profiler.TaskProfile), done func(*mapreduce.Result)) *handle {
 	h := &handle{}
 	prof := &profiler.JobProfile{
 		Job:         spec.Key(),
 		Mode:        string(ModeUPlus),
 		SubmittedAt: f.RT.Eng.Now(),
+		AMPoolHit:   true,
 	}
+	prof.Span = f.RT.Trace.StartSpan(parent, "job", spec.Name+" (uplus)", "")
+	dispatchStart := f.RT.Eng.Now()
 	f.Pool.Acquire(func(pam *PooledAM) {
 		released := false
 		release := func() {
@@ -289,6 +325,9 @@ func (f *Framework) launchUPlus(spec *mapreduce.JobSpec, onMap func(*profiler.Ta
 				return
 			}
 			prof.AMReadyAt = f.RT.Eng.Now()
+			prof.AMStartup = prof.AMReadyAt.Sub(prof.SubmittedAt)
+			f.RT.Trace.SpanSince(prof.Span, "proxy", "am-dispatch", "am", dispatchStart,
+				trace.A("pool_hit", "true"), trace.A("am_node", pam.Node.Name))
 			app := f.RT.RM.NewApp(spec.Name + "@uplus")
 			am, err := NewUPlusAM(f.RT, spec, app, pam.Node, prof, f.UOpts)
 			if err != nil {
@@ -300,6 +339,8 @@ func (f *Framework) launchUPlus(spec *mapreduce.JobSpec, onMap func(*profiler.Ta
 			h.attach(func() {
 				am.Kill()
 				release()
+				// A speculative loser's span is closed at the kill instant.
+				f.RT.Trace.EndSpan(prof.Span, trace.A("killed", "true"))
 			})
 			if h.killed {
 				return
@@ -324,15 +365,21 @@ func SubmitUPlusCold(rt *mapreduce.Runtime, spec *mapreduce.JobSpec, uopts UPlus
 		Mode:        string(ModeUPlus),
 		SubmittedAt: rt.Eng.Now(),
 	}
+	prof.Span = rt.Trace.StartSpan(0, "job", spec.Name+" (uplus cold)", "",
+		trace.A("mode", string(ModeUPlus)))
 	fail := func(err error) {
 		prof.DoneAt = rt.Eng.Now()
+		rt.Trace.EndSpan(prof.Span, trace.A("error", err.Error()))
 		done(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: prof, Err: err})
 	}
+	uploadStart := rt.Eng.Now()
 	rt.UploadArtifacts(spec, func(err error) {
+		rt.Trace.SpanSince(prof.Span, "client", "upload artifacts", "submit", uploadStart)
 		if err != nil {
 			fail(err)
 			return
 		}
+		amSpan := rt.Trace.StartSpan(prof.Span, "am", "am-startup", "am", trace.A("cold", "true"))
 		app := rt.RM.SubmitApp(spec.Name, rt.AMResource(), func(app *yarn.App, amC *yarn.Container) {
 			amEpoch := amC.Node.Epoch()
 			rt.Eng.After(rt.Params.AMInit, func() {
@@ -348,6 +395,8 @@ func SubmitUPlusCold(rt *mapreduce.Runtime, spec *mapreduce.JobSpec, uopts UPlus
 						return
 					}
 					prof.AMReadyAt = rt.Eng.Now()
+					prof.AMStartup = prof.AMReadyAt.Sub(prof.SubmittedAt)
+					rt.Trace.EndSpan(amSpan)
 					am, err := NewUPlusAM(rt, spec, app, amC.Node, prof, uopts)
 					if err != nil {
 						fail(err)
@@ -355,16 +404,20 @@ func SubmitUPlusCold(rt *mapreduce.Runtime, spec *mapreduce.JobSpec, uopts UPlus
 					}
 					am.Run(func(p *profiler.JobProfile, err error) {
 						// No proxy here: the stock client polls for status.
+						pollStart := rt.Eng.Now()
 						rt.PollAlignedNotify(prof.SubmittedAt, func() {
 							if p != nil {
 								p.DoneAt = rt.Eng.Now()
 							}
+							rt.Trace.SpanSince(prof.Span, "client", "poll wait", "notify", pollStart)
+							rt.Trace.EndSpan(prof.Span)
 							done(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: p, Err: err})
 						})
 					})
 				})
 			})
 		})
+		app.Span = amSpan
 		// Covers the window before the U+ AM installs its own handler in
 		// Run(): an AM node death here would otherwise hang the client.
 		app.OnContainerLost = func(c *yarn.Container) {

@@ -6,6 +6,7 @@ import (
 	"mrapid/internal/mapreduce"
 	"mrapid/internal/profiler"
 	"mrapid/internal/sim"
+	"mrapid/internal/trace"
 )
 
 // SpecResult is the outcome of a speculative submission.
@@ -25,6 +26,11 @@ type SpecResult struct {
 	// used (zero when no estimate was needed).
 	EstimateD time.Duration
 	EstimateU time.Duration
+
+	// Span is the root of the race's span tree in the run's trace.Log (the
+	// winner's own job span is a child); 0 when untraced or pre-decided
+	// from history (then the winner's Result.Profile.Span is the root).
+	Span trace.SpanID
 }
 
 // Elapsed returns the winner's completion time in seconds.
@@ -67,17 +73,25 @@ func (f *Framework) SubmitSpeculative(spec *mapreduce.JobSpec, done func(*SpecRe
 		}
 		run(spec, func(res *mapreduce.Result) {
 			f.recordOutcome(spec, winner, res)
-			done(&SpecResult{Result: res, Winner: winner, FromHistory: true})
+			out := &SpecResult{Result: res, Winner: winner, FromHistory: true}
+			if res.Profile != nil {
+				out.Span = res.Profile.Span
+			}
+			done(out)
 		})
 		return
 	}
 
+	root := f.RT.Trace.StartSpan(0, "job", spec.Name, "", trace.A("mode", "speculative"))
+	uploadStart := f.RT.Eng.Now()
 	f.RT.UploadArtifacts(spec, func(err error) {
+		f.RT.Trace.SpanSince(root, "client", "upload artifacts", "submit", uploadStart)
 		if err != nil {
-			done(&SpecResult{Result: &mapreduce.Result{Spec: spec, Err: err}})
+			f.RT.Trace.EndSpan(root, trace.A("error", err.Error()))
+			done(&SpecResult{Result: &mapreduce.Result{Spec: spec, Err: err}, Span: root})
 			return
 		}
-		f.race(spec, done)
+		f.race(spec, root, done)
 	})
 }
 
@@ -85,13 +99,13 @@ func (f *Framework) SubmitSpeculative(spec *mapreduce.JobSpec, done func(*SpecRe
 // (e.g. a fault-injected task exhausting MaxTaskAttempts) drops out of the
 // race and the surviving mode wins by default; the job as a whole fails
 // only when no runnable mode remains.
-func (f *Framework) race(spec *mapreduce.JobSpec, done func(*SpecResult)) {
+func (f *Framework) race(spec *mapreduce.JobSpec, root trace.SpanID, done func(*SpecResult)) {
 	dSpec := *spec
 	dSpec.OutputFile = tempOutput(spec.OutputFile, ModeDPlus)
 	uSpec := *spec
 	uSpec.OutputFile = tempOutput(spec.OutputFile, ModeUPlus)
 
-	out := &SpecResult{}
+	out := &SpecResult{Span: root}
 	decided := false
 	finished := false
 	var dHandle, uHandle *handle
@@ -120,6 +134,12 @@ func (f *Framework) race(spec *mapreduce.JobSpec, done func(*SpecResult)) {
 		res.Spec = spec
 		out.Result = res
 		out.Winner = winner
+		if res.Profile != nil {
+			// The verdict instant belongs in the winner's profile too, so
+			// the analyzer and the cost model read the same record.
+			res.Profile.DecidedAt = out.DecidedAt
+		}
+		f.RT.Trace.EndSpan(root, trace.A("winner", string(winner)))
 		f.recordOutcome(spec, winner, res)
 		done(out)
 	}
@@ -153,6 +173,7 @@ func (f *Framework) race(spec *mapreduce.JobSpec, done func(*SpecResult)) {
 			finished = true
 			f.RT.DFS.DeletePrefix(tempOutput(spec.OutputFile, other))
 			out.Result = &mapreduce.Result{Spec: spec, Err: firstErr}
+			f.RT.Trace.EndSpan(root, trace.A("error", firstErr.Error()))
 			done(out)
 		}
 	}
@@ -201,20 +222,30 @@ func (f *Framework) race(spec *mapreduce.JobSpec, done func(*SpecResult)) {
 		out.EstimateU = EstimateUPlus(in)
 		out.EstimateD = EstimateDPlus(in)
 		out.DecidedAt = f.RT.Eng.Now()
-		if Decide(in) == ModeDPlus {
+		projected := Decide(in)
+		// The decision instant is a point event on the race span: which
+		// mode was projected to lose, and from which estimates.
+		f.RT.Trace.Annotate(root,
+			trace.A("decided_at", out.DecidedAt.String()),
+			trace.A("estimate_dplus", out.EstimateD.String()),
+			trace.A("estimate_uplus", out.EstimateU.String()),
+			trace.A("projected_winner", string(projected)))
+		f.RT.Trace.Add("proxy", "speculative decision: %s projected to win (D+=%s U+=%s)",
+			projected, out.EstimateD, out.EstimateU)
+		if projected == ModeDPlus {
 			uHandle.Kill()
 		} else {
 			dHandle.Kill()
 		}
 	}
 
-	dHandle = f.launchDPlus(&dSpec, func(tp *profiler.TaskProfile) {
+	dHandle = f.launchDPlus(&dSpec, root, func(tp *profiler.TaskProfile) {
 		if dSample == nil {
 			dSample = tp
 			decide()
 		}
 	}, modeDone(ModeDPlus))
-	uHandle = f.launchUPlus(&uSpec, func(tp *profiler.TaskProfile) {
+	uHandle = f.launchUPlus(&uSpec, root, func(tp *profiler.TaskProfile) {
 		if uSample == nil {
 			uSample = tp
 			decide()

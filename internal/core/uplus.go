@@ -103,6 +103,7 @@ func (am *UPlusAM) Run(done func(*profiler.JobProfile, error)) {
 	// loses the attempt. (A pooled U+ job's app owns no containers — the AM
 	// container belongs to the pool's app, which notifies the framework.)
 	am.app.OnContainerLost = func(*yarn.Container) { am.Abort(mapreduce.ErrAMLost) }
+	am.app.Span = am.prof.Span
 	am.prof.FirstTaskAt = am.rt.Eng.Now()
 	am.pump()
 }
@@ -163,6 +164,7 @@ func (am *UPlusAM) runOne(s *hdfs.Split) {
 			return true
 		},
 		Attempt: am.mapAttempts[s.Index],
+		Parent:  am.prof.Span,
 	}
 	am.rt.RunMapTask(am.spec, s, am.amNode, opts, func(mo *mapreduce.MapOutput, tp *profiler.TaskProfile, err error) {
 		if am.killed {
@@ -224,7 +226,7 @@ func (am *UPlusAM) runReduce() {
 	}
 	for _, mo := range am.outputs {
 		for p := 0; p < am.spec.NumReduces; p++ {
-			am.rt.FetchPartition(mo, p, am.amNode, func(err error) {
+			am.rt.ShuffleFetch(am.prof.Span, mo, p, am.amNode, func(err error) {
 				if am.killed {
 					return
 				}
@@ -260,7 +262,8 @@ func (am *UPlusAM) runReducePartitions(p int) {
 		am.finish(nil)
 		return
 	}
-	am.rt.RunReducePhase(am.spec, p, am.reduceAttempts[p], am.outputs, am.amNode, func(tp *profiler.TaskProfile, err error) {
+	ropts := mapreduce.ReduceOptions{Attempt: am.reduceAttempts[p], Parent: am.prof.Span}
+	am.rt.RunReduceTask(am.spec, p, ropts, am.outputs, am.amNode, func(tp *profiler.TaskProfile, err error) {
 		if am.killed {
 			return
 		}

@@ -14,6 +14,7 @@ import (
 
 	"mrapid/internal/sim"
 	"mrapid/internal/topology"
+	"mrapid/internal/trace"
 )
 
 // Block is one replicated chunk of a file.
@@ -70,6 +71,9 @@ type DFS struct {
 	LocalReads  int64
 	RackReads   int64
 	RemoteReads int64
+
+	// Trace, when non-nil, records read/write events on the virtual clock.
+	Trace *trace.Log
 }
 
 // New creates an empty filesystem over the cluster. blockSize and
@@ -295,6 +299,11 @@ func (d *DFS) Write(name string, data []byte, writer *topology.Node, done func(*
 	f := d.makeBlocks(name, data, writer)
 	d.files[name] = f
 	d.BytesWritten += int64(len(data))
+	if writer != nil {
+		d.Trace.Add("hdfs", "write %s (%d bytes, %d blocks) from %s", name, len(data), len(f.Blocks), writer.Name)
+	} else {
+		d.Trace.Add("hdfs", "write %s (%d bytes, %d blocks)", name, len(data), len(f.Blocks))
+	}
 
 	pending := 0
 	finished := false
@@ -380,6 +389,11 @@ func (d *DFS) ReadRange(name string, offset, length int64, reader *topology.Node
 		return
 	}
 
+	if reader != nil {
+		d.Trace.Add("hdfs", "read %s [%d,%d) on %s", name, offset, offset+length, reader.Name)
+	} else {
+		d.Trace.Add("hdfs", "read %s [%d,%d)", name, offset, offset+length)
+	}
 	var out []byte
 	// Fast path: a read covering exactly one whole block returns the block
 	// bytes without copying. Readers must treat returned data as immutable,

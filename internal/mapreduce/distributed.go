@@ -113,6 +113,9 @@ func (am *DistributedAM) Run(done func(*profiler.JobProfile, error)) {
 	}
 	am.done = done
 	am.app.OnContainerLost = am.onContainerLost
+	// From here on, task-container scheduling waits and launches nest
+	// under the job root span rather than the AM-startup span.
+	am.app.Span = am.prof.Span
 	am.heartbeat() // first allocate immediately after AM init
 	am.ticker = am.rt.Eng.Every(am.rt.Params.AMHeartbeat, am.heartbeat)
 }
@@ -252,7 +255,7 @@ func (am *DistributedAM) runMap(c *yarn.Container, s *hdfs.Split) {
 		am.prof.FirstTaskAt = am.rt.Eng.Now()
 	}
 	attempt := am.mapAttempts[s.Index]
-	opts := MapTaskOptions{SpillToDisk: true, Attempt: attempt}
+	opts := MapTaskOptions{SpillToDisk: true, Attempt: attempt, Parent: am.prof.Span}
 	am.rt.RunMapTask(am.spec, s, c.Node, opts, func(mo *MapOutput, tp *profiler.TaskProfile, err error) {
 		if am.killed {
 			am.rt.RM.ReleaseContainer(c)
@@ -281,6 +284,7 @@ func (am *DistributedAM) runMap(c *yarn.Container, s *hdfs.Split) {
 		}
 		// Commit handshake with the AM, then the container is released (a
 		// fresh one is requested per task, as in MRv2).
+		commitStart := am.rt.Eng.Now()
 		am.rt.Eng.After(am.rt.Params.TaskCommit, func() {
 			if am.killed {
 				am.rt.RM.ReleaseContainer(c)
@@ -294,6 +298,8 @@ func (am *DistributedAM) runMap(c *yarn.Container, s *hdfs.Split) {
 			}
 			delete(am.runningMaps, c)
 			am.rt.RM.ReleaseContainer(c)
+			am.rt.Trace.SpanSince(am.prof.Span, "am",
+				fmt.Sprintf("commit map-%d", s.Index), "commit", commitStart)
 			am.prof.Add(tp)
 			am.mapOutputs = append(am.mapOutputs, mo)
 			am.completedMaps++
@@ -358,7 +364,7 @@ func (am *DistributedAM) pumpShuffle() {
 		failed := false
 		for p := 0; p < am.spec.NumReduces; p++ {
 			total++
-			am.rt.FetchPartition(mo, p, dst, func(err error) {
+			am.rt.ShuffleFetch(am.prof.Span, mo, p, dst, func(err error) {
 				if am.killed || gen != am.reduceGen {
 					// The reduce attempt this fetch fed was itself lost;
 					// the replacement reshuffles from scratch.
@@ -507,7 +513,8 @@ func (am *DistributedAM) runReducePartitions(p int) {
 		return
 	}
 	gen := am.reduceGen
-	am.rt.RunReducePhase(am.spec, p, am.reduceAttempts[p], am.mapOutputs, am.reduceContainer.Node, func(tp *profiler.TaskProfile, err error) {
+	ropts := ReduceOptions{Attempt: am.reduceAttempts[p], Parent: am.prof.Span}
+	am.rt.RunReduceTask(am.spec, p, ropts, am.mapOutputs, am.reduceContainer.Node, func(tp *profiler.TaskProfile, err error) {
 		if am.killed || gen != am.reduceGen {
 			return
 		}

@@ -10,6 +10,7 @@ import (
 
 	"mrapid/internal/costmodel"
 	"mrapid/internal/hdfs"
+	"mrapid/internal/metrics"
 	"mrapid/internal/profiler"
 	"mrapid/internal/sim"
 	"mrapid/internal/topology"
@@ -35,8 +36,14 @@ type Runtime struct {
 	// ApplicationMasters retry up to Params.MaxTaskAttempts.
 	Faults *FaultInjector
 
-	// Trace, when non-nil, records task lifecycle events.
+	// Trace, when non-nil, records task lifecycle events and spans.
 	Trace *trace.Log
+
+	// Reg, when non-nil, receives task-duration and shuffle-byte
+	// histograms and task counters. It must be thread-safe: completions
+	// run on the engine goroutine, but nothing stops future callers from
+	// observing from worker-pool tasks.
+	Reg *metrics.Registry
 
 	// Workers opts into parallel host-side execution of the pure map and
 	// reduce computations: 0 or 1 keeps the fully sequential path, a value
@@ -293,6 +300,10 @@ type MapTaskOptions struct {
 
 	// Attempt is the retry ordinal of this task execution (0 = first).
 	Attempt int
+
+	// Parent is the trace span the task's spans nest under (the owning
+	// job's root span); 0 when untraced.
+	Parent trace.SpanID
 }
 
 // keepInMemory resolves the effective storage decision for an output size.
@@ -321,19 +332,28 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 	// The task process dies silently if its node crashes: engine events
 	// cannot be cancelled, so every continuation below re-checks the boot
 	// generation captured here and abandons the task (no done, no core
-	// release — the reborn node starts with fresh devices). The AM learns of
-	// the loss from the RM's lost-container report instead.
+	// release — the reborn node starts with fresh devices; its spans stay
+	// open, which the analyzer and exporters read as "abandoned"). The AM
+	// learns of the loss from the RM's lost-container report instead.
 	epoch := node.Epoch()
+	comp := "task/" + node.Name
+	span := rt.Trace.StartSpan(opts.Parent, comp, fmt.Sprintf("map-%d", split.Index), "map",
+		trace.A("attempt", fmt.Sprint(opts.Attempt)),
+		trace.A("split", split.File))
 	readStart := rt.Eng.Now()
+	readSpan := rt.Trace.StartSpan(span, comp, "read", "map")
 	rt.DFS.ReadRange(split.File, split.Offset, split.Length, node, func(data []byte, err error) {
 		if !node.AliveEpoch(epoch) {
 			return
 		}
 		if err != nil {
+			rt.Trace.EndSpan(readSpan, trace.A("error", err.Error()))
+			rt.Trace.EndSpan(span, trace.A("error", err.Error()))
 			done(nil, tp, err)
 			return
 		}
 		tp.ReadDur = rt.Eng.Now().Sub(readStart)
+		rt.Trace.EndSpan(readSpan, trace.A("bytes", fmt.Sprint(len(data))))
 		tp.InputBytes = int64(len(data))
 		if fail, point := rt.Faults.MapAttemptFor(spec.OutputFile, split.Index, opts.Attempt); fail {
 			// The attempt crashes partway through its compute phase: charge
@@ -355,6 +375,9 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 					tp.Ended = rt.Eng.Now()
 					rt.Faults.FailNow()
 					rt.Trace.Add("task", "map %d attempt %d FAILED on %s", split.Index, opts.Attempt, node.Name)
+					rt.Trace.SpanSince(span, comp, "compute", "map", computeStart)
+					rt.Trace.EndSpan(span, trace.A("failed", "true"))
+					rt.Reg.Inc(metrics.With("mapreduce_task_attempts_total", "kind", "map", "outcome", "failed"))
 					done(nil, tp, &AttemptError{Kind: "map", Index: split.Index, Attempt: opts.Attempt})
 				})
 			})
@@ -398,10 +421,15 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 					}
 					tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
 					node.Cores.Release(1)
-					rt.spillPhase(mo, node, epoch, opts, tp, func() {
+					rt.Trace.SpanSince(span, comp, "compute", "map", computeStart,
+						trace.A("records", fmt.Sprint(mo.Records)))
+					rt.spillPhase(mo, node, epoch, span, tp, func() {
 						tp.Ended = rt.Eng.Now()
 						rt.Trace.Add("task", "map %d attempt %d done on %s (in=%d out=%d mem=%v)",
 							split.Index, opts.Attempt, node.Name, tp.InputBytes, tp.OutputBytes, mo.InMemory)
+						rt.Trace.EndSpan(span, trace.A("out_bytes", fmt.Sprint(mo.TotalBytes)))
+						rt.Reg.Inc(metrics.With("mapreduce_task_attempts_total", "kind", "map", "outcome", "ok"))
+						rt.Reg.Observe(metrics.With("mapreduce_task_seconds", "kind", "map"), tp.Elapsed().Seconds())
 						done(mo, tp, nil)
 					})
 				})
@@ -430,7 +458,8 @@ func (rt *Runtime) execMapCached(spec *JobSpec, split *hdfs.Split, data []byte) 
 // spillPhase charges the spill and merge sub-phases of Eq. 1: the spill
 // writes s^o once; when the output needed multiple spills, the merge pass
 // reads everything back and writes it again.
-func (rt *Runtime) spillPhase(mo *MapOutput, node *topology.Node, epoch int, opts MapTaskOptions, tp *profiler.TaskProfile, done func()) {
+func (rt *Runtime) spillPhase(mo *MapOutput, node *topology.Node, epoch int, parent trace.SpanID, tp *profiler.TaskProfile, done func()) {
+	comp := "task/" + node.Name
 	if mo.InMemory || mo.TotalBytes == 0 {
 		tp.Spills = 0
 		rt.Eng.After(0, func() {
@@ -448,6 +477,8 @@ func (rt *Runtime) spillPhase(mo *MapOutput, node *topology.Node, epoch int, opt
 			return
 		}
 		tp.SpillDur = rt.Eng.Now().Sub(spillStart)
+		rt.Trace.SpanSince(parent, comp, "spill", "map", spillStart,
+			trace.A("spills", fmt.Sprint(tp.Spills)))
 		if tp.Spills <= 1 {
 			done()
 			return
@@ -459,9 +490,37 @@ func (rt *Runtime) spillPhase(mo *MapOutput, node *topology.Node, epoch int, opt
 					return
 				}
 				tp.MergeDur = rt.Eng.Now().Sub(mergeStart)
+				rt.Trace.SpanSince(parent, comp, "merge", "map", mergeStart)
 				done()
 			})
 		})
+	})
+}
+
+// shuffleByteBuckets are the upper bounds for the shuffle-size histogram:
+// powers of ~4 from 1 KiB to 1 GiB.
+var shuffleByteBuckets = []float64{
+	1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
+// ShuffleFetch is FetchPartition with observability: the fetch is recorded
+// as a shuffle span under parent and its size lands in the shuffle-bytes
+// histogram. AMs use this; FetchPartition remains the raw primitive.
+func (rt *Runtime) ShuffleFetch(parent trace.SpanID, mo *MapOutput, part int, dst *topology.Node, done func(error)) {
+	span := rt.Trace.StartSpan(parent, "task/"+dst.Name,
+		fmt.Sprintf("fetch map-%d.p%d", mo.Split.Index, part), "shuffle",
+		trace.A("from", mo.Node.Name),
+		trace.A("bytes", fmt.Sprint(mo.PartBytes[part])))
+	rt.FetchPartition(mo, part, dst, func(err error) {
+		if err != nil {
+			rt.Trace.EndSpan(span, trace.A("error", err.Error()))
+		} else {
+			rt.Trace.EndSpan(span)
+			rt.Reg.Define("mapreduce_shuffle_bytes", shuffleByteBuckets)
+			rt.Reg.Observe("mapreduce_shuffle_bytes", float64(mo.PartBytes[part]))
+		}
+		done(err)
 	})
 }
 
@@ -560,14 +619,29 @@ func PartFileName(outputFile string, part int) string {
 	return fmt.Sprintf("%s/part-%05d", outputFile, part)
 }
 
-// RunReducePhase executes reduce partition part on node: merge-sort CPU,
-// the reduce function, and the HDFS write of the output. Fetches must have
-// completed already. done fires when the output file is durable. attempt is
-// the retry ordinal for fault injection.
+// ReduceOptions control a reduce task execution.
+type ReduceOptions struct {
+	// Attempt is the retry ordinal (0 = first).
+	Attempt int
+	// Parent is the trace span the task's spans nest under; 0 when
+	// untraced.
+	Parent trace.SpanID
+}
+
+// RunReducePhase executes reduce partition part on node. It is
+// RunReduceTask without tracing, kept for callers that predate spans.
 func (rt *Runtime) RunReducePhase(spec *JobSpec, part, attempt int, outputs []*MapOutput, node *topology.Node, done func(*profiler.TaskProfile, error)) {
+	rt.RunReduceTask(spec, part, ReduceOptions{Attempt: attempt}, outputs, node, done)
+}
+
+// RunReduceTask executes reduce partition part on node: merge-sort CPU,
+// the reduce function, and the HDFS write of the output. Fetches must have
+// completed already. done fires when the output file is durable.
+func (rt *Runtime) RunReduceTask(spec *JobSpec, part int, opts ReduceOptions, outputs []*MapOutput, node *topology.Node, done func(*profiler.TaskProfile, error)) {
 	if done == nil {
-		panic("mapreduce: RunReducePhase needs a completion callback")
+		panic("mapreduce: RunReduceTask needs a completion callback")
 	}
+	attempt := opts.Attempt
 	tp := &profiler.TaskProfile{
 		Kind:    profiler.ReduceTask,
 		Index:   part,
@@ -575,6 +649,9 @@ func (rt *Runtime) RunReducePhase(spec *JobSpec, part, attempt int, outputs []*M
 		Started: rt.Eng.Now(),
 		Attempt: attempt,
 	}
+	comp := "task/" + node.Name
+	span := rt.Trace.StartSpan(opts.Parent, comp, fmt.Sprintf("reduce-%d", part), "reduce",
+		trace.A("attempt", fmt.Sprint(attempt)))
 	var in int64
 	for _, mo := range outputs {
 		in += mo.PartBytes[part]
@@ -599,6 +676,9 @@ func (rt *Runtime) RunReducePhase(spec *JobSpec, part, attempt int, outputs []*M
 				tp.Failed = true
 				tp.Ended = rt.Eng.Now()
 				rt.Faults.FailNow()
+				rt.Trace.SpanSince(span, comp, "compute", "reduce", computeStart)
+				rt.Trace.EndSpan(span, trace.A("failed", "true"))
+				rt.Reg.Inc(metrics.With("mapreduce_task_attempts_total", "kind", "reduce", "outcome", "failed"))
 				done(tp, &AttemptError{Kind: "reduce", Index: part, Attempt: attempt})
 			})
 		})
@@ -632,6 +712,8 @@ func (rt *Runtime) RunReducePhase(spec *JobSpec, part, attempt int, outputs []*M
 			tp.Records = r.records
 			tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
 			node.Cores.Release(1)
+			rt.Trace.SpanSince(span, comp, "compute", "reduce", computeStart,
+				trace.A("records", fmt.Sprint(r.records)))
 			writeStart := rt.Eng.Now()
 			// A superseded attempt's write cannot be cancelled (engine events
 			// are uncancellable), so a stale part file may have landed after an
@@ -647,6 +729,11 @@ func (rt *Runtime) RunReducePhase(spec *JobSpec, part, attempt int, outputs []*M
 				tp.Ended = rt.Eng.Now()
 				rt.Trace.Add("task", "reduce %d attempt %d done on %s (in=%d out=%d)",
 					part, attempt, node.Name, tp.InputBytes, tp.OutputBytes)
+				rt.Trace.SpanSince(span, comp, "write", "reduce", writeStart,
+					trace.A("bytes", fmt.Sprint(tp.OutputBytes)))
+				rt.Trace.EndSpan(span)
+				rt.Reg.Inc(metrics.With("mapreduce_task_attempts_total", "kind", "reduce", "outcome", "ok"))
+				rt.Reg.Observe(metrics.With("mapreduce_task_seconds", "kind", "reduce"), tp.Elapsed().Seconds())
 				done(tp, err)
 			})
 		})

@@ -2,8 +2,10 @@ package mapreduce
 
 import (
 	"errors"
+	"fmt"
 
 	"mrapid/internal/profiler"
+	"mrapid/internal/trace"
 	"mrapid/internal/yarn"
 )
 
@@ -59,16 +61,25 @@ func Submit(rt *Runtime, spec *JobSpec, mode Mode, done func(*Result)) {
 		Mode:        mode.String(),
 		SubmittedAt: rt.Eng.Now(),
 	}
+	// The job root span covers exactly [SubmittedAt, DoneAt]; the analyzer
+	// relies on that to make phase durations sum to the job wall clock.
+	prof.Span = rt.Trace.StartSpan(0, "job", spec.Name, "",
+		trace.A("mode", mode.String()))
 	// A stock client only observes the outcome at its next status poll.
 	notify := func(r *Result) {
+		pollStart := rt.Eng.Now()
 		rt.PollAlignedNotify(prof.SubmittedAt, func() {
 			if r.Profile != nil {
 				r.Profile.DoneAt = rt.Eng.Now()
 			}
+			rt.Trace.SpanSince(prof.Span, "client", "poll wait", "notify", pollStart)
+			rt.Trace.EndSpan(prof.Span)
 			done(r)
 		})
 	}
+	uploadStart := rt.Eng.Now()
 	rt.UploadArtifacts(spec, func(err error) {
+		rt.Trace.SpanSince(prof.Span, "client", "upload artifacts", "submit", uploadStart)
 		if err != nil {
 			notify(&Result{Spec: spec, Mode: mode.String(), Profile: prof, Err: err})
 			return
@@ -95,6 +106,10 @@ func (rt *Runtime) launchStockAM(spec *JobSpec, mode Mode, prof *profiler.JobPro
 		notify(&Result{Spec: spec, Mode: mode.String(), Profile: p, Err: err})
 	}
 	fail := func(err error) { finish(prof, err) }
+	// AM startup: RM submission, AM container allocation + launch (those
+	// spans nest here via app.Span), AM init, and localization.
+	amSpan := rt.Trace.StartSpan(prof.Span, "am", "am-startup", "am",
+		trace.A("attempt", fmt.Sprint(attempt)), trace.A("cold", "true"))
 	app = rt.RM.SubmitApp(spec.Name, rt.AMResource(), func(app *yarn.App, amC *yarn.Container) {
 		amEpoch := amC.Node.Epoch()
 		// The AM initializes: fixed init cost plus localizing the job
@@ -112,6 +127,8 @@ func (rt *Runtime) launchStockAM(spec *JobSpec, mode Mode, prof *profiler.JobPro
 					return
 				}
 				prof.AMReadyAt = rt.Eng.Now()
+				prof.AMStartup = prof.AMReadyAt.Sub(prof.SubmittedAt)
+				rt.Trace.EndSpan(amSpan)
 				switch mode {
 				case ModeUber:
 					am, err := NewUberAM(rt, spec, app, amC.Node, prof)
@@ -142,6 +159,8 @@ func (rt *Runtime) launchStockAM(spec *JobSpec, mode Mode, prof *profiler.JobPro
 			fail(ErrAMLost)
 		}
 	}
+	// Nest the AM container's scheduling wait and launch under am-startup.
+	app.Span = amSpan
 }
 
 // clusterContainerSlots counts the task containers the cluster can hold, the

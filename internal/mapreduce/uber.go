@@ -84,6 +84,7 @@ func (am *UberAM) Run(done func(*profiler.JobProfile, error)) {
 	}
 	am.done = done
 	am.app.OnContainerLost = func(*yarn.Container) { am.Abort(ErrAMLost) }
+	am.app.Span = am.prof.Span
 	am.runMap(0)
 }
 
@@ -124,7 +125,7 @@ func (am *UberAM) runMap(i int) {
 		am.prof.FirstTaskAt = am.rt.Eng.Now()
 	}
 	s := am.splits[i]
-	opts := MapTaskOptions{SpillToDisk: true, Attempt: am.mapAttempts[s.Index]}
+	opts := MapTaskOptions{SpillToDisk: true, Attempt: am.mapAttempts[s.Index], Parent: am.prof.Span}
 	am.rt.RunMapTask(am.spec, s, am.amNode, opts,
 		func(mo *MapOutput, tp *profiler.TaskProfile, err error) {
 			if am.killed {
@@ -167,7 +168,7 @@ func (am *UberAM) runReduce() {
 	}
 	for _, mo := range am.outputs {
 		for p := 0; p < am.spec.NumReduces; p++ {
-			am.rt.FetchPartition(mo, p, am.amNode, func(err error) {
+			am.rt.ShuffleFetch(am.prof.Span, mo, p, am.amNode, func(err error) {
 				if am.killed {
 					return
 				}
@@ -194,7 +195,8 @@ func (am *UberAM) runReducePartitions(p int) {
 		am.finish(nil)
 		return
 	}
-	am.rt.RunReducePhase(am.spec, p, am.reduceAttempts[p], am.outputs, am.amNode, func(tp *profiler.TaskProfile, err error) {
+	ropts := ReduceOptions{Attempt: am.reduceAttempts[p], Parent: am.prof.Span}
+	am.rt.RunReduceTask(am.spec, p, ropts, am.outputs, am.amNode, func(tp *profiler.TaskProfile, err error) {
 		if am.killed {
 			return
 		}

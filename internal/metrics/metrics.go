@@ -1,30 +1,86 @@
-// Package metrics provides a small named-counter/gauge registry used by the
-// simulation components and the CLI tools to report protocol and I/O
-// activity (heartbeat counts, bytes moved, locality hit rates) alongside
-// job timings.
+// Package metrics provides a labeled counter/gauge/histogram registry used
+// by the simulation components and the CLI tools to report protocol and
+// I/O activity (heartbeat counts, bytes moved, locality hit rates,
+// allocation-latency distributions) alongside job timings.
 package metrics
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+	"sync"
 )
 
-// Registry holds named counters. The zero value is not usable; call New.
-// Registries are not safe for concurrent use — the simulation is
-// single-threaded by design.
+// DefaultDurationBuckets are the upper bounds (in seconds) used by Observe
+// for histograms without an explicit Define. They span the latencies this
+// simulator cares about: sub-millisecond RPCs up to minute-scale jobs.
+var DefaultDurationBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Histogram is a fixed-bucket histogram snapshot. Counts[i] holds the
+// number of observations <= Buckets[i]; Counts[len(Buckets)] holds the
+// overflow. Counts are per-bucket, not cumulative.
+type Histogram struct {
+	Buckets []float64 `json:"buckets"`
+	Counts  []int64   `json:"counts"`
+	Sum     float64   `json:"sum"`
+	Count   int64     `json:"count"`
+}
+
+// Mean returns Sum/Count, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Registry holds named counters and histograms. The zero value is not
+// usable; call New. A nil *Registry is a valid "disabled" registry: every
+// method is a no-op (reads return zero values), so components can carry an
+// optional registry without guards. Registries are safe for concurrent
+// use — PR 1's WorkerPool executes host-side map functions on multiple
+// goroutines, and task-level instrumentation records from all of them.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]int64
 	order    []string
+	hists    map[string]*Histogram
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{counters: make(map[string]int64)}
+	return &Registry{
+		counters: make(map[string]int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// With encodes a metric name plus label key/value pairs into a single
+// series key: name{k1=v1,k2=v2} with keys sorted, so the same label set
+// always yields the same series. Pass kvs as alternating key, value.
+func With(name string, kvs ...string) string {
+	if len(kvs) == 0 {
+		return name
+	}
+	n := len(kvs) / 2
+	pairs := make([]string, 0, n)
+	for i := 0; i+1 < len(kvs); i += 2 {
+		pairs = append(pairs, kvs[i]+"="+kvs[i+1])
+	}
+	sort.Strings(pairs)
+	return name + "{" + strings.Join(pairs, ",") + "}"
 }
 
 // Add increments a counter by delta, creating it on first use.
 func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, ok := r.counters[name]; !ok {
 		r.order = append(r.order, name)
 	}
@@ -34,8 +90,13 @@ func (r *Registry) Add(name string, delta int64) {
 // Inc increments a counter by one.
 func (r *Registry) Inc(name string) { r.Add(name, 1) }
 
-// Set overwrites a counter's value.
+// Set overwrites a counter's value (gauge semantics).
 func (r *Registry) Set(name string, value int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, ok := r.counters[name]; !ok {
 		r.order = append(r.order, name)
 	}
@@ -43,29 +104,155 @@ func (r *Registry) Set(name string, value int64) {
 }
 
 // Get returns a counter's value (zero when absent).
-func (r *Registry) Get(name string) int64 { return r.counters[name] }
+func (r *Registry) Get(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Define creates (or re-buckets an empty) histogram with explicit upper
+// bounds, for series where the default duration buckets are wrong — e.g.
+// byte sizes. Bounds must be ascending.
+func (r *Registry) Define(name string, buckets []float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok && h.Count > 0 {
+		return
+	}
+	r.hists[name] = &Histogram{
+		Buckets: append([]float64(nil), buckets...),
+		Counts:  make([]int64, len(buckets)+1),
+	}
+}
+
+// Observe records a value into the named histogram, creating it with the
+// default duration buckets on first use.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{
+			Buckets: DefaultDurationBuckets,
+			Counts:  make([]int64, len(DefaultDurationBuckets)+1),
+		}
+		r.hists[name] = h
+	}
+	i := sort.SearchFloat64s(h.Buckets, v)
+	h.Counts[i]++
+	h.Sum += v
+	h.Count++
+}
 
 // Names returns all counter names in sorted order.
 func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
 	names := append([]string(nil), r.order...)
+	r.mu.Unlock()
 	sort.Strings(names)
 	return names
 }
 
 // Len reports the number of counters.
-func (r *Registry) Len() int { return len(r.counters) }
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counters)
+}
 
-// Reset zeroes every counter but keeps the names.
+// Reset zeroes every counter and histogram but keeps the names.
 func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for k := range r.counters {
 		r.counters[k] = 0
 	}
+	for _, h := range r.hists {
+		for i := range h.Counts {
+			h.Counts[i] = 0
+		}
+		h.Sum, h.Count = 0, 0
+	}
 }
 
-// Dump writes "name value" lines in sorted order.
+// Counters returns a sorted-by-name snapshot of every counter.
+func (r *Registry) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Histograms returns a deep-copied snapshot of every histogram.
+func (r *Registry) Histograms() map[string]*Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		out[k] = &Histogram{
+			Buckets: append([]float64(nil), h.Buckets...),
+			Counts:  append([]int64(nil), h.Counts...),
+			Sum:     h.Sum,
+			Count:   h.Count,
+		}
+	}
+	return out
+}
+
+// Dump writes "name value" lines in sorted order: counters first, then a
+// count/mean/max-bucket summary line per histogram.
 func (r *Registry) Dump(w io.Writer) error {
-	for _, name := range r.Names() {
-		if _, err := fmt.Fprintf(w, "%-40s %d\n", name, r.counters[name]); err != nil {
+	if r == nil {
+		return nil
+	}
+	counters := r.Counters()
+	hists := r.Histograms()
+	names := make([]string, 0, len(counters))
+	for k := range counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%-40s %d\n", name, counters[name]); err != nil {
+			return err
+		}
+	}
+	hnames := make([]string, 0, len(hists))
+	for k := range hists {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := hists[name]
+		if _, err := fmt.Fprintf(w, "%-40s count=%d sum=%.6g mean=%.6g\n",
+			name, h.Count, h.Sum, h.Mean()); err != nil {
 			return err
 		}
 	}

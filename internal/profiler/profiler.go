@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mrapid/internal/sim"
+	"mrapid/internal/trace"
 )
 
 // TaskKind distinguishes map from reduce records.
@@ -69,6 +70,21 @@ type JobProfile struct {
 	FirstTaskAt sim.Time
 	MapsDoneAt  sim.Time
 	DoneAt      sim.Time
+
+	// AMStartup is how long the job waited for a running AM (container
+	// allocation + localization + JVM/AM init), i.e. AMReadyAt-SubmittedAt
+	// for cold starts and the (near-zero) pool dispatch time for D+/U+
+	// pool hits. AMPoolHit records which of those it was.
+	AMStartup time.Duration
+	AMPoolHit bool
+
+	// DecidedAt is the instant the speculative racer (or history) picked a
+	// winner; zero for non-speculative runs.
+	DecidedAt sim.Time
+
+	// Span is the root of this job's span tree in the run's trace.Log
+	// (0 when tracing is off); the critical-path analyzer walks it.
+	Span trace.SpanID
 
 	Tasks []*TaskProfile
 

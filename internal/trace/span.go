@@ -1,0 +1,164 @@
+package trace
+
+import "mrapid/internal/sim"
+
+// SpanID identifies a span within one Log. Zero is "no span": it is a
+// valid parent (meaning "root") and a no-op target for EndSpan/Annotate,
+// so callers can thread span IDs through without nil checks.
+type SpanID int
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// A builds an attribute.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed operation on the virtual clock, causally linked to the
+// operation that started it. The span tree of a job — submission under it,
+// AM startup, per-container scheduling waits, task sub-phases, shuffle
+// fetches — is what the critical-path analyzer consumes.
+type Span struct {
+	ID        SpanID
+	Parent    SpanID // 0 = root
+	Component string // which simulated component owns the time, e.g. "rm", "task/node-02"
+	Name      string // operation, e.g. "map-3", "alloc map-3", "am-startup"
+
+	// Phase buckets the span for phase attribution: "submit", "am",
+	// "schedule", "launch", "map", "shuffle", "commit", "reduce",
+	// "notify", or "" for structural spans (job roots) that own no time
+	// themselves.
+	Phase string
+
+	Start sim.Time
+	End   sim.Time
+	Ended bool // false while the span is still open (or was abandoned by a node death)
+
+	Attrs []Attr
+}
+
+// Duration returns End-Start for closed spans and upTo-Start for open ones
+// (an abandoned span is charged until the observation point).
+func (s *Span) Duration(upTo sim.Time) sim.Time {
+	end := s.End
+	if !s.Ended {
+		end = upTo
+	}
+	if end < s.Start {
+		return 0
+	}
+	return end - s.Start
+}
+
+// StartSpan opens a span at the current virtual time and returns its ID.
+// Safe on a nil log (returns 0).
+func (l *Log) StartSpan(parent SpanID, component, name, phase string, attrs ...Attr) SpanID {
+	if l == nil {
+		return 0
+	}
+	return l.startAt(parent, component, name, phase, l.eng.Now(), attrs)
+}
+
+// SpanSince records an already-finished operation: a span opened
+// retroactively at start and closed now. Used where the start instant was
+// only stamped, not acted on — e.g. a container ask's wait, measured when
+// the grant finally happens. Safe on a nil log.
+func (l *Log) SpanSince(parent SpanID, component, name, phase string, start sim.Time, attrs ...Attr) SpanID {
+	if l == nil {
+		return 0
+	}
+	id := l.startAt(parent, component, name, phase, start, attrs)
+	l.EndSpan(id)
+	return id
+}
+
+func (l *Log) startAt(parent SpanID, component, name, phase string, start sim.Time, attrs []Attr) SpanID {
+	id := SpanID(len(l.spans) + 1)
+	l.spans = append(l.spans, &Span{
+		ID: id, Parent: parent, Component: component, Name: name, Phase: phase,
+		Start: start, Attrs: attrs,
+	})
+	return id
+}
+
+// EndSpan closes a span at the current virtual time, appending any extra
+// attributes. Ending an already-closed span, span 0, or a span on a nil
+// log is a no-op, so completion paths that can race a kill need no guards.
+func (l *Log) EndSpan(id SpanID, attrs ...Attr) {
+	sp := l.lookup(id)
+	if sp == nil || sp.Ended {
+		return
+	}
+	sp.End = l.eng.Now()
+	sp.Ended = true
+	sp.Attrs = append(sp.Attrs, attrs...)
+}
+
+// Annotate appends attributes to a span (open or closed). Safe on a nil
+// log and for span 0.
+func (l *Log) Annotate(id SpanID, attrs ...Attr) {
+	if sp := l.lookup(id); sp != nil {
+		sp.Attrs = append(sp.Attrs, attrs...)
+	}
+}
+
+func (l *Log) lookup(id SpanID) *Span {
+	if l == nil || id <= 0 || int(id) > len(l.spans) {
+		return nil
+	}
+	return l.spans[id-1]
+}
+
+// Span returns the span with the given ID, or nil. Safe on a nil log.
+func (l *Log) Span(id SpanID) *Span { return l.lookup(id) }
+
+// Spans returns every recorded span in open order. Safe on a nil log.
+func (l *Log) Spans() []*Span {
+	if l == nil {
+		return nil
+	}
+	return l.spans
+}
+
+// Children returns the direct children of a span (in open order); parent 0
+// returns the roots.
+func (l *Log) Children(parent SpanID) []*Span {
+	var out []*Span
+	for _, s := range l.Spans() {
+		if s.Parent == parent {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Subtree returns the span with the given ID and all its descendants, in
+// open order. Safe on a nil log.
+func (l *Log) Subtree(root SpanID) []*Span {
+	if l.lookup(root) == nil {
+		return nil
+	}
+	in := make(map[SpanID]bool, 16)
+	in[root] = true
+	var out []*Span
+	// Spans are appended in open order and a child is always opened after
+	// its parent, so one forward pass collects the whole subtree.
+	for _, s := range l.spans {
+		if s.ID == root || in[s.Parent] {
+			in[s.ID] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Now exposes the log's clock (used by exporters to close open spans at
+// the observation instant). Safe on a nil log, returning 0.
+func (l *Log) Now() sim.Time {
+	if l == nil {
+		return 0
+	}
+	return l.eng.Now()
+}

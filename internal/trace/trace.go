@@ -1,7 +1,9 @@
-// Package trace records a structured event log of a simulation run —
-// which component did what at which virtual instant — for debugging
-// scheduling decisions and for the CLI's -trace output. Tracing is
-// optional: a nil *Log is safe to use and records nothing.
+// Package trace records structured observability data for a simulation
+// run: a flat event log (which component did what at which virtual
+// instant) and a causal span tree (how long each operation took and what
+// it was part of), for debugging scheduling decisions, for the CLI's
+// -trace output, and for the critical-path analyzer (package report).
+// Tracing is optional: a nil *Log is safe to use and records nothing.
 package trace
 
 import (
@@ -22,16 +24,21 @@ func (e Event) String() string {
 	return fmt.Sprintf("%12s  %-14s %s", e.At, e.Component, e.Message)
 }
 
-// Log accumulates events in firing order. The zero value is unusable; nil
-// is a valid "disabled" log.
+// Log accumulates events in firing order and spans in open order. The zero
+// value is unusable; nil is a valid "disabled" log. A Log is driven only
+// from the simulation engine's goroutine, like the engine itself.
 type Log struct {
-	eng    *sim.Engine
-	events []Event
-	limit  int
+	eng     *sim.Engine
+	events  []Event
+	limit   int
+	dropped int64
+
+	spans []*Span
 }
 
-// New creates a log bound to the engine's clock. limit bounds memory (0
-// means unlimited); beyond it old events are dropped from the front.
+// New creates a log bound to the engine's clock. limit bounds event memory
+// (0 means unlimited); beyond it old events are dropped from the front and
+// counted (see Dropped). Spans are always retained.
 func New(eng *sim.Engine, limit int) *Log {
 	return &Log{eng: eng, limit: limit}
 }
@@ -47,6 +54,7 @@ func (l *Log) Add(component, format string, args ...any) {
 		Message:   fmt.Sprintf(format, args...),
 	})
 	if l.limit > 0 && len(l.events) > l.limit {
+		l.dropped += int64(len(l.events) - l.limit)
 		l.events = l.events[len(l.events)-l.limit:]
 	}
 }
@@ -57,6 +65,15 @@ func (l *Log) Len() int {
 		return 0
 	}
 	return len(l.events)
+}
+
+// Dropped reports how many events the ring limit evicted. Safe on a nil
+// log.
+func (l *Log) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
 }
 
 // Events returns the retained events in order. Safe on a nil log.
@@ -78,8 +95,15 @@ func (l *Log) Filter(component string) []Event {
 	return out
 }
 
-// Dump writes every retained event, one per line. Safe on a nil log.
+// Dump writes every retained event, one per line. When the ring limit has
+// evicted events, the first line says how many are missing instead of
+// silently truncating the front. Safe on a nil log.
 func (l *Log) Dump(w io.Writer) error {
+	if l.Dropped() > 0 {
+		if _, err := fmt.Fprintf(w, "… %d earlier events dropped (ring limit %d)\n", l.dropped, l.limit); err != nil {
+			return err
+		}
+	}
 	for _, e := range l.Events() {
 		if _, err := fmt.Fprintln(w, e); err != nil {
 			return err

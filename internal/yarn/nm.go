@@ -1,6 +1,10 @@
 package yarn
 
-import "mrapid/internal/topology"
+import (
+	"mrapid/internal/metrics"
+	"mrapid/internal/topology"
+	"mrapid/internal/trace"
+)
 
 // NM is a NodeManager: it launches containers on its node when the AM asks,
 // and reports completed containers back to the ResourceManager on its next
@@ -34,19 +38,24 @@ func (nm *NM) StartContainer(c *Container, warm bool, ready func()) {
 	}
 	p := nm.rm.Params
 	delay := p.RPCLatency
+	var span trace.SpanID
 	if !warm {
 		delay += p.ContainerLaunch + p.JVMStart
+		span = nm.rm.Trace.StartSpan(c.App.Span, "nm/"+nm.Node.Name, "launch "+c.Tag, "launch",
+			trace.A("container", c.String()))
 	}
 	epoch := nm.Node.Epoch()
 	nm.rm.Eng.After(delay, func() {
 		if !nm.Node.AliveEpoch(epoch) {
 			// The node died before (or while) the container process came up:
-			// ready never fires, and the RM reports the container lost once
-			// the liveness monitor notices.
+			// ready never fires (the launch span stays open), and the RM
+			// reports the container lost once the liveness monitor notices.
 			return
 		}
+		nm.rm.Trace.EndSpan(span)
 		nm.running[c.ID] = c
 		nm.ContainersLaunched++
+		nm.rm.Reg.Inc(metrics.With("yarn_containers_launched_total", "node", nm.Node.Name))
 		ready()
 	})
 }

@@ -12,6 +12,7 @@ import (
 
 	"mrapid/internal/sim"
 	"mrapid/internal/topology"
+	"mrapid/internal/trace"
 )
 
 // ContainerID identifies a granted container.
@@ -70,6 +71,11 @@ type Ask struct {
 	// uses it for ApplicationMaster containers, which have no AM to
 	// heartbeat yet.
 	direct func(*Container)
+
+	// arrived is when the RM accepted the ask; Grant turns it into the
+	// scheduling-wait span (same-beat D+ answers show ~zero wait, stock
+	// heartbeat-driven grants show the full wait).
+	arrived sim.Time
 }
 
 // IsDirect reports whether this ask bypasses heartbeat delivery (AM
@@ -177,6 +183,11 @@ type App struct {
 	State AppState
 	// Queue is the tenant queue the app submits to ("" = default).
 	Queue string
+
+	// Span is the trace span the app's activity (scheduling waits,
+	// container launches) nests under — the owning job's root span, or 0
+	// when untraced. The AM that adopts the app sets it.
+	Span trace.SpanID
 
 	// granted buffers containers allocated by node-heartbeat-driven
 	// scheduling until the AM's next allocate heartbeat picks them up.
