@@ -8,6 +8,13 @@
 //	mrapid -job terasort  -mode uplus -rows 800000
 //	mrapid -job pi        -mode speculative -samples 400000000
 //	mrapid -job wordcount -mode hadoop -cluster A2x9 -verbose
+//
+// With -jobs > 1 the command switches to multi-job workload mode: a stream
+// of WordCount jobs is spread round-robin over -tenants capacity queues and
+// driven through the JobServer admission layer, reporting makespan, latency
+// quantiles, queue wait, and per-tenant fairness.
+//
+//	mrapid -jobs 60 -tenants 3 -arrival poisson:250ms -policy wfair
 package main
 
 import (
@@ -45,14 +52,70 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the run's span tree as Chrome trace_event JSON (load in Perfetto / chrome://tracing)")
 		metOut   = flag.String("metrics-out", "", "write the phase report and metrics registry as JSON")
 		phaseRep = flag.Bool("report", false, "print the critical-path phase-attribution report")
+		jobs     = flag.Int("jobs", 1, "number of jobs; > 1 switches to multi-job workload mode through the JobServer")
+		tenants  = flag.Int("tenants", 2, "workload mode: tenant capacity queues the jobs are spread over")
+		arrival  = flag.String("arrival", "burst", "workload mode: arrival process — burst | uniform:<gap> | poisson:<mean>")
+		policy   = flag.String("policy", "fifo", "workload mode: admission policy — fifo | wfair")
 	)
 	flag.Parse()
 
+	if *jobs > 1 {
+		if err := runWorkload(*cluster, *jobs, *tenants, *arrival, *policy, *seed, *workers, *nodeFail); err != nil {
+			fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	obs := observability{TraceOut: *traceOut, MetricsOut: *metOut, Report: *phaseRep}
 	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN, *nodeFail, obs); err != nil {
 		fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runWorkload is the multi-job mode: a WordCount stream through the
+// JobServer on the chosen cluster, reported as a throughput/fairness table.
+func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed int64, workers int, nodeFail string) error {
+	var setup bench.ClusterSetup
+	switch cluster {
+	case "A3x4":
+		setup = bench.A3x4()
+	case "A2x9":
+		setup = bench.A2x9()
+	default:
+		return fmt.Errorf("unknown cluster %q", cluster)
+	}
+	setup.Seed = seed
+	faults, err := mapreduce.ParseNodeFaults(nodeFail)
+	if err != nil {
+		return err
+	}
+	var pol core.AdmissionPolicy
+	switch policy {
+	case "fifo":
+		pol = core.PolicyFIFO
+	case "wfair":
+		pol = core.PolicyWeightedFair
+	default:
+		return fmt.Errorf("unknown admission policy %q (want fifo or wfair)", policy)
+	}
+	res, err := bench.RunThroughput(setup, bench.WorkloadConfig{
+		Jobs: jobs, Tenants: tenants, Arrival: arrival, Policy: pol,
+	}, bench.Options{Seed: seed, HostWorkers: workers, NodeFaults: faults})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d jobs, %d tenants, arrival=%s, policy=%s, cluster=%s\n",
+		res.Jobs, tenants, arrival, res.Policy, cluster)
+	fmt.Printf("makespan: %.2f virtual seconds\n", res.Makespan)
+	fmt.Printf("job latency: p50=%.2fs p99=%.2fs  queue wait: mean=%.3fs\n", res.P50, res.P99, res.MeanWait)
+	fmt.Printf("fairness (Jain over per-tenant mean latency): %.4f\n", res.Fairness)
+	fmt.Println("per tenant:")
+	for _, name := range res.TenantOrder {
+		ts := res.Tenants[name]
+		fmt.Printf("  %-10s jobs=%-3d mean-latency=%.2fs mean-wait=%.3fs\n", name, ts.Jobs, ts.MeanLatency, ts.MeanWait)
+	}
+	return nil
 }
 
 // observability groups the -trace-out/-metrics-out/-report outputs.

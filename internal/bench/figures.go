@@ -498,6 +498,7 @@ var Registry = []struct {
 	{"fig15", Fig15, "U+ ablation"},
 	{"estimator", EstimatorAccuracy, "Eq. 2/3 estimates vs measured (supplementary)"},
 	{"phases", PhaseBreakdown, "phase attribution per mode (observability)"},
+	{"throughput", Throughput, "multi-tenant JobServer throughput & fairness"},
 }
 
 // Lookup finds a registered experiment by ID.

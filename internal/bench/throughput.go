@@ -1,0 +1,325 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"mrapid/internal/core"
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/metrics"
+	"mrapid/internal/sim"
+	"mrapid/internal/workloads"
+	"mrapid/internal/yarn"
+)
+
+// WorkloadConfig describes a multi-tenant job stream for the throughput
+// experiment and the mrapid CLI's multi-job mode.
+type WorkloadConfig struct {
+	// Jobs is the total number of submissions across all tenants.
+	Jobs int
+	// Tenants is the number of capacity queues the jobs are spread over
+	// (round-robin). Each tenant gets an equal share of 70% of the cluster;
+	// the remaining 30% is the default queue the AM pool runs in.
+	Tenants int
+	// Arrival picks the inter-arrival process: "burst" (everything at t=0),
+	// "uniform:<gap>" (fixed spacing), or "poisson:<mean>" (exponential
+	// inter-arrival times, seeded deterministically).
+	Arrival string
+	// Policy orders admission; empty means FIFO.
+	Policy core.AdmissionPolicy
+	// Blocked assigns jobs to tenants in contiguous blocks (tenant-0's whole
+	// batch arrives first) instead of round-robin. Block arrival is where
+	// admission policies diverge: FIFO drains the first tenant's backlog
+	// before later tenants run, weighted-fair interleaves them.
+	Blocked bool
+	// PoolSize sizes the AM pool (and thereby the default admission window);
+	// zero means the paper's default of 3.
+	PoolSize int
+}
+
+// TenantStats aggregates one tenant's view of a workload run.
+type TenantStats struct {
+	Jobs        int
+	MeanLatency float64 // seconds, submission → client-observed completion
+	MeanWait    float64 // seconds spent queued in the JobServer
+}
+
+// ThroughputResult is one workload run's summary.
+type ThroughputResult struct {
+	Policy      core.AdmissionPolicy
+	Jobs        int
+	Makespan    float64 // seconds, first arrival → last completion
+	P50         float64 // seconds, median job latency
+	P99         float64 // seconds, 99th-percentile job latency
+	MeanWait    float64 // seconds, mean JobServer queue wait over all jobs
+	Fairness    float64 // Jain's index over per-tenant mean latency (1 = equal)
+	TenantOrder []string
+	Tenants     map[string]*TenantStats
+}
+
+// arrivalTimes expands a WorkloadConfig.Arrival spec into one absolute
+// submission offset per job, deterministically from the seed.
+func arrivalTimes(dist string, n int, seed int64) ([]time.Duration, error) {
+	out := make([]time.Duration, n)
+	switch {
+	case dist == "" || dist == "burst":
+		return out, nil
+	case strings.HasPrefix(dist, "uniform:"):
+		gap, err := time.ParseDuration(strings.TrimPrefix(dist, "uniform:"))
+		if err != nil || gap < 0 {
+			return nil, fmt.Errorf("bench: bad uniform arrival %q", dist)
+		}
+		for i := range out {
+			out[i] = time.Duration(i) * gap
+		}
+		return out, nil
+	case strings.HasPrefix(dist, "poisson:"):
+		mean, err := time.ParseDuration(strings.TrimPrefix(dist, "poisson:"))
+		if err != nil || mean <= 0 {
+			return nil, fmt.Errorf("bench: bad poisson arrival %q", dist)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var at time.Duration
+		for i := range out {
+			at += time.Duration(rng.ExpFloat64() * float64(mean))
+			out[i] = at
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("bench: unknown arrival distribution %q (want burst, uniform:<gap>, or poisson:<mean>)", dist)
+}
+
+// tenantQueues carves the cluster into equal tenant shares, leaving the
+// default queue (where the AM pool lives) 30% headroom.
+func tenantQueues(tenants int) []yarn.QueueConfig {
+	share := 0.7 / float64(tenants)
+	qs := make([]yarn.QueueConfig, tenants)
+	for i := range qs {
+		qs[i] = yarn.QueueConfig{Name: fmt.Sprintf("tenant-%d", i), Capacity: share}
+	}
+	return qs
+}
+
+// RunThroughput drives a multi-tenant WordCount stream through a JobServer
+// on the D+ environment and reports latency, makespan, queue wait, and
+// per-tenant fairness. Jobs alternate D+ and U+ mode; tenant assignment is
+// round-robin. Everything is deterministic in (setup.Seed, cfg, o).
+func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*ThroughputResult, error) {
+	o = o.normalized()
+	if cfg.Jobs <= 0 || cfg.Tenants <= 0 {
+		return nil, fmt.Errorf("bench: workload needs at least one job and one tenant")
+	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 3
+	}
+	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
+	setup.HostWorkers = o.HostWorkers
+	setup.NodeFaults = o.NodeFaults
+
+	// The framework is assembled by hand (not by NewEnv) so the JobServer can
+	// install the tenant queues before the pool starts — that way the
+	// reserved AM containers are charged against the default queue.
+	v := VariantDPlus()
+	v.UseFramework = false
+	env, err := NewEnv(setup, v)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	env.EnableObservability(1 << 16)
+	fw := core.NewFramework(env.RT, cfg.PoolSize, core.FullUPlus())
+	srv, err := core.NewJobServer(fw, core.JobServerConfig{
+		Queues: tenantQueues(cfg.Tenants),
+		Policy: cfg.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ready := false
+	env.Eng.After(0, func() { fw.Start(func() { ready = true }) })
+	env.Eng.RunUntil(sim.Time(1 << 36))
+	if !ready {
+		return nil, fmt.Errorf("bench: AM pool failed to start")
+	}
+	env.FW = fw
+
+	names, err := workloads.GenerateWordCountInput(env.DFS, env.Cluster, "/in/tp", workloads.WordCountConfig{
+		Files: 4, FileBytes: o.bytes(2 * mb), Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := arrivalTimes(cfg.Arrival, cfg.Jobs, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	type jobEnd struct {
+		tenant  string
+		latency float64
+	}
+	var ends []jobEnd
+	var firstArrival, lastDone sim.Time
+	var submitErr error
+	start := env.Eng.Now()
+	firstArrival = start.Add(arrivals[0])
+	for i := 0; i < cfg.Jobs; i++ {
+		i := i
+		ti := i % cfg.Tenants
+		if cfg.Blocked {
+			ti = i * cfg.Tenants / cfg.Jobs
+		}
+		tenant := fmt.Sprintf("tenant-%d", ti)
+		mode := core.ModeDPlus
+		if i%2 == 1 {
+			mode = core.ModeUPlus
+		}
+		spec := workloads.WordCountSpec(fmt.Sprintf("wc-%s-%d", tenant, i), names, fmt.Sprintf("/out/tp/%d", i), false)
+		env.Eng.After(arrivals[i], func() {
+			submittedAt := env.Eng.Now()
+			err := srv.Submit(tenant, mode, spec, func(res *mapreduce.Result) {
+				if res.Err != nil && submitErr == nil {
+					submitErr = fmt.Errorf("bench: job %s failed: %w", spec.Name, res.Err)
+				}
+				lastDone = env.Eng.Now()
+				ends = append(ends, jobEnd{tenant, lastDone.Sub(submittedAt).Seconds()})
+				if len(ends) == cfg.Jobs {
+					env.RM.Stop()
+				}
+			})
+			if err != nil && submitErr == nil {
+				submitErr = err
+			}
+		})
+	}
+	env.Eng.RunUntil(horizon)
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	if len(ends) != cfg.Jobs {
+		return nil, fmt.Errorf("bench: only %d of %d jobs finished within the horizon (pending %d)", len(ends), cfg.Jobs, srv.Pending())
+	}
+
+	res := &ThroughputResult{
+		Policy:   srvPolicy(cfg.Policy),
+		Jobs:     cfg.Jobs,
+		Makespan: lastDone.Sub(firstArrival).Seconds(),
+		Tenants:  make(map[string]*TenantStats),
+	}
+	lats := make([]float64, 0, len(ends))
+	for _, e := range ends {
+		lats = append(lats, e.latency)
+		ts := res.Tenants[e.tenant]
+		if ts == nil {
+			ts = &TenantStats{}
+			res.Tenants[e.tenant] = ts
+		}
+		ts.Jobs++
+		ts.MeanLatency += e.latency
+	}
+	sort.Float64s(lats)
+	res.P50 = percentile(lats, 0.50)
+	res.P99 = percentile(lats, 0.99)
+	hists := env.Reg.Histograms()
+	var waitSum float64
+	var waitN int64
+	for i := 0; i < cfg.Tenants; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		res.TenantOrder = append(res.TenantOrder, name)
+		ts := res.Tenants[name]
+		if ts == nil {
+			ts = &TenantStats{}
+			res.Tenants[name] = ts
+		}
+		if ts.Jobs > 0 {
+			ts.MeanLatency /= float64(ts.Jobs)
+		}
+		if h := hists[metrics.With("jobserver_queue_wait_seconds", "tenant", name)]; h != nil {
+			ts.MeanWait = h.Mean()
+			waitSum += h.Sum
+			waitN += h.Count
+		}
+	}
+	if waitN > 0 {
+		res.MeanWait = waitSum / float64(waitN)
+	}
+	res.Fairness = jainIndex(res.TenantOrder, res.Tenants)
+	return res, nil
+}
+
+func srvPolicy(p core.AdmissionPolicy) core.AdmissionPolicy {
+	if p == "" {
+		return core.PolicyFIFO
+	}
+	return p
+}
+
+// percentile reads the p-quantile of sorted samples (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// jainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over per-tenant
+// mean latency: 1.0 when every tenant sees the same average latency, 1/n
+// when one tenant absorbs all the delay.
+func jainIndex(order []string, tenants map[string]*TenantStats) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, name := range order {
+		x := tenants[name].MeanLatency
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// Throughput is the registered multi-job experiment: the same 60-job,
+// 3-tenant Poisson stream through the JobServer under FIFO and weighted-fair
+// admission. Jobs arrive in tenant blocks (tenant-0's batch first) — the
+// regime where the policies diverge: FIFO drains each backlog in arrival
+// order while weighted-fair interleaves tenants. Columns are makespan,
+// p50/p99 job latency, mean queue wait (all seconds), and Jain's per-tenant
+// fairness index (dimensionless).
+func Throughput(o Options) (*Figure, error) {
+	o = o.normalized()
+	fig := &Figure{
+		ID:      "throughput",
+		Title:   "JobServer throughput: 60 jobs, 3 tenants, Poisson arrivals (A3x4, D+ env)",
+		XLabel:  "admission policy",
+		Columns: []string{"makespan", "p50", "p99", "mean-wait", "fairness"},
+		Notes: []string{
+			"fairness is Jain's index over per-tenant mean latency (1 = perfectly even)",
+			"mean-wait is time queued in the JobServer before admission",
+		},
+	}
+	for i, policy := range []core.AdmissionPolicy{core.PolicyFIFO, core.PolicyWeightedFair} {
+		r, err := RunThroughput(A3x4(), WorkloadConfig{
+			Jobs: 60, Tenants: 3, Arrival: "poisson:250ms", Policy: policy, Blocked: true,
+		}, o)
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{
+			X: float64(i), Label: string(policy),
+			Seconds: map[string]float64{
+				"makespan": r.Makespan, "p50": r.P50, "p99": r.P99,
+				"mean-wait": r.MeanWait, "fairness": r.Fairness,
+			},
+		})
+	}
+	return fig, nil
+}

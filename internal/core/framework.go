@@ -105,76 +105,14 @@ func (h *handle) attach(kill func()) {
 // AM, partial output removed) up to Params.MaxAMAttempts times; if the pool
 // has no live AM at all, the job degrades to the stock submission path.
 func (f *Framework) SubmitDPlus(spec *mapreduce.JobSpec, done func(*mapreduce.Result)) {
-	if done == nil {
-		panic("core: SubmitDPlus needs a completion callback")
-	}
-	root := f.RT.Trace.StartSpan(0, "job", spec.Name, "", trace.A("mode", string(ModeDPlus)))
-	finish := func(res *mapreduce.Result) {
-		f.RT.Trace.EndSpan(root)
-		done(res)
-	}
-	uploadStart := f.RT.Eng.Now()
-	f.RT.UploadArtifacts(spec, func(err error) {
-		f.RT.Trace.SpanSince(root, "client", "upload artifacts", "submit", uploadStart)
-		if err != nil {
-			finish(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Err: err})
-			return
-		}
-		f.runDPlus(spec, 1, root, finish)
-	})
-}
-
-func (f *Framework) runDPlus(spec *mapreduce.JobSpec, attempt int, parent trace.SpanID, done func(*mapreduce.Result)) {
-	if f.Pool.Size() == 0 || f.Pool.Exhausted() {
-		f.fallBackToStock(spec, func() {
-			mapreduce.Submit(f.RT, spec, mapreduce.ModeDistributed, done)
-		})
-		return
-	}
-	f.launchDPlus(spec, parent, nil, func(res *mapreduce.Result) {
-		if f.retryLostAM(spec, attempt, res, func() { f.runDPlus(spec, attempt+1, parent, done) }) {
-			return
-		}
-		done(res)
-	})
+	f.Submit(dplusExecutor{}, spec, done)
 }
 
 // SubmitUPlus runs a job in U+ mode through the framework, with the same
 // AM-loss relaunch and pool-exhaustion degradation as SubmitDPlus (the
 // stock path for U+ is a cold-submitted uber-style AM).
 func (f *Framework) SubmitUPlus(spec *mapreduce.JobSpec, done func(*mapreduce.Result)) {
-	if done == nil {
-		panic("core: SubmitUPlus needs a completion callback")
-	}
-	root := f.RT.Trace.StartSpan(0, "job", spec.Name, "", trace.A("mode", string(ModeUPlus)))
-	finish := func(res *mapreduce.Result) {
-		f.RT.Trace.EndSpan(root)
-		done(res)
-	}
-	uploadStart := f.RT.Eng.Now()
-	f.RT.UploadArtifacts(spec, func(err error) {
-		f.RT.Trace.SpanSince(root, "client", "upload artifacts", "submit", uploadStart)
-		if err != nil {
-			finish(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Err: err})
-			return
-		}
-		f.runUPlus(spec, 1, root, finish)
-	})
-}
-
-func (f *Framework) runUPlus(spec *mapreduce.JobSpec, attempt int, parent trace.SpanID, done func(*mapreduce.Result)) {
-	if f.Pool.Size() == 0 || f.Pool.Exhausted() {
-		f.fallBackToStock(spec, func() {
-			SubmitUPlusCold(f.RT, spec, f.UOpts, done)
-		})
-		return
-	}
-	f.launchUPlus(spec, parent, nil, func(res *mapreduce.Result) {
-		if f.retryLostAM(spec, attempt, res, func() { f.runUPlus(spec, attempt+1, parent, done) }) {
-			return
-		}
-		done(res)
-	})
+	f.Submit(uplusExecutor{}, spec, done)
 }
 
 // fallBackToStock records and traces a pool-exhaustion degradation, then
@@ -196,161 +134,6 @@ func (f *Framework) retryLostAM(spec *mapreduce.JobSpec, attempt int, res *mapre
 	f.RT.DFS.DeletePrefix(spec.OutputFile)
 	relaunch()
 	return true
-}
-
-// launchDPlus dispatches an uploaded job to a pooled AM in D+ mode. onMap,
-// when non-nil, observes map completions (for the decision maker). parent
-// is the trace span the attempt nests under (0 for an untraced run).
-func (f *Framework) launchDPlus(spec *mapreduce.JobSpec, parent trace.SpanID, onMap func(*profiler.TaskProfile), done func(*mapreduce.Result)) *handle {
-	h := &handle{}
-	prof := &profiler.JobProfile{
-		Job:         spec.Key(),
-		Mode:        string(ModeDPlus),
-		SubmittedAt: f.RT.Eng.Now(),
-		AMPoolHit:   true,
-	}
-	// The attempt span covers exactly [SubmittedAt, DoneAt]; f.notify
-	// closes it.
-	prof.Span = f.RT.Trace.StartSpan(parent, "job", spec.Name+" (dplus)", "")
-	dispatchStart := f.RT.Eng.Now()
-	f.Pool.Acquire(func(pam *PooledAM) {
-		// The pooled AM only needs the job's artifacts; its JVM and runtime
-		// are already warm.
-		released := false
-		release := func() {
-			if !released {
-				released = true
-				f.Pool.Release(pam)
-			}
-		}
-		finished := false
-		finish := func(res *mapreduce.Result) {
-			if finished {
-				return
-			}
-			finished = true
-			release()
-			f.notify(prof, res, done)
-		}
-		// If the AM's node dies at any point while serving this job, the
-		// attempt is gone: kill whatever work the job app still has out on
-		// other nodes and report the loss (the submit wrapper may relaunch).
-		pam.onLost = func() {
-			h.Kill()
-			prof.DoneAt = f.RT.Eng.Now()
-			finish(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Profile: prof, Err: mapreduce.ErrAMLost})
-		}
-		f.RT.Localize(spec, pam.Node, func(err error) {
-			if finished {
-				return
-			}
-			if err != nil {
-				prof.DoneAt = f.RT.Eng.Now()
-				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Profile: prof, Err: err})
-				return
-			}
-			prof.AMReadyAt = f.RT.Eng.Now()
-			prof.AMStartup = prof.AMReadyAt.Sub(prof.SubmittedAt)
-			// A pool hit pays only proxy dispatch + localization, never an
-			// AM allocation or JVM start — the paper's central saving.
-			f.RT.Trace.SpanSince(prof.Span, "proxy", "am-dispatch", "am", dispatchStart,
-				trace.A("pool_hit", "true"), trace.A("am_node", pam.Node.Name))
-			app := f.RT.RM.NewApp(spec.Name + "@dplus")
-			am, err := mapreduce.NewDistributedAM(f.RT, spec, app, pam.Node, prof)
-			if err != nil {
-				prof.DoneAt = f.RT.Eng.Now()
-				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Profile: prof, Err: err})
-				return
-			}
-			prof.NumContainers = ClusterContainerSlots(f.RT)
-			am.OnMapComplete = onMap
-			h.attach(func() {
-				am.Kill()
-				release()
-				// A speculative loser's span is closed at the kill instant.
-				f.RT.Trace.EndSpan(prof.Span, trace.A("killed", "true"))
-			})
-			if h.killed {
-				return
-			}
-			am.Run(func(p *profiler.JobProfile, err error) {
-				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeDPlus), Profile: p, Err: err})
-			})
-		})
-	})
-	return h
-}
-
-// launchUPlus dispatches an uploaded job to a pooled AM in U+ mode. parent
-// is the trace span the attempt nests under (0 for an untraced run).
-func (f *Framework) launchUPlus(spec *mapreduce.JobSpec, parent trace.SpanID, onMap func(*profiler.TaskProfile), done func(*mapreduce.Result)) *handle {
-	h := &handle{}
-	prof := &profiler.JobProfile{
-		Job:         spec.Key(),
-		Mode:        string(ModeUPlus),
-		SubmittedAt: f.RT.Eng.Now(),
-		AMPoolHit:   true,
-	}
-	prof.Span = f.RT.Trace.StartSpan(parent, "job", spec.Name+" (uplus)", "")
-	dispatchStart := f.RT.Eng.Now()
-	f.Pool.Acquire(func(pam *PooledAM) {
-		released := false
-		release := func() {
-			if !released {
-				released = true
-				f.Pool.Release(pam)
-			}
-		}
-		finished := false
-		finish := func(res *mapreduce.Result) {
-			if finished {
-				return
-			}
-			finished = true
-			release()
-			f.notify(prof, res, done)
-		}
-		pam.onLost = func() {
-			h.Kill()
-			prof.DoneAt = f.RT.Eng.Now()
-			finish(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: prof, Err: mapreduce.ErrAMLost})
-		}
-		f.RT.Localize(spec, pam.Node, func(err error) {
-			if finished {
-				return
-			}
-			if err != nil {
-				prof.DoneAt = f.RT.Eng.Now()
-				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: prof, Err: err})
-				return
-			}
-			prof.AMReadyAt = f.RT.Eng.Now()
-			prof.AMStartup = prof.AMReadyAt.Sub(prof.SubmittedAt)
-			f.RT.Trace.SpanSince(prof.Span, "proxy", "am-dispatch", "am", dispatchStart,
-				trace.A("pool_hit", "true"), trace.A("am_node", pam.Node.Name))
-			app := f.RT.RM.NewApp(spec.Name + "@uplus")
-			am, err := NewUPlusAM(f.RT, spec, app, pam.Node, prof, f.UOpts)
-			if err != nil {
-				prof.DoneAt = f.RT.Eng.Now()
-				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: prof, Err: err})
-				return
-			}
-			am.OnMapComplete = onMap
-			h.attach(func() {
-				am.Kill()
-				release()
-				// A speculative loser's span is closed at the kill instant.
-				f.RT.Trace.EndSpan(prof.Span, trace.A("killed", "true"))
-			})
-			if h.killed {
-				return
-			}
-			am.Run(func(p *profiler.JobProfile, err error) {
-				finish(&mapreduce.Result{Spec: spec, Mode: string(ModeUPlus), Profile: p, Err: err})
-			})
-		})
-	})
-	return h
 }
 
 // SubmitUPlusCold runs U+ without the submission framework (for the Figure
@@ -426,14 +209,4 @@ func SubmitUPlusCold(rt *mapreduce.Runtime, spec *mapreduce.JobSpec, uopts UPlus
 			}
 		}
 	})
-}
-
-// ClusterContainerSlots counts the task containers the cluster can hold —
-// the estimator's n^c.
-func ClusterContainerSlots(rt *mapreduce.Runtime) int {
-	total := 0
-	for _, n := range rt.Cluster.Workers() {
-		total += n.Type.MaxContainers()
-	}
-	return total
 }

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/metrics"
+	"mrapid/internal/sim"
+	"mrapid/internal/trace"
+	"mrapid/internal/yarn"
+)
+
+// ModeSpeculative asks the JobServer to run a job through the full MRapid
+// speculative workflow (D+ and U+ race, decision maker kills the loser).
+// It is a JobServer routing mode, not a single-executor ModeKind: the race
+// holds two pooled AMs, so admission charges it double.
+const ModeSpeculative ModeKind = "speculative"
+
+// AdmissionPolicy orders waiting jobs when the admission window has room.
+type AdmissionPolicy string
+
+const (
+	// PolicyFIFO admits jobs strictly in arrival order, tenants interleaved.
+	PolicyFIFO AdmissionPolicy = "fifo"
+
+	// PolicyWeightedFair admits the next job of the tenant with the lowest
+	// served-work-to-weight ratio (weight = the tenant queue's configured
+	// capacity), so a burst from one tenant cannot starve the others. Within
+	// a tenant, jobs stay FIFO.
+	PolicyWeightedFair AdmissionPolicy = "wfair"
+)
+
+// JobServerConfig sizes the admission layer.
+type JobServerConfig struct {
+	// Queues configures tenant capacity queues on the RM (optional: with no
+	// queues every tenant shares the default queue unconstrained). A
+	// "default" queue is added automatically with the leftover capacity when
+	// absent — the AM pool's own containers live there, so it must exist.
+	Queues []yarn.QueueConfig
+
+	// Policy selects the admission order; empty means PolicyFIFO.
+	Policy AdmissionPolicy
+
+	// MaxInFlight caps concurrently executing jobs (a speculative job counts
+	// twice — it holds two pooled AMs). Zero derives the window from the
+	// framework: one job per reserved AM, bounded by the cluster's container
+	// slots; a pool-less framework serializes stock submissions.
+	MaxInFlight int
+}
+
+// tenantState tracks one tenant's weighted-fair accounting and statistics.
+type tenantState struct {
+	name   string
+	weight float64
+	served float64 // admission cost admitted so far, for served/weight ordering
+
+	Submitted int64
+	Completed int64
+}
+
+// queuedJob is one submission waiting for admission.
+type queuedJob struct {
+	tenant *tenantState
+	spec   *mapreduce.JobSpec
+	mode   ModeKind
+	cost   int
+	run    func() // dispatches through the framework and settles the window
+	done   func(*mapreduce.Result)
+	span   trace.SpanID
+	enqAt  sim.Time
+}
+
+// JobServer is the long-running submission service in front of a Framework:
+// clients Submit jobs tagged with a tenant, the server validates the tenant
+// queue, applies backpressure against the admission window, orders waiting
+// jobs by the configured policy, and routes each admitted job through the
+// shared mode-agnostic launcher (or the speculative race). Queue-wait is
+// visible per job as a trace span and a per-tenant histogram.
+type JobServer struct {
+	fw      *Framework
+	policy  AdmissionPolicy
+	window  int
+	pending []*queuedJob
+	tenants map[string]*tenantState
+
+	inFlight int // admission cost currently executing
+
+	// Submitted, Completed, and Rejected count jobs over the server's
+	// lifetime (Rejected = submissions refused for an unknown tenant queue).
+	Submitted int64
+	Completed int64
+	Rejected  int64
+}
+
+// NewJobServer builds the admission layer over a started framework. Tenant
+// queues from cfg are installed on the RM; an invalid queue configuration is
+// returned as an error before anything is mutated on the RM.
+func NewJobServer(fw *Framework, cfg JobServerConfig) (*JobServer, error) {
+	if fw == nil {
+		panic("core: NewJobServer needs a framework")
+	}
+	policy := cfg.Policy
+	if policy == "" {
+		policy = PolicyFIFO
+	}
+	if policy != PolicyFIFO && policy != PolicyWeightedFair {
+		return nil, fmt.Errorf("core: unknown admission policy %q", policy)
+	}
+	s := &JobServer{
+		fw:      fw,
+		policy:  policy,
+		window:  cfg.MaxInFlight,
+		tenants: make(map[string]*tenantState),
+	}
+	if s.window <= 0 {
+		s.window = defaultWindow(fw)
+	}
+	if len(cfg.Queues) > 0 {
+		queues, err := withDefaultQueue(cfg.Queues)
+		if err != nil {
+			return nil, err
+		}
+		if err := fw.RT.RM.ConfigureQueues(queues); err != nil {
+			return nil, err
+		}
+		for _, q := range queues {
+			s.tenants[q.Name] = &tenantState{name: q.Name, weight: q.Capacity}
+		}
+	}
+	return s, nil
+}
+
+// defaultWindow derives the admission window: one job per reserved AM keeps
+// every admitted job on the warm path (more would just stack up inside
+// Pool.Acquire), clamped by the cluster's container slots; a size-0 pool
+// serializes the stock submissions it degrades to.
+func defaultWindow(fw *Framework) int {
+	w := fw.Pool.Size()
+	if w == 0 {
+		w = 1
+	}
+	if slots := mapreduce.ClusterContainerSlots(fw.RT); w > slots && slots > 0 {
+		w = slots
+	}
+	return w
+}
+
+// withDefaultQueue ensures the configuration routes the AM pool somewhere:
+// pooled AMs (and jobs with no tenant) live in the default queue, so when the
+// tenants don't declare one it is added with the leftover capacity.
+func withDefaultQueue(configs []yarn.QueueConfig) ([]yarn.QueueConfig, error) {
+	var sum float64
+	for _, c := range configs {
+		if c.Name == yarn.DefaultQueue {
+			return configs, nil
+		}
+		sum += c.Capacity
+	}
+	leftover := 1.0 - sum
+	if leftover <= 1e-9 {
+		return nil, fmt.Errorf("core: tenant capacities sum to %v; reserve headroom for the %q queue (the AM pool runs there) or declare it explicitly", sum, yarn.DefaultQueue)
+	}
+	out := make([]yarn.QueueConfig, len(configs), len(configs)+1)
+	copy(out, configs)
+	return append(out, yarn.QueueConfig{Name: yarn.DefaultQueue, Capacity: leftover}), nil
+}
+
+// tenantFor returns (creating on first use) the state for a tenant name. With
+// queues configured, tenants were pre-created in NewJobServer and unknown
+// names were already rejected by Submit; without queues, every name is a
+// weight-1 tenant in the shared default queue.
+func (s *JobServer) tenantFor(name string) *tenantState {
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenantState{name: name, weight: 1}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Tenant reports a tenant's submission statistics (nil when never seen).
+func (s *JobServer) Tenant(name string) *tenantState { return s.tenants[name] }
+
+// Pending reports how many submissions are waiting for admission.
+func (s *JobServer) Pending() int { return len(s.pending) }
+
+// InFlight reports the admission cost currently executing.
+func (s *JobServer) InFlight() int { return s.inFlight }
+
+// Submit hands a job to the server on behalf of a tenant. The tenant names
+// the target queue ("" = default); an unknown queue is rejected here, at the
+// submission boundary, so the RM never sees an unroutable app. mode selects
+// the execution path — one of the four single-mode executors or
+// ModeSpeculative. done fires with the job's result once it completes.
+//
+// Submission is asynchronous admission: the job may queue behind the
+// admission window; its queue-wait is recorded as a span and a per-tenant
+// histogram sample.
+func (s *JobServer) Submit(tenant string, mode ModeKind, spec *mapreduce.JobSpec, done func(*mapreduce.Result)) error {
+	if spec == nil {
+		panic("core: Submit needs a job spec")
+	}
+	if done == nil {
+		panic("core: Submit needs a completion callback")
+	}
+	if !s.fw.RT.RM.ValidQueue(tenant) {
+		s.Rejected++
+		s.fw.RT.Reg.Inc(metrics.With("jobserver_rejected_total", "tenant", tenant))
+		return fmt.Errorf("core: unknown tenant queue %q", tenant)
+	}
+	cost := 1
+	var run func(*queuedJob)
+	switch mode {
+	case ModeSpeculative:
+		if s.fw.Pool.Size() < 2 {
+			return fmt.Errorf("core: speculative submission needs an AM pool of at least 2")
+		}
+		cost = 2 // the race holds a pooled AM per mode
+		run = func(j *queuedJob) {
+			s.fw.SubmitSpeculative(j.spec, func(res *SpecResult) {
+				s.settle(j, res.Result)
+			})
+		}
+	default:
+		exec, err := ExecutorFor(mode)
+		if err != nil {
+			return err
+		}
+		run = func(j *queuedJob) {
+			s.fw.Submit(exec, j.spec, func(res *mapreduce.Result) {
+				s.settle(j, res)
+			})
+		}
+	}
+
+	t := s.tenantFor(tenant)
+	t.Submitted++
+	s.Submitted++
+	spec.Queue = tenant
+	j := &queuedJob{
+		tenant: t,
+		spec:   spec,
+		mode:   mode,
+		cost:   cost,
+		done:   done,
+		enqAt:  s.fw.RT.Eng.Now(),
+	}
+	j.run = func() { run(j) }
+	j.span = s.fw.RT.Trace.StartSpan(0, "jobserver", spec.Name+" queue-wait", "admit",
+		trace.A("tenant", t.name), trace.A("mode", string(mode)))
+	s.fw.RT.Reg.Inc(metrics.With("jobserver_submitted_total", "tenant", t.name, "mode", string(mode)))
+	s.pending = append(s.pending, j)
+	s.dispatch()
+	return nil
+}
+
+// settle returns a finished job's admission cost to the window, admits
+// whoever is next, and reports the result to the submitter.
+func (s *JobServer) settle(j *queuedJob, res *mapreduce.Result) {
+	s.inFlight -= j.cost
+	j.tenant.Completed++
+	s.Completed++
+	s.dispatch()
+	// The submitter's callback runs after dispatch so a chain of short jobs
+	// can't observe an artificially empty window.
+	if res == nil {
+		res = &mapreduce.Result{Spec: j.spec}
+	}
+	s.fw.RT.Reg.Inc(metrics.With("jobserver_completed_total", "tenant", j.tenant.name))
+	j.done(res)
+}
+
+// dispatch admits waiting jobs while the window has room, in policy order.
+func (s *JobServer) dispatch() {
+	for len(s.pending) > 0 {
+		idx := s.next()
+		j := s.pending[idx]
+		if s.inFlight > 0 && s.inFlight+j.cost > s.window {
+			return
+		}
+		s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
+		s.admit(j)
+	}
+}
+
+// next picks the pending index to admit: FIFO takes the head; weighted-fair
+// takes the earliest job of the most underserved tenant (lowest
+// served/weight, ties broken by arrival order for determinism).
+func (s *JobServer) next() int {
+	if s.policy == PolicyFIFO {
+		return 0
+	}
+	best := 0
+	bestRatio := s.pending[0].tenant.served / s.pending[0].tenant.weight
+	seen := map[*tenantState]bool{s.pending[0].tenant: true}
+	for i := 1; i < len(s.pending); i++ {
+		t := s.pending[i].tenant
+		if seen[t] {
+			continue // a tenant's own jobs stay FIFO
+		}
+		seen[t] = true
+		if ratio := t.served / t.weight; ratio < bestRatio {
+			best, bestRatio = i, ratio
+		}
+	}
+	return best
+}
+
+// admit moves a job from the queue into execution: the wait span closes, the
+// wait lands in the tenant's histogram, and the job runs through the
+// framework.
+func (s *JobServer) admit(j *queuedJob) {
+	s.inFlight += j.cost
+	j.tenant.served += float64(j.cost)
+	wait := s.fw.RT.Eng.Now().Sub(j.enqAt)
+	s.fw.RT.Trace.EndSpan(j.span, trace.A("wait", wait.String()))
+	s.fw.RT.Reg.Observe(metrics.With("jobserver_queue_wait_seconds", "tenant", j.tenant.name), wait.Seconds())
+	j.run()
+}

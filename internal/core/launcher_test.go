@@ -1,0 +1,230 @@
+package core
+
+import (
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/topology"
+)
+
+// launchFingerprint is the observable behavior of one launch flow: when the
+// job finished, what it wrote, and how its profile describes the run. The
+// expected values below were captured on the pre-refactor per-mode launch
+// bodies (launchDPlus/launchUPlus); the shared Executor launcher must
+// reproduce them bit for bit — the refactor is structure, not behavior.
+type launchFingerprint struct {
+	elapsed    time.Duration
+	outHash    uint64
+	outLen     int
+	mode       string
+	maps       int
+	containers int
+	poolHit    bool
+	amStartup  time.Duration
+	tasks      int
+}
+
+func fingerprintOf(t *testing.T, rt *mapreduce.Runtime, res *mapreduce.Result, out string) launchFingerprint {
+	t.Helper()
+	if res == nil {
+		t.Fatal("job never completed")
+	}
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+	b, err := rt.DFS.Contents(mapreduce.PartFileName(out, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	p := res.Profile
+	return launchFingerprint{
+		elapsed:    p.Elapsed(),
+		outHash:    h.Sum64(),
+		outLen:     len(b),
+		mode:       res.Mode,
+		maps:       p.NumMaps,
+		containers: p.NumContainers,
+		poolHit:    p.AMPoolHit,
+		amStartup:  p.AMStartup,
+		tasks:      len(p.Tasks),
+	}
+}
+
+// TestLauncherGoldenFingerprints drives every launch flow — D+, U+, the
+// pool-exhaustion stock fallback, the AM-loss relaunch, and the speculative
+// race — through the shared mode-agnostic launcher and pins each flow's
+// behavior to the fingerprint the per-mode launch bodies produced before the
+// refactor. Any drift in virtual timing, output bytes, or profile shape
+// fails the test.
+func TestLauncherGoldenFingerprints(t *testing.T) {
+	const wcHash = uint64(427899536177052244) // word-count output, 4×1MiB synthetic input
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T) launchFingerprint
+		want launchFingerprint
+	}{
+		{
+			name: "dplus",
+			run: func(t *testing.T) launchFingerprint {
+				rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+				f := startFramework(t, rt, 3)
+				names, _ := stageInput(t, rt, 4, 1<<20)
+				var res *mapreduce.Result
+				rt.Eng.After(0, func() {
+					f.SubmitDPlus(testWCSpec(names, "/out"), func(r *mapreduce.Result) { res = r; rt.RM.Stop() })
+				})
+				rt.Eng.RunUntil(horizon)
+				return fingerprintOf(t, rt, res, "/out")
+			},
+			want: launchFingerprint{
+				elapsed: 4373972954, outHash: wcHash, outLen: 122, mode: "dplus",
+				maps: 4, containers: 28, poolHit: true, amStartup: 93608470, tasks: 5,
+			},
+		},
+		{
+			name: "uplus",
+			run: func(t *testing.T) launchFingerprint {
+				rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+				f := startFramework(t, rt, 3)
+				names, _ := stageInput(t, rt, 4, 1<<20)
+				var res *mapreduce.Result
+				rt.Eng.After(0, func() {
+					f.SubmitUPlus(testWCSpec(names, "/out"), func(r *mapreduce.Result) { res = r; rt.RM.Stop() })
+				})
+				rt.Eng.RunUntil(horizon)
+				return fingerprintOf(t, rt, res, "/out")
+			},
+			want: launchFingerprint{
+				elapsed: 1261532080, outHash: wcHash, outLen: 122, mode: "uplus",
+				maps: 4, containers: 1, poolHit: true, amStartup: 93608470, tasks: 5,
+			},
+		},
+		{
+			// A size-0 pool is permanently exhausted: SubmitDPlus must degrade
+			// to the stock distributed path (cold AM, poll-based completion).
+			name: "stock-fallback",
+			run: func(t *testing.T) launchFingerprint {
+				rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+				f := startFramework(t, rt, 0)
+				names, _ := stageInput(t, rt, 4, 1<<20)
+				var res *mapreduce.Result
+				rt.Eng.After(0, func() {
+					f.SubmitDPlus(testWCSpec(names, "/out"), func(r *mapreduce.Result) { res = r; rt.RM.Stop() })
+				})
+				rt.Eng.RunUntil(horizon)
+				if f.StockFallbacks != 1 {
+					t.Fatalf("StockFallbacks = %d, want 1", f.StockFallbacks)
+				}
+				return fingerprintOf(t, rt, res, "/out")
+			},
+			want: launchFingerprint{
+				elapsed: 9000000000, outHash: wcHash, outLen: 122, mode: "hadoop",
+				maps: 4, containers: 28, poolHit: false, amStartup: 4383131028, tasks: 5,
+			},
+		},
+		{
+			// The serving AM's node dies mid-job: the attempt fails with
+			// ErrAMLost, partial output is wiped, and a fresh pooled AM reruns
+			// the job to a clean finish.
+			name: "am-loss-relaunch",
+			run: func(t *testing.T) launchFingerprint {
+				rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+				f := startFramework(t, rt, 3)
+				victim := f.Pool.ams[0].Node
+				names, _ := stageInput(t, rt, 4, 1<<20)
+				var res *mapreduce.Result
+				rt.Eng.After(500*time.Millisecond, victim.Fail)
+				rt.Eng.After(0, func() {
+					f.SubmitDPlus(testWCSpec(names, "/out"), func(r *mapreduce.Result) { res = r })
+				})
+				rt.Eng.RunUntil(rt.Eng.Now().Add(600 * time.Second))
+				rt.RM.Stop()
+				if f.Pool.Lost != 1 {
+					t.Fatalf("Pool.Lost = %d, want 1", f.Pool.Lost)
+				}
+				return fingerprintOf(t, rt, res, "/out")
+			},
+			want: launchFingerprint{
+				elapsed: 4340281966, outHash: wcHash, outLen: 122, mode: "dplus",
+				maps: 4, containers: 28, poolHit: true, amStartup: 94302381, tasks: 5,
+			},
+		},
+		{
+			// Both modes race; the estimator's verdict kills the projected
+			// loser (D+ here) and the U+ winner's output is promoted.
+			name: "speculative-kill",
+			run: func(t *testing.T) launchFingerprint {
+				rt := newRuntime(t, topology.A3, 4, NewDPlusScheduler(FullDPlus()))
+				f := startFramework(t, rt, 3)
+				names, _ := stageInput(t, rt, 4, 1<<20)
+				var res *SpecResult
+				rt.Eng.After(0, func() {
+					f.SubmitSpeculative(testWCSpec(names, "/out"), func(r *SpecResult) { res = r; rt.RM.Stop() })
+				})
+				rt.Eng.RunUntil(horizon)
+				if res == nil {
+					t.Fatal("speculative run never completed")
+				}
+				if res.Winner != ModeUPlus {
+					t.Fatalf("winner = %s, want %s", res.Winner, ModeUPlus)
+				}
+				if res.EstimateD != 5467440281 || res.EstimateU != 194781382 {
+					t.Fatalf("estimates D=%d U=%d, want D=5467440281 U=194781382", res.EstimateD, res.EstimateU)
+				}
+				if res.DecidedAt != 60579447673 {
+					t.Fatalf("DecidedAt = %d, want 60579447673", res.DecidedAt)
+				}
+				return fingerprintOf(t, rt, res.Result, "/out")
+			},
+			want: launchFingerprint{
+				elapsed: 1262225991, outHash: wcHash, outLen: 122, mode: "uplus",
+				maps: 4, containers: 1, poolHit: true, amStartup: 94302381, tasks: 5,
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.run(t)
+			if got != tc.want {
+				t.Errorf("fingerprint drifted:\n got  %+v\n want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestExecutorFor checks the mode→executor registry, including the stock
+// modes the JobServer routes around the pool.
+func TestExecutorFor(t *testing.T) {
+	for _, tc := range []struct {
+		mode ModeKind
+		pool bool
+	}{
+		{ModeDPlus, true},
+		{ModeUPlus, true},
+		{ModeHadoop, false},
+		{ModeUber, false},
+	} {
+		exec, err := ExecutorFor(tc.mode)
+		if err != nil {
+			t.Fatalf("ExecutorFor(%s): %v", tc.mode, err)
+		}
+		if exec.Mode() != tc.mode {
+			t.Errorf("ExecutorFor(%s).Mode() = %s", tc.mode, exec.Mode())
+		}
+		if exec.UsesPool() != tc.pool {
+			t.Errorf("ExecutorFor(%s).UsesPool() = %v, want %v", tc.mode, exec.UsesPool(), tc.pool)
+		}
+	}
+	if _, err := ExecutorFor(ModeKind("bogus")); err == nil {
+		t.Error("ExecutorFor(bogus) did not fail")
+	}
+	if _, err := ExecutorFor(ModeSpeculative); err == nil {
+		t.Error("ExecutorFor(speculative) did not fail: the race is a JobServer routing mode, not an executor")
+	}
+}

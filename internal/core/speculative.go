@@ -212,7 +212,7 @@ func (f *Framework) race(spec *mapreduce.JobSpec, root trace.SpanID, done func(*
 			SI:  sample.InputBytes,
 			SO:  sample.OutputBytes,
 			NM:  countSplits(f.RT, spec),
-			NC:  ClusterContainerSlots(f.RT),
+			NC:  mapreduce.ClusterContainerSlots(f.RT),
 			NUM: f.UOpts.MapsPerWave(workers[0]),
 			TL:  f.RT.Params.ContainerStart(),
 			DI:  it.DiskWriteBps,
@@ -239,13 +239,13 @@ func (f *Framework) race(spec *mapreduce.JobSpec, root trace.SpanID, done func(*
 		}
 	}
 
-	dHandle = f.launchDPlus(&dSpec, root, func(tp *profiler.TaskProfile) {
+	dHandle = f.launch(dplusExecutor{}, &dSpec, root, func(tp *profiler.TaskProfile) {
 		if dSample == nil {
 			dSample = tp
 			decide()
 		}
 	}, modeDone(ModeDPlus))
-	uHandle = f.launchUPlus(&uSpec, root, func(tp *profiler.TaskProfile) {
+	uHandle = f.launch(uplusExecutor{}, &uSpec, root, func(tp *profiler.TaskProfile) {
 		if uSample == nil {
 			uSample = tp
 			decide()

@@ -415,7 +415,7 @@ func (d *DFS) ReadRange(name string, offset, length int64, reader *topology.Node
 		if bEnd <= offset || bStart >= offset+length {
 			continue
 		}
-		lo, hi := max64(offset, bStart)-bStart, min64(offset+length, bEnd)-bStart
+		lo, hi := max(offset, bStart)-bStart, min(offset+length, bEnd)-bStart
 		if single {
 			out = b.Data
 		} else {
@@ -473,18 +473,4 @@ func (d *DFS) Contents(name string) ([]byte, error) {
 		out = append(out, b.Data...)
 	}
 	return out, nil
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -104,6 +104,12 @@ type JobSpec struct {
 	OutputFile string
 	NumReduces int
 
+	// Queue is the YARN tenant queue every app of this job submits to
+	// ("" = default). The JobServer stamps it from the submitting tenant so
+	// the RM's per-queue capacity ceilings bound the job's containers on
+	// every execution path, pooled or stock.
+	Queue string
+
 	Format    RecordFormat
 	Map       MapFunc
 	Combine   ReduceFunc // optional map-side combiner

@@ -110,7 +110,7 @@ func (rt *Runtime) launchStockAM(spec *JobSpec, mode Mode, prof *profiler.JobPro
 	// spans nest here via app.Span), AM init, and localization.
 	amSpan := rt.Trace.StartSpan(prof.Span, "am", "am-startup", "am",
 		trace.A("attempt", fmt.Sprint(attempt)), trace.A("cold", "true"))
-	app = rt.RM.SubmitApp(spec.Name, rt.AMResource(), func(app *yarn.App, amC *yarn.Container) {
+	app = rt.RM.SubmitAppInQueue(spec.Name, spec.Queue, rt.AMResource(), func(app *yarn.App, amC *yarn.Container) {
 		amEpoch := amC.Node.Epoch()
 		// The AM initializes: fixed init cost plus localizing the job
 		// artifacts from HDFS.
@@ -143,7 +143,7 @@ func (rt *Runtime) launchStockAM(spec *JobSpec, mode Mode, prof *profiler.JobPro
 						fail(err)
 						return
 					}
-					prof.NumContainers = clusterContainerSlots(rt)
+					prof.NumContainers = ClusterContainerSlots(rt)
 					am.Run(finish)
 				}
 			})
@@ -163,9 +163,11 @@ func (rt *Runtime) launchStockAM(spec *JobSpec, mode Mode, prof *profiler.JobPro
 	app.Span = amSpan
 }
 
-// clusterContainerSlots counts the task containers the cluster can hold, the
-// n^c of the paper's estimator.
-func clusterContainerSlots(rt *Runtime) int {
+// ClusterContainerSlots counts the task containers the cluster can hold, the
+// n^c of the paper's estimator. It is the single shared helper for every
+// layer that sizes work against the cluster (the stock submit path, the
+// MRapid framework, and the JobServer's admission backpressure).
+func ClusterContainerSlots(rt *Runtime) int {
 	total := 0
 	for _, n := range rt.Cluster.Workers() {
 		total += n.Type.MaxContainers()

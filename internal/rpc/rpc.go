@@ -60,7 +60,7 @@ func (l *Link) Send(payload int64, handler func()) {
 		panic("rpc: Send needs a handler")
 	}
 	l.Calls++
-	l.Bytes += max64(payload, 0)
+	l.Bytes += max(payload, 0)
 	l.eng.After(l.latency+l.transferTime(payload), handler)
 }
 
@@ -75,11 +75,4 @@ func (l *Link) Call(payload int64, handler func() int64, reply func()) {
 		respSize := handler()
 		l.Send(respSize, reply)
 	})
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -2,6 +2,7 @@ package yarn
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -31,6 +32,55 @@ func TestConfigureQueuesValidation(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestConfigureQueuesRejectionMessages pins the reason each bad
+// configuration is refused, and that a refused reconfiguration leaves the
+// previously installed queues untouched (ConfigureQueues validates fully
+// before mutating the RM).
+func TestConfigureQueuesRejectionMessages(t *testing.T) {
+	_, _, rm := testRM(t, 2)
+	if err := rm.ConfigureQueues([]QueueConfig{
+		{Name: "default", Capacity: 0.5}, {Name: "prod", Capacity: 0.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		cfg  []QueueConfig
+		want string
+	}{
+		{nil, "at least one queue"},
+		{[]QueueConfig{{Name: "", Capacity: 0.5}}, "needs a name"},
+		{[]QueueConfig{{Name: "a", Capacity: -0.1}}, "outside (0,1]"},
+		{[]QueueConfig{{Name: "a", Capacity: 1.01}}, "outside (0,1]"},
+		{[]QueueConfig{{Name: "a", Capacity: 0.4}, {Name: "a", Capacity: 0.4}}, "duplicate"},
+		{[]QueueConfig{{Name: "a", Capacity: 0.6}, {Name: "b", Capacity: 0.6}}, "sum"},
+	} {
+		err := rm.ConfigureQueues(tc.cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ConfigureQueues(%+v) = %v, want error containing %q", tc.cfg, err, tc.want)
+		}
+	}
+	// The failed reconfigurations must not have clobbered the live queues.
+	if !rm.ValidQueue("prod") || !rm.ValidQueue("") || rm.ValidQueue("a") {
+		t.Fatal("failed reconfiguration disturbed the installed queues")
+	}
+}
+
+// TestSubmitAppInQueueUnknownPanics covers the cold submission path: like
+// NewAppInQueue, an unroutable queue is a caller bug (validation belongs at
+// the submission boundary via ValidQueue) and panics.
+func TestSubmitAppInQueueUnknownPanics(t *testing.T) {
+	_, _, rm := testRM(t, 2)
+	if err := rm.ConfigureQueues([]QueueConfig{{Name: "prod", Capacity: 1.0}}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubmitAppInQueue with unknown queue did not panic")
+		}
+	}()
+	rm.SubmitAppInQueue("x", "dev", oneContainer(), func(*App, *Container) {})
 }
 
 func TestQueueValidation(t *testing.T) {

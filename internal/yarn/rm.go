@@ -326,10 +326,18 @@ func (rm *RM) Allocate(app *App, asks []*Ask, respond func([]*Container)) {
 // launched(app, container) fires once the AM process is up (its own
 // initialization is charged by the caller).
 func (rm *RM) SubmitApp(name string, amResource topology.Resource, launched func(*App, *Container)) *App {
+	return rm.SubmitAppInQueue(name, "", amResource, launched)
+}
+
+// SubmitAppInQueue is SubmitApp for a tenant queue: the app (and therefore
+// its AM container and every task container it asks for) is charged against
+// the queue's capacity ceiling. An invalid queue panics, like NewAppInQueue:
+// validation belongs at the submission boundary (ValidQueue).
+func (rm *RM) SubmitAppInQueue(name, queue string, amResource topology.Resource, launched func(*App, *Container)) *App {
 	if launched == nil {
 		panic("yarn: SubmitApp needs a launch callback")
 	}
-	app := rm.NewApp(name)
+	app := rm.NewAppInQueue(name, queue)
 	ask := &Ask{App: app, Resource: amResource, Tag: "am"}
 	ask.direct = func(c *Container) {
 		rm.nms[c.Node].StartContainer(c, false, func() { launched(app, c) })
