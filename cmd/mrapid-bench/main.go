@@ -27,6 +27,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "input synthesis / placement seed")
 		workers  = flag.Int("workers", -1, "host worker threads for map/reduce computations: 0|1 sequential, >1 pool size, -1 all cores (figures are identical either way)")
 		nodeFail = flag.String("node-fail", "", "node-fault schedule 'node@at[:restartAfter]', comma-separated, injected into every simulation (times measured from cluster-ready)")
+		shuffle  = flag.Bool("shuffle-service", false, "attach the per-node consolidating shuffle service to every simulation")
+		codec    = flag.String("shuffle-codec", "none", "shuffle-service wire codec: none | lz")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -56,7 +58,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := bench.Options{Scale: *scale, Seed: *seed, HostWorkers: *workers, NodeFaults: faults}
+	opts := bench.Options{
+		Scale: *scale, Seed: *seed, HostWorkers: *workers, NodeFaults: faults,
+		ShuffleService: *shuffle, ShuffleCodec: *codec,
+	}
 	failures := 0
 	for _, r := range bench.Registry {
 		if len(selected) > 0 && !selected[r.ID] {

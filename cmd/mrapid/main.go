@@ -52,6 +52,8 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the run's span tree as Chrome trace_event JSON (load in Perfetto / chrome://tracing)")
 		metOut   = flag.String("metrics-out", "", "write the phase report and metrics registry as JSON")
 		phaseRep = flag.Bool("report", false, "print the critical-path phase-attribution report")
+		shuffle  = flag.Bool("shuffle-service", false, "attach the per-node consolidating shuffle service (one fetch per node & partition, in-node combine)")
+		codec    = flag.String("shuffle-codec", "none", "shuffle-service wire codec: none | lz")
 		jobs     = flag.Int("jobs", 1, "number of jobs; > 1 switches to multi-job workload mode through the JobServer")
 		tenants  = flag.Int("tenants", 2, "workload mode: tenant capacity queues the jobs are spread over")
 		arrival  = flag.String("arrival", "burst", "workload mode: arrival process — burst | uniform:<gap> | poisson:<mean>")
@@ -59,23 +61,30 @@ func main() {
 	)
 	flag.Parse()
 
+	svc := shuffleSetting{Enabled: *shuffle, Codec: *codec}
 	if *jobs > 1 {
-		if err := runWorkload(*cluster, *jobs, *tenants, *arrival, *policy, *seed, *workers, *nodeFail); err != nil {
+		if err := runWorkload(*cluster, *jobs, *tenants, *arrival, *policy, *seed, *workers, *nodeFail, svc); err != nil {
 			fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	obs := observability{TraceOut: *traceOut, MetricsOut: *metOut, Report: *phaseRep}
-	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN, *nodeFail, obs); err != nil {
+	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN, *nodeFail, svc, obs); err != nil {
 		fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// shuffleSetting groups the -shuffle-service/-shuffle-codec flags.
+type shuffleSetting struct {
+	Enabled bool
+	Codec   string
+}
+
 // runWorkload is the multi-job mode: a WordCount stream through the
 // JobServer on the chosen cluster, reported as a throughput/fairness table.
-func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed int64, workers int, nodeFail string) error {
+func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed int64, workers int, nodeFail string, svc shuffleSetting) error {
 	var setup bench.ClusterSetup
 	switch cluster {
 	case "A3x4":
@@ -101,7 +110,10 @@ func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed
 	}
 	res, err := bench.RunThroughput(setup, bench.WorkloadConfig{
 		Jobs: jobs, Tenants: tenants, Arrival: arrival, Policy: pol,
-	}, bench.Options{Seed: seed, HostWorkers: workers, NodeFaults: faults})
+	}, bench.Options{
+		Seed: seed, HostWorkers: workers, NodeFaults: faults,
+		ShuffleService: svc.Enabled, ShuffleCodec: svc.Codec,
+	})
 	if err != nil {
 		return err
 	}
@@ -129,7 +141,7 @@ func (o observability) enabled() bool {
 	return o.TraceOut != "" || o.MetricsOut != "" || o.Report
 }
 
-func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int, nodeFail string, obs observability) error {
+func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int, nodeFail string, svc shuffleSetting, obs observability) error {
 	var setup bench.ClusterSetup
 	switch cluster {
 	case "A3x4":
@@ -141,6 +153,10 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 	}
 	setup.Seed = seed
 	setup.HostWorkers = workers
+	if svc.Enabled {
+		setup.Params.ShuffleService = true
+		setup.Params.ShuffleCodec = svc.Codec
+	}
 	faults, err := mapreduce.ParseNodeFaults(nodeFail)
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"mrapid/internal/hdfs"
 	"mrapid/internal/mapreduce"
 	"mrapid/internal/metrics"
+	"mrapid/internal/shuffle"
 	"mrapid/internal/sim"
 	"mrapid/internal/topology"
 	"mrapid/internal/trace"
@@ -165,6 +166,11 @@ func NewEnv(setup ClusterSetup, v Variant) (*Env, error) {
 	rt := mapreduce.NewRuntime(eng, cluster, dfs, rm, params)
 	rt.MapCache = sharedMapCache
 	rt.Workers = setup.HostWorkers
+	if params.ShuffleService {
+		if _, err := shuffle.Attach(rt); err != nil {
+			return nil, err
+		}
+	}
 	env := &Env{Eng: eng, Cluster: cluster, DFS: dfs, RM: rm, RT: rt}
 	if v.UseFramework {
 		fw := core.NewFramework(rt, v.PoolSize, v.UOpts)

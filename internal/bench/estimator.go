@@ -33,8 +33,7 @@ func EstimatorAccuracy(o Options) (*Figure, error) {
 		for _, v := range []Variant{VariantDPlus(), VariantUPlus()} {
 			setup := A3x4()
 			setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
-			setup.HostWorkers = o.HostWorkers
-			setup.NodeFaults = o.NodeFaults
+			setup = o.applyTo(setup)
 			env, err := NewEnv(setup, v)
 			if err != nil {
 				return nil, err

@@ -30,6 +30,24 @@ type Options struct {
 	// machinery re-executes lost work, so figures still complete — slower,
 	// which is the point of running them this way.
 	NodeFaults []mapreduce.NodeFault
+	// ShuffleService attaches the per-node consolidating shuffle service
+	// (internal/shuffle) to every simulation of the run, shipping map output
+	// through ShuffleCodec ("none" or "lz") on the wire. Off by default —
+	// the per-map shuffle is the paper's baseline. The dedicated "shuffle"
+	// experiment ignores these and sweeps its own configurations.
+	ShuffleService bool
+	ShuffleCodec   string
+}
+
+// applyTo copies the run-wide Options knobs onto one simulation's setup.
+func (o Options) applyTo(setup ClusterSetup) ClusterSetup {
+	setup.HostWorkers = o.HostWorkers
+	setup.NodeFaults = o.NodeFaults
+	if o.ShuffleService {
+		setup.Params.ShuffleService = true
+		setup.Params.ShuffleCodec = o.ShuffleCodec
+	}
+	return setup
 }
 
 func (o Options) normalized() Options {
@@ -85,8 +103,7 @@ const mb = float64(1 << 20)
 // fresh simulation and returns the completion time in seconds.
 func runWordCount(setup ClusterSetup, v Variant, files int, fileBytes int64, o Options) (float64, error) {
 	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
-	setup.HostWorkers = o.HostWorkers
-	setup.NodeFaults = o.NodeFaults
+	setup = o.applyTo(setup)
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return 0, err
@@ -109,8 +126,7 @@ func runWordCount(setup ClusterSetup, v Variant, files int, fileBytes int64, o O
 // runTeraSort executes one TeraSort configuration.
 func runTeraSort(setup ClusterSetup, v Variant, rows int64, files int, o Options) (float64, error) {
 	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
-	setup.HostWorkers = o.HostWorkers
-	setup.NodeFaults = o.NodeFaults
+	setup = o.applyTo(setup)
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return 0, err
@@ -138,8 +154,7 @@ func runTeraSort(setup ClusterSetup, v Variant, rows int64, files int, o Options
 
 // runPi executes one PI configuration.
 func runPi(setup ClusterSetup, v Variant, maps int, samples int64, o Options) (float64, error) {
-	setup.HostWorkers = o.HostWorkers
-	setup.NodeFaults = o.NodeFaults
+	setup = o.applyTo(setup)
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return 0, err
@@ -499,6 +514,7 @@ var Registry = []struct {
 	{"estimator", EstimatorAccuracy, "Eq. 2/3 estimates vs measured (supplementary)"},
 	{"phases", PhaseBreakdown, "phase attribution per mode (observability)"},
 	{"throughput", Throughput, "multi-tenant JobServer throughput & fairness"},
+	{"shuffle", Shuffle, "shuffle service: consolidated fetches, combine & compression"},
 }
 
 // Lookup finds a registered experiment by ID.

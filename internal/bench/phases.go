@@ -21,8 +21,7 @@ var phaseColumns = []string{
 func runPhases(v Variant, speculative bool, o Options) (*report.Report, error) {
 	setup := A3x4()
 	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
-	setup.HostWorkers = o.HostWorkers
-	setup.NodeFaults = o.NodeFaults
+	setup = o.applyTo(setup)
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return nil, err

@@ -20,8 +20,7 @@ func SpeculationOverhead(o Options) (firstRun, historyRun float64, err error) {
 	v.UOpts = core.FullUPlus()
 	setup := A3x4()
 	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
-	setup.HostWorkers = o.HostWorkers
-	setup.NodeFaults = o.NodeFaults
+	setup = o.applyTo(setup)
 	env, err := NewEnv(setup, v)
 	if err != nil {
 		return 0, 0, err

@@ -116,8 +116,7 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 		cfg.PoolSize = 3
 	}
 	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
-	setup.HostWorkers = o.HostWorkers
-	setup.NodeFaults = o.NodeFaults
+	setup = o.applyTo(setup)
 
 	// The framework is assembled by hand (not by NewEnv) so the JobServer can
 	// install the tenant queues before the pool starts — that way the

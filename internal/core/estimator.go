@@ -27,6 +27,24 @@ type EstimatorInputs struct {
 	BI float64       // b^i: network bandwidth, bytes/s
 
 	TReduce time.Duration // reduce-phase time, identical across modes (Eq. 2/3 omit it)
+
+	// ShuffleRatio scales s^o in the shuffle terms of Equations 1 and 3:
+	// with the node-level shuffle service attached, in-node combining and
+	// compression move fewer bytes across the network than the maps
+	// emitted (Runtime.ShuffleWireRatio supplies the factor). Zero (unset)
+	// and 1 both mean an unscaled shuffle. Spill and merge terms stay at
+	// the raw s^o — the service transforms data after the map materializes
+	// it.
+	ShuffleRatio float64
+}
+
+// shuffleBytes is s^o scaled by ShuffleRatio for the shuffle terms.
+func (in EstimatorInputs) shuffleBytes() int64 {
+	r := in.ShuffleRatio
+	if r <= 0 || r >= 1 {
+		return in.SO
+	}
+	return int64(float64(in.SO) * r)
 }
 
 // InputsFromProfile builds estimator inputs from a measured job summary and
@@ -80,7 +98,7 @@ func EstimateJob(in EstimatorInputs, sortBuffer int64) time.Duration {
 	if in.SO > sortBuffer {
 		perWave += ioTime(in.SO, in.DO) + ioTime(in.SO, in.DI)
 	}
-	shuffle := ioTime(in.SO*int64(in.NC), in.BI)
+	shuffle := ioTime(in.shuffleBytes()*int64(in.NC), in.BI)
 	return in.TL + perWave*time.Duration(nw) + shuffle + in.TReduce
 }
 
@@ -99,7 +117,7 @@ func EstimateUPlus(in EstimatorInputs) time.Duration {
 //	t_d = (t^l + t^m + s^o/d^i) · (n^m / n^c) + (s^o · n^c)/b^i
 func EstimateDPlus(in EstimatorInputs) time.Duration {
 	perWave := in.TL + in.TM + ioTime(in.SO, in.DI)
-	shuffle := ioTime(in.SO*int64(in.NC), in.BI)
+	shuffle := ioTime(in.shuffleBytes()*int64(in.NC), in.BI)
 	return perWave*time.Duration(waves(in.NM, in.NC)) + shuffle
 }
 

@@ -70,11 +70,20 @@ func (h *History) Len() int { return len(h.entries) }
 // stale decision).
 func (h *History) Forget(job string) { delete(h.entries, job) }
 
-const historyPath = "/mrapid/history.json"
+const (
+	historyPath    = "/mrapid/history.json"
+	historyTmpPath = historyPath + ".tmp"
+)
 
 // Save serializes the store into HDFS (replacing any previous snapshot).
 // The write itself is metadata-sized; like the paper's profile uploads it
 // happens off the measured path, so it is staged costlessly.
+//
+// The replacement is atomic: the new snapshot is staged at a temporary
+// name first and renamed over (a pure NameNode metadata operation), so at
+// every instant either the old or the new snapshot is durable. The old
+// delete-then-put sequence had a window where a crash lost the whole
+// history.
 func (h *History) Save(dfs *hdfs.DFS) error {
 	list := make([]*HistoryEntry, 0, len(h.entries))
 	for _, name := range sortedKeys(h.entries) {
@@ -84,22 +93,36 @@ func (h *History) Save(dfs *hdfs.DFS) error {
 	if err != nil {
 		return fmt.Errorf("core: encoding history: %w", err)
 	}
+	if dfs.Exists(historyTmpPath) {
+		if err := dfs.Delete(historyTmpPath); err != nil {
+			return err
+		}
+	}
+	if _, err := dfs.PutInstant(historyTmpPath, data, nil); err != nil {
+		return err
+	}
+	// From here the new snapshot is durable at the temporary name; Load
+	// falls back to it if a crash lands between the delete and the rename.
 	if dfs.Exists(historyPath) {
 		if err := dfs.Delete(historyPath); err != nil {
 			return err
 		}
 	}
-	_, err = dfs.PutInstant(historyPath, data, nil)
-	return err
+	return dfs.Rename(historyTmpPath, historyPath)
 }
 
 // Load restores a snapshot saved by Save. A missing snapshot yields an
-// empty store, not an error.
+// empty store, not an error; an interrupted Save is recovered from its
+// staged temporary.
 func (h *History) Load(dfs *hdfs.DFS) error {
-	if !dfs.Exists(historyPath) {
-		return nil
+	path := historyPath
+	if !dfs.Exists(path) {
+		if !dfs.Exists(historyTmpPath) {
+			return nil
+		}
+		path = historyTmpPath
 	}
-	data, err := dfs.Contents(historyPath)
+	data, err := dfs.Contents(path)
 	if err != nil {
 		return err
 	}

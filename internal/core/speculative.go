@@ -218,6 +218,10 @@ func (f *Framework) race(spec *mapreduce.JobSpec, root trace.SpanID, done func(*
 			DI:  it.DiskWriteBps,
 			DO:  it.DiskReadBps,
 			BI:  it.NetworkBps,
+			// With the shuffle service attached, the decision maker prices
+			// the post-combine, post-compress shuffle, not the raw map
+			// output the sample measured.
+			ShuffleRatio: f.RT.ShuffleWireRatio(spec),
 		}
 		out.EstimateU = EstimateUPlus(in)
 		out.EstimateD = EstimateDPlus(in)

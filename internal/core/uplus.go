@@ -56,7 +56,11 @@ type UPlusAM struct {
 	inFlight  int
 	completed int
 	outputs   []*mapreduce.MapOutput
-	cacheUsed int64
+	// reduceInputs is what the reduce partitions actually consume: the raw
+	// outputs, or their per-node consolidation when the shuffle service is
+	// attached.
+	reduceInputs []*mapreduce.MapOutput
+	cacheUsed    int64
 	// admitted remembers how many cache bytes each split's running attempt
 	// charged, so a crashed attempt refunds its budget before the retry.
 	admitted       map[int]int64
@@ -199,6 +203,9 @@ func (am *UPlusAM) runOne(s *hdfs.Split) {
 		}
 		am.prof.Add(tp)
 		am.outputs = append(am.outputs, mo)
+		if am.rt.Shuffle != nil {
+			am.rt.Shuffle.Register(am.spec, mo)
+		}
 		am.completed++
 		if am.OnMapComplete != nil {
 			am.OnMapComplete(tp)
@@ -219,6 +226,11 @@ func (am *UPlusAM) runOne(s *hdfs.Split) {
 // runReduce reads back any spilled outputs (in-memory ones are free) and
 // runs the reduce partitions in the AM container.
 func (am *UPlusAM) runReduce() {
+	am.reduceInputs = am.outputs
+	if am.rt.Shuffle != nil {
+		am.runReduceService()
+		return
+	}
 	remaining := len(am.outputs) * am.spec.NumReduces
 	if remaining == 0 {
 		am.runReducePartitions(0)
@@ -245,6 +257,43 @@ func (am *UPlusAM) runReduce() {
 	}
 }
 
+// runReduceService is the shuffle-service read-back: every U+ output lives
+// on the AM's node, so its service merges (and re-combines) them into one
+// consolidated output and the reduce issues a single local fetch per
+// partition — cached members come straight from the heap, spilled ones off
+// the disk. A fetch error means the AM node itself died, which kills the
+// attempt (per-map fallback is meaningless when the fallback data died with
+// the same node).
+func (am *UPlusAM) runReduceService() {
+	groups := mapreduce.GroupOutputsByNode(am.outputs)
+	if len(groups) == 0 {
+		am.runReducePartitions(0)
+		return
+	}
+	inputs := make([]*mapreduce.MapOutput, 0, len(groups))
+	remaining := len(groups) * am.spec.NumReduces
+	for _, group := range groups {
+		cons := am.rt.Shuffle.Consolidate(am.spec, group)
+		inputs = append(inputs, cons.Out)
+		for p := 0; p < am.spec.NumReduces; p++ {
+			am.rt.Shuffle.Fetch(am.prof.Span, am.spec, cons, p, am.amNode, func(err error) {
+				if am.killed {
+					return
+				}
+				if err != nil {
+					am.Abort(err)
+					return
+				}
+				remaining--
+				if remaining == 0 {
+					am.reduceInputs = inputs
+					am.runReducePartitions(0)
+				}
+			})
+		}
+	}
+}
+
 // Abort ends the job with err (the AM's node died; the submission framework
 // decides whether to relaunch).
 func (am *UPlusAM) Abort(err error) {
@@ -263,7 +312,7 @@ func (am *UPlusAM) runReducePartitions(p int) {
 		return
 	}
 	ropts := mapreduce.ReduceOptions{Attempt: am.reduceAttempts[p], Parent: am.prof.Span}
-	am.rt.RunReduceTask(am.spec, p, ropts, am.outputs, am.amNode, func(tp *profiler.TaskProfile, err error) {
+	am.rt.RunReduceTask(am.spec, p, ropts, am.reduceInputs, am.amNode, func(tp *profiler.TaskProfile, err error) {
 		if am.killed {
 			return
 		}
@@ -300,6 +349,11 @@ func (am *UPlusAM) finish(err error) {
 		return
 	}
 	am.killed = true
+	if am.rt.Shuffle != nil {
+		for _, mo := range am.outputs {
+			am.rt.Shuffle.Forget(am.spec, mo)
+		}
+	}
 	am.prof.DoneAt = am.rt.Eng.Now()
 	am.rt.RM.FinishApp(am.app)
 	am.done(am.prof, err)

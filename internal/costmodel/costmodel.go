@@ -121,6 +121,26 @@ type Params struct {
 	// heterogeneous clusters.
 	AMContainerMB     int
 	AMContainerVCores int
+
+	// ShuffleService enables the per-node shuffle service
+	// (internal/shuffle): committed map outputs register with their node,
+	// are merged and re-combined across tasks, and reducers issue one fetch
+	// per (node, partition) instead of one per (map, partition). Off by
+	// default — stock Hadoop (and the paper's measurements) shuffle per map.
+	ShuffleService bool
+
+	// ShuffleCodec names the codec the shuffle service compresses
+	// consolidated partitions with before they cross the network: "" or
+	// "none" for no compression, "lz" for an LZ-class splittable codec
+	// modeled by ShuffleLZRatio and the instance type's compression rates
+	// (mapreduce.map.output.compress).
+	ShuffleCodec string
+
+	// ShuffleLZRatio is the modeled compressed/raw size ratio of the "lz"
+	// codec on shuffled key-value data. Snappy/LZ4-class codecs land near
+	// half size on the text-heavy intermediate data of the paper's
+	// workloads.
+	ShuffleLZRatio float64
 }
 
 // Default returns the calibrated baseline used by all experiments. Values
@@ -152,6 +172,9 @@ func Default() Params {
 		MaxAMAttempts:           2,
 		AMContainerMB:           1024,
 		AMContainerVCores:       1,
+		ShuffleService:          false,
+		ShuffleCodec:            "none",
+		ShuffleLZRatio:          0.55,
 	}
 }
 
@@ -196,6 +219,10 @@ func (p Params) Validate() error {
 		return errBad("AMContainerMB")
 	case p.AMContainerVCores <= 0:
 		return errBad("AMContainerVCores")
+	case p.ShuffleCodec != "" && p.ShuffleCodec != "none" && p.ShuffleCodec != "lz":
+		return errBad("ShuffleCodec")
+	case p.ShuffleCodec == "lz" && (p.ShuffleLZRatio <= 0 || p.ShuffleLZRatio > 1):
+		return errBad("ShuffleLZRatio")
 	}
 	return nil
 }

@@ -59,6 +59,12 @@ type DistributedAM struct {
 	// generation and are dropped.
 	reduceGen int
 
+	// Shuffle-service state (rt.Shuffle != nil): the per-node consolidated
+	// outputs the reduce will consume, and how many consolidated group
+	// fetches are still in flight.
+	consolidated  []*MapOutput
+	pendingGroups int
+
 	ticker      *sim.Ticker
 	sentMapAsks bool
 	killed      bool
@@ -302,6 +308,9 @@ func (am *DistributedAM) runMap(c *yarn.Container, s *hdfs.Split) {
 				fmt.Sprintf("commit map-%d", s.Index), "commit", commitStart)
 			am.prof.Add(tp)
 			am.mapOutputs = append(am.mapOutputs, mo)
+			if am.rt.Shuffle != nil {
+				am.rt.Shuffle.Register(am.spec, mo)
+			}
 			am.completedMaps++
 			if am.completedMaps == len(am.splits) {
 				am.prof.MapsDoneAt = am.rt.Eng.Now()
@@ -350,6 +359,10 @@ func (am *DistributedAM) pumpShuffle() {
 	if am.killed || !am.reduceReady {
 		return
 	}
+	if am.rt.Shuffle != nil {
+		am.pumpShuffleService()
+		return
+	}
 	dst := am.reduceContainer.Node
 	gen := am.reduceGen
 	for _, mo := range append([]*MapOutput(nil), am.mapOutputs...) {
@@ -388,6 +401,67 @@ func (am *DistributedAM) pumpShuffle() {
 	am.maybeReduce()
 }
 
+// pumpShuffleService is the shuffle-service fetch path: once every map has
+// committed, the registered outputs are consolidated per node — merged and
+// re-combined by each node's service — and the reducer issues one fetch per
+// (node, partition) instead of one per (map, partition). A consolidated
+// fetch that fails means the source node died with every registered output
+// on it, so the AM falls back to the per-map recovery: each member of the
+// group is declared lost and re-executed, and the next pump consolidates
+// the replacements.
+//
+// Waiting for the last map trades the per-map shuffle's map-wave overlap
+// for the consolidation: the service cannot finalize a node's merged
+// partition while maps are still adding to it. For the paper's short jobs
+// the trade wins — the saved fetches and bytes outweigh the lost overlap.
+func (am *DistributedAM) pumpShuffleService() {
+	if am.completedMaps != len(am.splits) {
+		return
+	}
+	dst := am.reduceContainer.Node
+	gen := am.reduceGen
+	var pending []*MapOutput
+	for _, mo := range am.mapOutputs {
+		if !am.fetched[mo] {
+			pending = append(pending, mo)
+		}
+	}
+	for _, group := range GroupOutputsByNode(pending) {
+		group := group
+		for _, mo := range group {
+			am.fetched[mo] = true
+		}
+		cons := am.rt.Shuffle.Consolidate(am.spec, group)
+		am.pendingGroups++
+		remaining := am.spec.NumReduces
+		failed := false
+		for p := 0; p < am.spec.NumReduces; p++ {
+			am.rt.Shuffle.Fetch(am.prof.Span, am.spec, cons, p, dst, func(err error) {
+				if am.killed || gen != am.reduceGen {
+					return
+				}
+				if err != nil {
+					if !failed {
+						failed = true
+						am.pendingGroups--
+						for _, mo := range group {
+							am.loseMapOutput(mo)
+						}
+					}
+					return
+				}
+				remaining--
+				if remaining == 0 && !failed {
+					am.pendingGroups--
+					am.consolidated = append(am.consolidated, cons.Out)
+					am.maybeReduce()
+				}
+			})
+		}
+	}
+	am.maybeReduce()
+}
+
 // loseMapOutput handles a completed map whose output died with its node:
 // the map reverts to incomplete and is re-executed on a fresh container.
 func (am *DistributedAM) loseMapOutput(mo *MapOutput) {
@@ -395,6 +469,9 @@ func (am *DistributedAM) loseMapOutput(mo *MapOutput) {
 		if x == mo {
 			am.mapOutputs = append(am.mapOutputs[:i], am.mapOutputs[i+1:]...)
 			delete(am.fetched, mo)
+			if am.rt.Shuffle != nil {
+				am.rt.Shuffle.Forget(am.spec, mo)
+			}
 			am.completedMaps--
 			am.rt.Trace.Add("am", "map %d output lost on %s; re-executing", mo.Split.Index, mo.Node.Name)
 			am.rescheduleMap(mo.Split, "output lost")
@@ -480,6 +557,8 @@ func (am *DistributedAM) recoverReduce() {
 	am.reduceRunning = false
 	am.fetchesDone = 0
 	am.fetched = make(map[*MapOutput]bool)
+	am.consolidated = nil
+	am.pendingGroups = 0
 	for p := 0; p < am.spec.NumReduces; p++ {
 		am.rt.DFS.Delete(PartFileName(am.spec.OutputFile, p))
 	}
@@ -495,7 +574,21 @@ func (am *DistributedAM) maybeReduce() {
 	if am.killed || am.reduceRunning || !am.reduceReady {
 		return
 	}
-	if am.completedMaps != len(am.splits) || am.fetchesDone != len(am.splits) {
+	if am.completedMaps != len(am.splits) {
+		return
+	}
+	if am.rt.Shuffle != nil {
+		// Service mode: every output must belong to a consolidated fetch
+		// that has fully arrived.
+		if am.pendingGroups > 0 {
+			return
+		}
+		for _, mo := range am.mapOutputs {
+			if !am.fetched[mo] {
+				return
+			}
+		}
+	} else if am.fetchesDone != len(am.splits) {
 		return
 	}
 	am.reduceRunning = true
@@ -514,7 +607,11 @@ func (am *DistributedAM) runReducePartitions(p int) {
 	}
 	gen := am.reduceGen
 	ropts := ReduceOptions{Attempt: am.reduceAttempts[p], Parent: am.prof.Span}
-	am.rt.RunReduceTask(am.spec, p, ropts, am.mapOutputs, am.reduceContainer.Node, func(tp *profiler.TaskProfile, err error) {
+	inputs := am.mapOutputs
+	if am.rt.Shuffle != nil {
+		inputs = am.consolidated
+	}
+	am.rt.RunReduceTask(am.spec, p, ropts, inputs, am.reduceContainer.Node, func(tp *profiler.TaskProfile, err error) {
 		if am.killed || gen != am.reduceGen {
 			return
 		}
@@ -555,6 +652,13 @@ func (am *DistributedAM) finish(err error) {
 	am.killed = true
 	if am.ticker != nil {
 		am.ticker.Stop()
+	}
+	if am.rt.Shuffle != nil {
+		// The job's intermediate data is garbage now; withdraw it from the
+		// node services.
+		for _, mo := range am.mapOutputs {
+			am.rt.Shuffle.Forget(am.spec, mo)
+		}
 	}
 	am.prof.DoneAt = am.rt.Eng.Now()
 	am.rt.RM.FinishApp(am.app)

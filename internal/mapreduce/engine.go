@@ -45,6 +45,13 @@ type Runtime struct {
 	// observing from worker-pool tasks.
 	Reg *metrics.Registry
 
+	// Shuffle, when non-nil, is the per-node shuffle service
+	// (internal/shuffle): AMs register committed map outputs with it and
+	// reducers fetch one consolidated result per (node, partition) through
+	// it instead of one FetchPartition per (map, partition). Nil keeps the
+	// stock per-map shuffle.
+	Shuffle ShuffleProvider
+
 	// Workers opts into parallel host-side execution of the pure map and
 	// reduce computations: 0 or 1 keeps the fully sequential path, a value
 	// > 1 sizes a bounded worker pool of real OS threads, and a negative
@@ -504,21 +511,49 @@ var shuffleByteBuckets = []float64{
 	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
 }
 
+// ShuffleTransport classifies how a reduce-side read of mo actually moves
+// on dst: straight from the heap (U+ memory cache on the same node), off
+// the local disk, or across the network. It labels mapreduce_shuffle_bytes
+// so in-memory cache reads are distinguishable from real shuffle traffic.
+func ShuffleTransport(mo *MapOutput, dst *topology.Node) string {
+	switch {
+	case mo.InMemory && mo.Node == dst:
+		return "memory"
+	case mo.Node == dst:
+		return "disk"
+	default:
+		return "network"
+	}
+}
+
+// ObserveShuffle records one completed shuffle fetch: n bytes into the
+// transport-labeled mapreduce_shuffle_bytes histogram plus a tick of the
+// mapreduce_shuffle_fetch_total counter. kind is "permap" for the stock
+// per-(map, partition) fetch and "consolidated" for the shuffle service's
+// per-(node, partition) fetch.
+func (rt *Runtime) ObserveShuffle(kind, transport string, n int64) {
+	name := metrics.With("mapreduce_shuffle_bytes", "transport", transport)
+	rt.Reg.Define(name, shuffleByteBuckets)
+	rt.Reg.Observe(name, float64(n))
+	rt.Reg.Inc(metrics.With("mapreduce_shuffle_fetch_total", "kind", kind, "transport", transport))
+}
+
 // ShuffleFetch is FetchPartition with observability: the fetch is recorded
 // as a shuffle span under parent and its size lands in the shuffle-bytes
 // histogram. AMs use this; FetchPartition remains the raw primitive.
 func (rt *Runtime) ShuffleFetch(parent trace.SpanID, mo *MapOutput, part int, dst *topology.Node, done func(error)) {
+	transport := ShuffleTransport(mo, dst)
 	span := rt.Trace.StartSpan(parent, "task/"+dst.Name,
 		fmt.Sprintf("fetch map-%d.p%d", mo.Split.Index, part), "shuffle",
 		trace.A("from", mo.Node.Name),
+		trace.A("transport", transport),
 		trace.A("bytes", fmt.Sprint(mo.PartBytes[part])))
 	rt.FetchPartition(mo, part, dst, func(err error) {
 		if err != nil {
 			rt.Trace.EndSpan(span, trace.A("error", err.Error()))
 		} else {
 			rt.Trace.EndSpan(span)
-			rt.Reg.Define("mapreduce_shuffle_bytes", shuffleByteBuckets)
-			rt.Reg.Observe("mapreduce_shuffle_bytes", float64(mo.PartBytes[part]))
+			rt.ObserveShuffle("permap", transport, mo.PartBytes[part])
 		}
 		done(err)
 	})

@@ -1,0 +1,83 @@
+// Package shuffle implements the per-node shuffle service: every committed
+// map output registers with the service on its node, the service merges and
+// re-combines the registered partitions across tasks (the in-node combiner —
+// applied only when the job has a combiner), optionally compresses each
+// consolidated partition through a pluggable codec model, and serves one
+// fetch per (node, partition) instead of one per (map, partition). The
+// reduction matters exactly where Equation 1 says it does: the shuffle term
+// charges s^o · n^c over the network, and short jobs with many small maps
+// pay it once per map without the service.
+package shuffle
+
+import (
+	"fmt"
+	"time"
+
+	"mrapid/internal/costmodel"
+	"mrapid/internal/topology"
+)
+
+// Codec models an intermediate-data compression codec by a size ratio and
+// per-core throughput rates. Only the ratio lives here; the rates come from
+// the instance type, because codec speed is a property of the hardware the
+// service runs on.
+type Codec struct {
+	// Name is "none" or "lz".
+	Name string
+
+	// Ratio is wire bytes per raw byte: 1 for "none", ShuffleLZRatio for
+	// "lz".
+	Ratio float64
+}
+
+// CodecFor resolves the codec configured in the cost-model parameters.
+func CodecFor(p costmodel.Params) (Codec, error) {
+	switch p.ShuffleCodec {
+	case "", "none":
+		return Codec{Name: "none", Ratio: 1}, nil
+	case "lz":
+		if p.ShuffleLZRatio <= 0 || p.ShuffleLZRatio > 1 {
+			return Codec{}, fmt.Errorf("shuffle: ShuffleLZRatio %v outside (0, 1]", p.ShuffleLZRatio)
+		}
+		return Codec{Name: "lz", Ratio: p.ShuffleLZRatio}, nil
+	default:
+		return Codec{}, fmt.Errorf("shuffle: unknown codec %q (want none or lz)", p.ShuffleCodec)
+	}
+}
+
+// Enabled reports whether the codec actually transforms bytes.
+func (c Codec) Enabled() bool { return c.Name != "none" && c.Ratio < 1 }
+
+// Wire returns the on-the-wire size of n raw bytes. Compressing never
+// rounds a non-empty partition down to nothing (the codec framing alone is
+// at least a byte).
+func (c Codec) Wire(n int64) int64 {
+	if !c.Enabled() || n <= 0 {
+		return n
+	}
+	w := int64(float64(n) * c.Ratio)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// CompressTime is the CPU time to compress n raw bytes on one of node's
+// cores. A zero CompressBps rate keeps the size reduction but charges no
+// CPU (a "free codec" ablation).
+func (c Codec) CompressTime(n int64, node *topology.Node) time.Duration {
+	return codecTime(c, n, node.Type.CompressBps*node.Type.CPUSpeed)
+}
+
+// DecompressTime is the CPU time to decompress n raw bytes' worth of wire
+// data on one of node's cores.
+func (c Codec) DecompressTime(n int64, node *topology.Node) time.Duration {
+	return codecTime(c, n, node.Type.DecompressBps*node.Type.CPUSpeed)
+}
+
+func codecTime(c Codec, n int64, rate float64) time.Duration {
+	if !c.Enabled() || n <= 0 || rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / rate * float64(time.Second))
+}

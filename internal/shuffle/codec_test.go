@@ -1,0 +1,89 @@
+package shuffle
+
+import (
+	"testing"
+	"time"
+
+	"mrapid/internal/costmodel"
+	"mrapid/internal/sim"
+	"mrapid/internal/topology"
+)
+
+func TestCodecFor(t *testing.T) {
+	p := costmodel.Default()
+	for _, name := range []string{"", "none"} {
+		p.ShuffleCodec = name
+		c, err := CodecFor(p)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if c.Enabled() || c.Ratio != 1 {
+			t.Fatalf("%q resolved to %+v", name, c)
+		}
+	}
+	p.ShuffleCodec = "lz"
+	c, err := CodecFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Enabled() || c.Ratio != p.ShuffleLZRatio {
+		t.Fatalf("lz resolved to %+v", c)
+	}
+	p.ShuffleLZRatio = 1.5
+	if _, err := CodecFor(p); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+	p.ShuffleLZRatio = 0
+	if _, err := CodecFor(p); err == nil {
+		t.Error("zero ratio accepted")
+	}
+	p = costmodel.Default()
+	p.ShuffleCodec = "snappy"
+	if _, err := CodecFor(p); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+func TestCodecWire(t *testing.T) {
+	none := Codec{Name: "none", Ratio: 1}
+	if got := none.Wire(1000); got != 1000 {
+		t.Errorf("none.Wire(1000) = %d", got)
+	}
+	lz := Codec{Name: "lz", Ratio: 0.5}
+	if got := lz.Wire(1000); got != 500 {
+		t.Errorf("lz.Wire(1000) = %d", got)
+	}
+	// A non-empty partition never compresses to nothing.
+	if got := lz.Wire(1); got != 1 {
+		t.Errorf("lz.Wire(1) = %d", got)
+	}
+	if got := lz.Wire(0); got != 0 {
+		t.Errorf("lz.Wire(0) = %d", got)
+	}
+}
+
+func TestCodecTimes(t *testing.T) {
+	eng := sim.NewEngine()
+	cluster, err := topology.NewCluster(eng, topology.Spec{Instance: topology.A3, Workers: 2, Racks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := cluster.Workers()[0]
+	lz := Codec{Name: "lz", Ratio: 0.55}
+	n := int64(10 << 20)
+	wantC := time.Duration(float64(n) / (node.Type.CompressBps * node.Type.CPUSpeed) * float64(time.Second))
+	if got := lz.CompressTime(n, node); got != wantC {
+		t.Errorf("CompressTime = %v, want %v", got, wantC)
+	}
+	wantD := time.Duration(float64(n) / (node.Type.DecompressBps * node.Type.CPUSpeed) * float64(time.Second))
+	if got := lz.DecompressTime(n, node); got != wantD {
+		t.Errorf("DecompressTime = %v, want %v", got, wantD)
+	}
+	if wantD >= wantC {
+		t.Errorf("decompression (%v) not faster than compression (%v)", wantD, wantC)
+	}
+	none := Codec{Name: "none", Ratio: 1}
+	if none.CompressTime(n, node) != 0 || none.DecompressTime(n, node) != 0 {
+		t.Error("disabled codec charged CPU time")
+	}
+}

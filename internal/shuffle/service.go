@@ -1,0 +1,253 @@
+package shuffle
+
+import (
+	"fmt"
+	"time"
+
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/metrics"
+	"mrapid/internal/topology"
+	"mrapid/internal/trace"
+)
+
+// Service is the per-node shuffle service. One Service instance covers the
+// whole cluster (each node's state is keyed by the node), mirroring how one
+// auxiliary shuffle handler runs inside every NodeManager. It implements
+// mapreduce.ShuffleProvider; Attach wires it into a Runtime.
+//
+// All methods run on the engine goroutine, like every other simulated
+// component; the metrics registry does its own locking.
+type Service struct {
+	rt    *mapreduce.Runtime
+	codec Codec
+
+	// registered counts live committed outputs per node (bookkeeping the
+	// AMs maintain through Register/Forget; surfaced as a labeled gauge).
+	registered map[*topology.Node]int
+
+	// Consolidation totals. rawBytes/combinedBytes accumulate over every
+	// consolidated group; combineRaw/combineOut only over groups whose job
+	// had a combiner, which is what the estimator's measured combine ratio
+	// must reflect.
+	rawBytes      int64
+	combinedBytes int64
+	combineRaw    int64
+	combineOut    int64
+
+	// Transfer totals: post-combine bytes that crossed the network and
+	// their on-the-wire (post-compress) size.
+	sentRaw  int64
+	sentWire int64
+}
+
+// Attach builds a Service from the runtime's configured codec and installs
+// it as rt.Shuffle. It is how every opt-in site (bench, CLIs, tests)
+// enables the service.
+func Attach(rt *mapreduce.Runtime) (*Service, error) {
+	codec, err := CodecFor(rt.Params)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{rt: rt, codec: codec, registered: make(map[*topology.Node]int)}
+	rt.Shuffle = s
+	return s, nil
+}
+
+// Codec reports the codec the service compresses consolidated partitions
+// with.
+func (s *Service) Codec() Codec { return s.codec }
+
+// Register notes a committed map output with the service on its node.
+func (s *Service) Register(spec *mapreduce.JobSpec, mo *mapreduce.MapOutput) {
+	s.registered[mo.Node]++
+	s.rt.Reg.Set(metrics.With("shuffle_service_registered_outputs", "node", mo.Node.Name), int64(s.registered[mo.Node]))
+}
+
+// Forget withdraws a registered output (lost with its node, or its job
+// finished and the intermediate data is garbage).
+func (s *Service) Forget(spec *mapreduce.JobSpec, mo *mapreduce.MapOutput) {
+	if s.registered[mo.Node] > 0 {
+		s.registered[mo.Node]--
+	}
+	s.rt.Reg.Set(metrics.With("shuffle_service_registered_outputs", "node", mo.Node.Name), int64(s.registered[mo.Node]))
+}
+
+// Registered reports how many committed outputs the service currently holds
+// on node.
+func (s *Service) Registered(node *topology.Node) int { return s.registered[node] }
+
+// Consolidate merges one node's committed outputs into a single synthetic
+// output (in-node combining when the job has a combiner) and folds the
+// byte-reduction into the service's running stats and gauges.
+func (s *Service) Consolidate(spec *mapreduce.JobSpec, group []*mapreduce.MapOutput) *mapreduce.Consolidated {
+	c := mapreduce.ConsolidateGroup(spec, group)
+	var raw int64
+	for _, mo := range group {
+		raw += mo.TotalBytes
+	}
+	s.rawBytes += raw
+	s.combinedBytes += c.Out.TotalBytes
+	if spec.Combine != nil {
+		s.combineRaw += raw
+		s.combineOut += c.Out.TotalBytes
+	}
+	if s.rawBytes > 0 {
+		saved := s.rawBytes - s.combinedBytes
+		s.rt.Reg.Set("shuffle_combine_saved_bytes", saved)
+		s.rt.Reg.Set("shuffle_combine_reduction_permille", saved*1000/s.rawBytes)
+	}
+	return c
+}
+
+// MeasuredCombineRatio is consolidated/raw bytes over combiner jobs so far
+// (1 before any combiner traffic).
+func (s *Service) MeasuredCombineRatio() float64 {
+	if s.combineRaw == 0 {
+		return 1
+	}
+	return float64(s.combineOut) / float64(s.combineRaw)
+}
+
+// WireRatio estimates post-combine, post-compress shuffled bytes per raw
+// map-output byte: the codec's ratio times the combine reduction measured
+// so far. Before the service has seen combiner traffic the combine factor
+// is 1 — the estimator never guesses a reduction it has no evidence for.
+func (s *Service) WireRatio(spec *mapreduce.JobSpec) float64 {
+	r := s.codec.Ratio
+	if spec.Combine != nil {
+		r *= s.MeasuredCombineRatio()
+	}
+	return r
+}
+
+// Fetch moves one consolidated partition to dst. The cost model, phase by
+// phase:
+//
+//   - the source node's service merges the members' sorted runs and
+//     re-combines them (CPU over the raw member bytes, only when there is
+//     more than one member), then compresses the consolidated partition —
+//     charged as elapsed time on the node but not against a task core: the
+//     shuffle handler is a NodeManager auxiliary daemon, not a container;
+//   - spilled member bytes are read off the source disk (U+ in-memory
+//     members cost nothing to pick up);
+//   - the wire-sized bytes cross source NIC, destination NIC, and the core
+//     switch when the nodes sit in different racks — all in parallel, like
+//     FetchPartition;
+//   - the destination decompresses before handing the bytes to the reducer.
+//
+// A same-node fetch skips the codec and the network entirely. Availability
+// is re-checked when the transfer completes, so a source node dying
+// mid-fetch still charges the devices but reports ErrOutputLost — the AM
+// then reverts every member of the group through the PR-2 per-map recovery.
+func (s *Service) Fetch(parent trace.SpanID, spec *mapreduce.JobSpec, c *mapreduce.Consolidated, part int, dst *topology.Node, done func(error)) {
+	if done == nil {
+		panic("shuffle: Fetch needs a completion callback")
+	}
+	rt := s.rt
+	out := c.Out
+	if !out.Available() {
+		rt.Eng.After(rt.Params.RPCLatency, func() { done(mapreduce.ErrOutputLost) })
+		return
+	}
+	combined := out.PartBytes[part]
+	memberRaw := c.RawPartBytes(part)
+	spilled := c.SpilledPartBytes(part)
+	wire := s.codec.Wire(combined)
+	transport := mapreduce.ShuffleTransport(out, dst)
+	span := rt.Trace.StartSpan(parent, "task/"+dst.Name,
+		fmt.Sprintf("fetch %s.p%d (%d maps)", out.Node.Name, part, len(c.Members)), "shuffle",
+		trace.A("from", out.Node.Name),
+		trace.A("maps", fmt.Sprint(len(c.Members))),
+		trace.A("transport", transport),
+		trace.A("raw_bytes", fmt.Sprint(memberRaw)),
+		trace.A("bytes", fmt.Sprint(combined)),
+		trace.A("wire_bytes", fmt.Sprint(wire)))
+
+	finish := func(moved int64, err error) {
+		if err != nil {
+			rt.Trace.EndSpan(span, trace.A("error", err.Error()))
+			done(err)
+			return
+		}
+		rt.Trace.EndSpan(span)
+		rt.ObserveShuffle("consolidated", transport, moved)
+		done(nil)
+	}
+
+	// The cross-task merge happens once per consolidated partition on the
+	// source, whatever the transport; it replaces reduce-side merge work
+	// the per-map shuffle would have charged over the raw bytes.
+	prep := time.Duration(0)
+	if len(c.Members) > 1 {
+		prep += time.Duration(float64(memberRaw) / (rt.Params.SortCPUBytesPerSec * out.Node.Type.CPUSpeed) * float64(time.Second))
+	}
+
+	if out.Node == dst {
+		// Local pickup: spilled members come off the disk, in-memory ones
+		// straight from the heap; no codec on a loopback transfer.
+		rt.Eng.After(prep, func() {
+			if spilled == 0 {
+				if !out.Available() {
+					finish(0, mapreduce.ErrOutputLost)
+					return
+				}
+				finish(combined, nil)
+				return
+			}
+			dst.Disk.Use(spilled, func() {
+				if !out.Available() {
+					finish(0, mapreduce.ErrOutputLost)
+					return
+				}
+				finish(spilled, nil)
+			})
+		})
+		return
+	}
+
+	prep += s.codec.CompressTime(combined, out.Node)
+	rt.Eng.After(prep, func() {
+		if !out.Available() {
+			finish(0, mapreduce.ErrOutputLost)
+			return
+		}
+		if wire == 0 {
+			finish(0, nil)
+			return
+		}
+		pending := 0
+		dispatched := false
+		complete := func() {
+			pending--
+			if pending > 0 || !dispatched {
+				return
+			}
+			rt.Eng.After(s.codec.DecompressTime(combined, dst), func() {
+				if !out.Available() {
+					finish(0, mapreduce.ErrOutputLost)
+					return
+				}
+				s.sentRaw += combined
+				s.sentWire += wire
+				if s.sentRaw > 0 {
+					s.rt.Reg.Set("shuffle_compress_saved_bytes", s.sentRaw-s.sentWire)
+					s.rt.Reg.Set("shuffle_compression_ratio_permille", s.sentWire*1000/s.sentRaw)
+				}
+				finish(wire, nil)
+			})
+		}
+		if spilled > 0 {
+			pending++
+			out.Node.Disk.Use(spilled, complete)
+		}
+		pending++
+		out.Node.NIC.Use(wire, complete)
+		pending++
+		dst.NIC.Use(wire, complete)
+		if out.Node.Rack != dst.Rack {
+			pending++
+			rt.Cluster.CoreSwitch.Use(wire, complete)
+		}
+		dispatched = true
+	})
+}

@@ -19,6 +19,8 @@ type InstanceType struct {
 	DiskWriteBps  float64 // sustained sequential write
 	NetworkBps    float64 // per-node NIC bandwidth
 	CPUSpeed      float64 // relative per-core compute speed (A-series baseline = 1.0)
+	CompressBps   float64 // LZ-class codec compression throughput per core
+	DecompressBps float64 // LZ-class codec decompression throughput per core
 	ContainerMB   int     // default YARN container size on this instance
 	ContainerCore int     // default vcores per container
 
@@ -68,21 +70,29 @@ var (
 	A1 = InstanceType{
 		Name: "A1", Cores: 1, MemoryMB: 1792, DiskGB: 70, PricePerHour: 0.09,
 		DiskReadBps: 24e6, DiskWriteBps: 20e6, NetworkBps: 10e6,
-		CPUSpeed: 1.0, ContainerMB: 1024, ContainerCore: 1, VCores: 1,
+		CPUSpeed: 1.0, CompressBps: 80e6, DecompressBps: 240e6,
+		ContainerMB: 1024, ContainerCore: 1, VCores: 1,
 	}
 	// A2: 2 cores, 3.5 GB, 135 GB disk, $0.18/hr.
 	A2 = InstanceType{
 		Name: "A2", Cores: 2, MemoryMB: 3584, DiskGB: 135, PricePerHour: 0.18,
 		DiskReadBps: 28e6, DiskWriteBps: 24e6, NetworkBps: 15e6,
-		CPUSpeed: 1.0, ContainerMB: 1024, ContainerCore: 1, VCores: 3,
+		CPUSpeed: 1.0, CompressBps: 80e6, DecompressBps: 240e6,
+		ContainerMB: 1024, ContainerCore: 1, VCores: 3,
 	}
 	// A3: 4 cores, 7 GB, 285 GB disk, $0.36/hr.
 	A3 = InstanceType{
 		Name: "A3", Cores: 4, MemoryMB: 7168, DiskGB: 285, PricePerHour: 0.36,
 		DiskReadBps: 34e6, DiskWriteBps: 29e6, NetworkBps: 25e6,
-		CPUSpeed: 1.0, ContainerMB: 1024, ContainerCore: 1, VCores: 7,
+		CPUSpeed: 1.0, CompressBps: 80e6, DecompressBps: 240e6,
+		ContainerMB: 1024, ContainerCore: 1, VCores: 7,
 	}
 )
+
+// The Compress/DecompressBps rates model a 2013-era Snappy/LZ4-class codec
+// on one A-series core: ~80 MB/s in, ~240 MB/s out. The shuffle service
+// charges them when Params.ShuffleCodec is "lz"; a zero rate disables the
+// corresponding CPU charge (the bytes still shrink by ShuffleLZRatio).
 
 // The VCores values above intentionally exceed the physical core counts:
 // Hadoop 2.2's CapacityScheduler sized containers by memory only

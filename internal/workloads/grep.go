@@ -21,7 +21,11 @@ const (
 )
 
 // GrepSearchSpec builds the first job: emit (word, 1) for every
-// whitespace-separated token containing pattern; reduce sums counts.
+// whitespace-separated token containing pattern; reduce sums counts. The
+// sum combiner is associative, so it is valid both per task and cross-task
+// (the shuffle service's in-node combiner re-applies it when merging a
+// node's outputs). The sort job below deliberately has no combiner: its
+// reduce re-keys each record, which a combiner must never do.
 func GrepSearchSpec(name string, inputs []string, output, pattern string) *mapreduce.JobSpec {
 	pat := []byte(pattern)
 	return &mapreduce.JobSpec{

@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"mrapid/internal/hdfs"
+	"mrapid/internal/mapreduce"
+)
+
+// TeraSampleSpec builds the MapReduce sampling job TeraSort can run instead
+// of the client-side prefix sample: the map emits a deterministic subset of
+// the row keys with a count of 1, and the combiner and reducer sum the
+// counts into a compact key-frequency table (Hadoop's
+// InputSampler.IntervalSampler run as a job). Summing sample counts is
+// associative and commutative, so cross-task in-node combining is
+// semantically valid here — the non-wordcount combiner coverage the shuffle
+// service needs on the terasort path.
+//
+// every selects roughly one of each `every` keys. Selection hashes the key
+// bytes instead of counting rows so it is stateless: map tasks may execute
+// concurrently on the host (PR 1's worker pool), and a shared row counter
+// would make the sample depend on execution order.
+func TeraSampleSpec(name string, inputs []string, output string, every int) *mapreduce.JobSpec {
+	if every < 1 {
+		every = 1
+	}
+	return &mapreduce.JobSpec{
+		Name:       name,
+		JobKey:     "tera-sample",
+		InputFiles: inputs,
+		OutputFile: output,
+		NumReduces: 1,
+		Format:     mapreduce.FixedFormat{KeyLen: TeraKeyLen, ValLen: TeraValueLen},
+		Map: func(key, _ []byte, emit mapreduce.Emit) {
+			if every == 1 || fnv32(key)%uint32(every) == 0 {
+				emit(key, one)
+			}
+		},
+		Combine:    wordCountReduce,
+		Reduce:     wordCountReduce,
+		MapRate:    TeraSortMapRate,
+		ReduceRate: GrepReduceRate,
+	}
+}
+
+// fnv32 is the 32-bit FNV-1a hash, inlined to keep key selection
+// allocation-free on the map hot path.
+func fnv32(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// CutPointsFromSample turns a TeraSampleSpec job's output into reduces-1
+// total-order cut points at the weighted key quantiles: a key sampled n
+// times carries weight n, so dense key ranges get proportionally more
+// partitions.
+func CutPointsFromSample(dfs *hdfs.DFS, sampleOutput string, reduces int) ([][]byte, error) {
+	if reduces <= 1 {
+		return nil, nil
+	}
+	data, err := dfs.Contents(mapreduce.PartFileName(sampleOutput, 0))
+	if err != nil {
+		return nil, err
+	}
+	type sample struct {
+		key    []byte
+		weight int64
+	}
+	var samples []sample
+	var total int64
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		i := bytes.IndexByte(line, '\t')
+		if i < 0 {
+			return nil, fmt.Errorf("workloads: malformed sample line %q", line)
+		}
+		n, err := strconv.ParseInt(string(line[i+1:]), 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("workloads: malformed sample count in %q", line)
+		}
+		samples = append(samples, sample{key: line[:i], weight: n})
+		total += n
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("workloads: sample job produced no keys")
+	}
+	// Reduce output is already key-sorted; assert rather than trust.
+	if !sort.SliceIsSorted(samples, func(i, j int) bool {
+		return bytes.Compare(samples[i].key, samples[j].key) < 0
+	}) {
+		return nil, fmt.Errorf("workloads: sample output not key-sorted")
+	}
+	cuts := make([][]byte, 0, reduces-1)
+	var seen int64
+	next := 1
+	for _, s := range samples {
+		seen += s.weight
+		for next < reduces && seen > int64(next)*total/int64(reduces) {
+			cuts = append(cuts, s.key)
+			next++
+		}
+	}
+	for next < reduces {
+		// Degenerate tail (fewer distinct keys than partitions): repeat the
+		// last key so the partitioner still has reduces-1 cut points.
+		cuts = append(cuts, samples[len(samples)-1].key)
+		next++
+	}
+	return cuts, nil
+}
+
+// TeraSortSpecFromCuts builds the TeraSort job around externally computed
+// cut points — the shape used when the cut points come from a
+// TeraSampleSpec job instead of the client-side prefix sample.
+func TeraSortSpecFromCuts(name string, inputs []string, output string, reduces int, cuts [][]byte) *mapreduce.JobSpec {
+	return &mapreduce.JobSpec{
+		Name:       name,
+		JobKey:     "terasort",
+		InputFiles: inputs,
+		OutputFile: output,
+		NumReduces: reduces,
+		Format:     mapreduce.FixedFormat{KeyLen: TeraKeyLen, ValLen: TeraValueLen},
+		Map: func(key, value []byte, emit mapreduce.Emit) {
+			emit(key, value)
+		},
+		Reduce: func(key []byte, values [][]byte, emit mapreduce.Emit) {
+			for _, v := range values {
+				emit(key, v)
+			}
+		},
+		Partition:  totalOrderPartitioner(cuts),
+		MapRate:    TeraSortMapRate,
+		ReduceRate: TeraSortReduceRate,
+	}
+}
