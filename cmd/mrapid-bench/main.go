@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 		nodeFail = flag.String("node-fail", "", "node-fault schedule 'node@at[:restartAfter]', comma-separated, injected into every simulation (times measured from cluster-ready)")
 		shuffle  = flag.Bool("shuffle-service", false, "attach the per-node consolidating shuffle service to every simulation")
 		codec    = flag.String("shuffle-codec", "none", "shuffle-service wire codec: none | lz")
+		jsonOut  = flag.String("json", "", "also write the regenerated figures as a JSON array to this path (CI artifact)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -63,6 +65,7 @@ func main() {
 		ShuffleService: *shuffle, ShuffleCodec: *codec,
 	}
 	failures := 0
+	var figures []*bench.Figure
 	for _, r := range bench.Registry {
 		if len(selected) > 0 && !selected[r.ID] {
 			continue
@@ -79,9 +82,29 @@ func main() {
 			failures++
 			continue
 		}
+		figures = append(figures, fig)
 		fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", r.ID, time.Since(start).Seconds())
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, figures); err != nil {
+			fmt.Fprintf(os.Stderr, "mrapid-bench: %v\n", err)
+			failures++
+		} else {
+			fmt.Printf("figures written to %s\n", *jsonOut)
+		}
 	}
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeJSON stores the regenerated figures as an indented JSON array, the
+// machine-readable artifact the CI run uploads.
+func writeJSON(path string, figures []*bench.Figure) error {
+	data, err := json.MarshalIndent(figures, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding figures: %w", err)
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
 }

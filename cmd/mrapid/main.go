@@ -57,22 +57,49 @@ func main() {
 		jobs     = flag.Int("jobs", 1, "number of jobs; > 1 switches to multi-job workload mode through the JobServer")
 		tenants  = flag.Int("tenants", 2, "workload mode: tenant capacity queues the jobs are spread over")
 		arrival  = flag.String("arrival", "burst", "workload mode: arrival process — burst | uniform:<gap> | poisson:<mean>")
-		policy   = flag.String("policy", "fifo", "workload mode: admission policy — fifo | wfair")
+		policy   = flag.String("policy", "fifo", "workload mode: admission policy — fifo | wfair | deadline")
+		predict  = flag.Bool("predict", false, "enable the calibrating estimator: confident workload classes skip the speculative dual-launch (workload mode: the whole stream runs speculative with prediction on)")
+		repeat   = flag.Int("repeat", 1, "speculative mode: submit the job N times under fresh job keys, so the class estimator warms up and later runs can pre-decide")
+		showHist = flag.Bool("show-history", false, "print the execution-record history (exact-match entries and per-class calibration aggregates) after the run")
 	)
 	flag.Parse()
 
 	svc := shuffleSetting{Enabled: *shuffle, Codec: *codec}
 	if *jobs > 1 {
-		if err := runWorkload(*cluster, *jobs, *tenants, *arrival, *policy, *seed, *workers, *nodeFail, svc); err != nil {
+		if err := runWorkload(*cluster, *jobs, *tenants, *arrival, *policy, *seed, *workers, *nodeFail, svc, *predict); err != nil {
 			fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	obs := observability{TraceOut: *traceOut, MetricsOut: *metOut, Report: *phaseRep}
-	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN, *nodeFail, svc, obs); err != nil {
+	est := estimatorSetting{Predict: *predict, Repeat: *repeat, ShowHistory: *showHist}
+	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN, *nodeFail, svc, obs, est); err != nil {
 		fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// estimatorSetting groups the -predict/-repeat/-show-history flags.
+type estimatorSetting struct {
+	Predict     bool
+	Repeat      int
+	ShowHistory bool
+}
+
+// printHistory dumps the execution-record store: exact-match entries first,
+// then the per-class calibration aggregates with their confidence verdicts.
+func printHistory(h *core.History) {
+	fmt.Println("history (exact-match records):")
+	for _, e := range h.Entries() {
+		fmt.Printf("  %-14s winner=%-6s runs=%-2d elapsed=%.2fs wins=%v\n",
+			e.Job, e.Winner, e.Runs, e.Elapsed.Seconds(), e.Wins)
+	}
+	fmt.Println("history (workload-class aggregates):")
+	for _, cs := range h.Classes() {
+		fmt.Printf("  %s runs=%-2d rate=%.3gs/B (cv %.3f) sel=%.3f (cv %.3f) calib=%.3f intra-cv=%.3f d/u=%d/%d confident=%v\n",
+			cs.Class, cs.Runs, cs.Rate.Mean, cs.Rate.CV(), cs.Sel.Mean, cs.Sel.CV(),
+			cs.Calib.Mean, cs.IntraCV.Mean, cs.DWins, cs.UWins, h.Confident(cs.Class))
 	}
 }
 
@@ -84,7 +111,7 @@ type shuffleSetting struct {
 
 // runWorkload is the multi-job mode: a WordCount stream through the
 // JobServer on the chosen cluster, reported as a throughput/fairness table.
-func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed int64, workers int, nodeFail string, svc shuffleSetting) error {
+func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed int64, workers int, nodeFail string, svc shuffleSetting, predict bool) error {
 	var setup bench.ClusterSetup
 	switch cluster {
 	case "A3x4":
@@ -105,11 +132,14 @@ func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed
 		pol = core.PolicyFIFO
 	case "wfair":
 		pol = core.PolicyWeightedFair
+	case "deadline":
+		pol = core.PolicyDeadline
 	default:
-		return fmt.Errorf("unknown admission policy %q (want fifo or wfair)", policy)
+		return fmt.Errorf("unknown admission policy %q (want fifo, wfair, or deadline)", policy)
 	}
 	res, err := bench.RunThroughput(setup, bench.WorkloadConfig{
 		Jobs: jobs, Tenants: tenants, Arrival: arrival, Policy: pol,
+		Speculative: predict, Predict: predict, UniqueKeys: predict,
 	}, bench.Options{
 		Seed: seed, HostWorkers: workers, NodeFaults: faults,
 		ShuffleService: svc.Enabled, ShuffleCodec: svc.Codec,
@@ -127,6 +157,11 @@ func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed
 		ts := res.Tenants[name]
 		fmt.Printf("  %-10s jobs=%-3d mean-latency=%.2fs mean-wait=%.3fs\n", name, ts.Jobs, ts.MeanLatency, ts.MeanWait)
 	}
+	if predict {
+		fmt.Printf("estimator: races=%d direct=%d (history=%d prediction=%d) slot-seconds=%.1f\n",
+			res.Races, res.DirectHistory+res.DirectPrediction, res.DirectHistory, res.DirectPrediction, res.SlotSeconds)
+		fmt.Printf("prediction: mean-rel-error=%.3f regret=%d\n", res.PredErrMean, res.Regret)
+	}
 	return nil
 }
 
@@ -141,7 +176,7 @@ func (o observability) enabled() bool {
 	return o.TraceOut != "" || o.MetricsOut != "" || o.Report
 }
 
-func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int, nodeFail string, svc shuffleSetting, obs observability) error {
+func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int, nodeFail string, svc shuffleSetting, obs observability, est estimatorSetting) error {
 	var setup bench.ClusterSetup
 	switch cluster {
 	case "A3x4":
@@ -240,27 +275,70 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 	var winner string
 	var root trace.SpanID
 	if speculative {
-		var res *core.SpecResult
-		env.Eng.After(0, func() {
-			env.FW.SubmitSpeculative(spec, func(r *core.SpecResult) {
-				res = r
-				env.RM.Stop()
-			})
-		})
-		env.Eng.RunUntil(sim.Time(1 << 42))
-		if res == nil {
-			return fmt.Errorf("job did not finish")
+		env.FW.Predict = est.Predict
+		repeat := est.Repeat
+		if repeat < 1 {
+			repeat = 1
 		}
-		if res.Result.Err != nil {
-			return res.Result.Err
+		var res *core.SpecResult
+		for i := 0; i < repeat; i++ {
+			run := *spec
+			if repeat > 1 {
+				// Fresh job keys keep the exact-match history out of the
+				// picture: only the class estimator can pre-decide, which is
+				// what -repeat is for. Earlier runs land in scratch outputs;
+				// the final one writes the real /out the verifiers read.
+				run.Name = fmt.Sprintf("%s#run%d", spec.Name, i+1)
+				run.JobKey = run.Name
+				if i < repeat-1 {
+					run.OutputFile = fmt.Sprintf("%s.run%d", spec.OutputFile, i+1)
+				}
+			}
+			res = nil
+			first := i == 0
+			env.Eng.After(0, func() {
+				if !first {
+					env.RM.Start() // the previous run's completion stopped it
+				}
+				env.FW.SubmitSpeculative(&run, func(r *core.SpecResult) {
+					res = r
+					env.RM.Stop()
+				})
+			})
+			env.Eng.RunUntil(sim.Time(1 << 42))
+			if res == nil {
+				return fmt.Errorf("job did not finish")
+			}
+			if res.Result.Err != nil {
+				return res.Result.Err
+			}
+			if repeat > 1 {
+				how := "raced"
+				switch {
+				case res.FromPrediction:
+					how = "pre-decided (class estimator)"
+				case res.FromHistory:
+					how = "pre-decided (exact history)"
+				}
+				fmt.Printf("run %d/%d: winner=%s %s elapsed=%.2fs\n",
+					i+1, repeat, res.Winner, how, res.Result.Profile.Elapsed().Seconds())
+			}
 		}
 		prof = res.Result.Profile
 		winner = string(res.Winner)
 		root = res.Span
-		fmt.Printf("speculative execution: winner=%s fromHistory=%v\n", res.Winner, res.FromHistory)
+		fmt.Printf("speculative execution: winner=%s fromHistory=%v fromPrediction=%v\n",
+			res.Winner, res.FromHistory, res.FromPrediction)
 		if res.EstimateD > 0 {
 			fmt.Printf("estimates: t_d=%.2fs t_u=%.2fs (decided at %s)\n",
 				res.EstimateD.Seconds(), res.EstimateU.Seconds(), res.DecidedAt)
+		}
+		if res.FromPrediction {
+			fmt.Printf("predicted runtime: %.2fs (actual %.2fs)\n",
+				res.Predicted.Seconds(), prof.Elapsed().Seconds())
+		}
+		if est.ShowHistory {
+			printHistory(env.FW.History)
 		}
 	} else {
 		r, err := env.Run(variant, spec)

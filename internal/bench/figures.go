@@ -515,6 +515,7 @@ var Registry = []struct {
 	{"phases", PhaseBreakdown, "phase attribution per mode (observability)"},
 	{"throughput", Throughput, "multi-tenant JobServer throughput & fairness"},
 	{"shuffle", Shuffle, "shuffle service: consolidated fetches, combine & compression"},
+	{"warm", Warm, "calibrating estimator: warm workloads skip the 2× dual-launch"},
 }
 
 // Lookup finds a registered experiment by ID.

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -38,6 +40,17 @@ type WorkloadConfig struct {
 	// PoolSize sizes the AM pool (and thereby the default admission window);
 	// zero means the paper's default of 3.
 	PoolSize int
+
+	// Speculative routes every job through the full speculative workflow
+	// (D+/U+ race + decision maker) instead of alternating fixed modes.
+	Speculative bool
+	// Predict turns on the framework's calibrating estimator, letting
+	// confident workload classes skip the dual-launch (Framework.Predict).
+	Predict bool
+	// UniqueKeys gives every submission its own JobKey, so the exact-match
+	// history never pre-decides a later job — only the class estimator can.
+	// This is the warm-workload regime: similar jobs, never the same one.
+	UniqueKeys bool
 }
 
 // TenantStats aggregates one tenant's view of a workload run.
@@ -58,6 +71,24 @@ type ThroughputResult struct {
 	Fairness    float64 // Jain's index over per-tenant mean latency (1 = equal)
 	TenantOrder []string
 	Tenants     map[string]*TenantStats
+
+	// Estimator accounting for speculative workloads: SlotSeconds is the
+	// JobServer's admission-cost × execution-time integral (the dual-launch
+	// pays 2× here), Races/DirectHistory/DirectPrediction split the jobs by
+	// how the mode was chosen, PredErrMean is the mean relative prediction
+	// error of the direct picks, and Regret counts picks the skipped mode
+	// would have beaten.
+	SlotSeconds      float64
+	Races            int64
+	DirectHistory    int64
+	DirectPrediction int64
+	PredErrMean      float64
+	Regret           int64
+
+	// OutputHashes fingerprints each job's final output (job name → FNV-64a
+	// of the concatenated part files), so two runs of the same workload can
+	// be checked for byte-identical results.
+	OutputHashes map[string]string
 }
 
 // arrivalTimes expands a WorkloadConfig.Arrival spec into one absolute
@@ -144,6 +175,7 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 		return nil, fmt.Errorf("bench: AM pool failed to start")
 	}
 	env.FW = fw
+	fw.Predict = cfg.Predict
 
 	names, err := workloads.GenerateWordCountInput(env.DFS, env.Cluster, "/in/tp", workloads.WordCountConfig{
 		Files: 4, FileBytes: o.bytes(2 * mb), Seed: o.Seed,
@@ -163,6 +195,7 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 	var ends []jobEnd
 	var firstArrival, lastDone sim.Time
 	var submitErr error
+	specs := make([]*mapreduce.JobSpec, cfg.Jobs)
 	start := env.Eng.Now()
 	firstArrival = start.Add(arrivals[0])
 	for i := 0; i < cfg.Jobs; i++ {
@@ -176,7 +209,14 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 		if i%2 == 1 {
 			mode = core.ModeUPlus
 		}
+		if cfg.Speculative {
+			mode = core.ModeSpeculative
+		}
 		spec := workloads.WordCountSpec(fmt.Sprintf("wc-%s-%d", tenant, i), names, fmt.Sprintf("/out/tp/%d", i), false)
+		if cfg.UniqueKeys {
+			spec.JobKey = spec.Name
+		}
+		specs[i] = spec
 		env.Eng.After(arrivals[i], func() {
 			submittedAt := env.Eng.Now()
 			err := srv.Submit(tenant, mode, spec, func(res *mapreduce.Result) {
@@ -246,6 +286,37 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 		res.MeanWait = waitSum / float64(waitN)
 	}
 	res.Fairness = jainIndex(res.TenantOrder, res.Tenants)
+
+	// Estimator accounting: how the speculative jobs picked their mode, and
+	// what the admission layer paid for them in cluster-slot time.
+	res.SlotSeconds = srv.SlotSeconds
+	counters := env.Reg.Counters()
+	res.Races = counters["estimator_race_total"]
+	res.DirectHistory = counters[metrics.With("estimator_direct_total", "source", "history")]
+	res.DirectPrediction = counters[metrics.With("estimator_direct_total", "source", "prediction")]
+	for name, n := range counters {
+		if strings.HasPrefix(name, "estimator_regret_total{") {
+			res.Regret += n
+		}
+	}
+	if h := hists["estimator_prediction_error"]; h != nil {
+		res.PredErrMean = h.Mean()
+	}
+
+	// Fingerprint every job's final output so runs of the same workload under
+	// different decision paths (race vs direct pick) can be proven identical.
+	res.OutputHashes = make(map[string]string, cfg.Jobs)
+	for _, spec := range specs {
+		hash := fnv.New64a()
+		for p := 0; p < spec.NumReduces; p++ {
+			data, err := env.DFS.Contents(mapreduce.PartFileName(spec.OutputFile, p))
+			if err != nil {
+				return nil, fmt.Errorf("bench: reading output of %s: %w", spec.Name, err)
+			}
+			hash.Write(data)
+		}
+		res.OutputHashes[spec.Name] = fmt.Sprintf("%016x", hash.Sum64())
+	}
 	return res, nil
 }
 
@@ -256,12 +327,18 @@ func srvPolicy(p core.AdmissionPolicy) core.AdmissionPolicy {
 	return p
 }
 
-// percentile reads the p-quantile of sorted samples (nearest-rank).
+// percentile reads the p-quantile of sorted samples by the nearest-rank
+// definition: the smallest value with at least ⌈p·n⌉ samples at or below it.
+// (The old int(p·n) indexing was off by one — p50 of 10 samples read index 5,
+// the 6th value, and p100 always needed the clamp.)
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(p * float64(len(sorted)))
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
 	if i >= len(sorted) {
 		i = len(sorted) - 1
 	}
@@ -317,6 +394,71 @@ func Throughput(o Options) (*Figure, error) {
 			Seconds: map[string]float64{
 				"makespan": r.Makespan, "p50": r.P50, "p99": r.P99,
 				"mean-wait": r.MeanWait, "fairness": r.Fairness,
+			},
+		})
+	}
+	return fig, nil
+}
+
+// warmWorkload is the warm-workload stream both Warm rows run: a stream of
+// WordCount jobs that are all structurally alike (same workload class) but
+// each under a fresh JobKey, so the exact-match history can never pre-decide
+// — the only way to avoid the 2× dual-launch is the calibrating estimator.
+func warmWorkload(predict bool) WorkloadConfig {
+	return WorkloadConfig{
+		Jobs: 24, Tenants: 2, Arrival: "uniform:2s",
+		Speculative: true, Predict: predict, UniqueKeys: true,
+	}
+}
+
+// Warm is the registered warm-workload experiment: the same 24-job stream of
+// class-identical (but never key-identical) speculative WordCounts, first
+// with the estimator off — every job pays the D+/U+ dual-launch — and then
+// with the calibrating estimator on, where the first few jobs race to
+// calibrate the class and every confident successor launches its predicted
+// winner alone. Besides the measurements, the experiment enforces the
+// estimator's correctness contract: every job's final output is
+// byte-identical between the two rows (a direct pick must produce exactly
+// what the race's winner would have).
+func Warm(o Options) (*Figure, error) {
+	o = o.normalized()
+	fig := &Figure{
+		ID:      "warm",
+		Title:   "Warm workload: 24 class-identical speculative jobs, estimator off vs on (A3x4, D+ env)",
+		XLabel:  "estimator",
+		Columns: []string{"makespan", "slot-sec", "races", "direct", "pred-err", "regret"},
+		Notes: []string{
+			"slot-sec is admission-cost × execution-time summed over jobs (the dual-launch pays 2×)",
+			"direct counts jobs whose mode was picked up front (no race); pred-err is their mean relative prediction error",
+			"regret counts direct picks the skipped mode would have beaten (model-judged from the run's own sample)",
+			"outputs are verified byte-identical between the two rows",
+		},
+	}
+	var base *ThroughputResult
+	for i, predict := range []bool{false, true} {
+		label := "race-always"
+		if predict {
+			label = "calibrated"
+		}
+		r, err := RunThroughput(A3x4(), warmWorkload(predict), o)
+		if err != nil {
+			return nil, err
+		}
+		if base == nil {
+			base = r
+		} else {
+			for job, want := range base.OutputHashes {
+				if got := r.OutputHashes[job]; got != want {
+					return nil, fmt.Errorf("bench: %s output %s under the estimator, %s under the race", job, got, want)
+				}
+			}
+		}
+		fig.Points = append(fig.Points, Point{
+			X: float64(i), Label: label,
+			Seconds: map[string]float64{
+				"makespan": r.Makespan, "slot-sec": r.SlotSeconds,
+				"races": float64(r.Races), "direct": float64(r.DirectHistory + r.DirectPrediction),
+				"pred-err": r.PredErrMean, "regret": float64(r.Regret),
 			},
 		})
 	}

@@ -24,6 +24,13 @@ type Framework struct {
 	// real framework always notifies directly.
 	NotifyPoll bool
 
+	// Predict enables the online-calibrating estimator: speculative
+	// submissions whose workload class has passed the history's confidence
+	// gate launch the projected winner directly instead of paying the 2×
+	// dual-launch. Off by default — the paper's decision maker only trusts
+	// exact-match history.
+	Predict bool
+
 	// StockFallbacks counts jobs routed through the stock submission path
 	// because the AM pool had no live AM to offer (every reserved AM died
 	// and the replacements were still launching).

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"slices"
 	"time"
 
@@ -10,46 +12,193 @@ import (
 	"mrapid/internal/profiler"
 )
 
-// HistoryEntry records the outcome of one profiled execution of a job key.
+// HistoryEntry records the outcome of the profiled executions of one job
+// key. Elapsed, AvgMapCPU, AvgIn, and AvgOut are running means over all
+// recorded runs (not last-run values — a single anomalous run used to
+// overwrite the whole record and flip future mode decisions); Wins counts
+// how often each mode won, and Winner is the majority vote.
 type HistoryEntry struct {
-	Job       string        `json:"job"`
-	Winner    ModeKind      `json:"winner"`
-	Elapsed   time.Duration `json:"elapsed"`
-	AvgMapCPU time.Duration `json:"avg_map_cpu"`
-	AvgIn     int64         `json:"avg_in"`
-	AvgOut    int64         `json:"avg_out"`
-	Runs      int           `json:"runs"`
+	Job       string           `json:"job"`
+	Winner    ModeKind         `json:"winner"`
+	Elapsed   time.Duration    `json:"elapsed"`
+	AvgMapCPU time.Duration    `json:"avg_map_cpu"`
+	AvgIn     int64            `json:"avg_in"`
+	AvgOut    int64            `json:"avg_out"`
+	Runs      int              `json:"runs"`
+	Wins      map[ModeKind]int `json:"wins,omitempty"`
+}
+
+// Welford is an online mean/variance accumulator (Welford's algorithm),
+// the substrate of the calibrating estimator's per-class aggregates.
+type Welford struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// Add folds one sample into the running aggregates.
+func (w *Welford) Add(x float64) {
+	w.N++
+	d := x - w.Mean
+	w.Mean += d / float64(w.N)
+	w.M2 += d * (x - w.Mean)
+}
+
+// Std returns the sample standard deviation (0 with fewer than 2 samples).
+func (w Welford) Std() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return math.Sqrt(w.M2 / float64(w.N-1))
+}
+
+// CV returns the coefficient of variation (Std/|Mean|). A zero mean with
+// spread is reported as +Inf — never confident.
+func (w Welford) CV() float64 {
+	s := w.Std()
+	if w.Mean == 0 {
+		if s == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return s / math.Abs(w.Mean)
+}
+
+// ClassStats holds the online-calibrating estimator's aggregates for one
+// workload class (a job-spec fingerprint family, JobSpec.ClassKey). The
+// per-byte rates generalize across input sizes, so repeat and *similar*
+// jobs — new names, new data — can be predicted without a speculative race.
+type ClassStats struct {
+	Class string `json:"class"`
+	Runs  int    `json:"runs"`
+
+	// Rate is map-function compute seconds per input byte (t^m / s^i) and
+	// Sel is the map selectivity (s^o / s^i): together with a new job's
+	// measured split size they reconstruct the Table I inputs of Eq. 2/3.
+	Rate Welford `json:"rate"`
+	Sel  Welford `json:"sel"`
+
+	// Calib is the measured-elapsed / raw-model-estimate ratio of the
+	// winning mode: the online correction for everything Equations 2 and 3
+	// deliberately omit (AM dispatch, the reduce phase, queueing inside the
+	// job). Predicted runtimes are the raw estimate scaled by this mean.
+	Calib Welford `json:"calib"`
+
+	// IntraCV aggregates the within-job coefficient of variation of map
+	// compute time: a class whose individual runs are internally skewed is
+	// less predictable than its across-run variance alone suggests.
+	IntraCV Welford `json:"intra_cv"`
+
+	DWins int `json:"d_wins"`
+	UWins int `json:"u_wins"`
 }
 
 // History is the decision maker's execution-record store. The paper keys
 // records by program identity — "based on the execution records of the same
 // job, even if they were executed with different input data" — and persists
-// them to HDFS so future submissions skip speculative execution.
+// them to HDFS so future submissions skip speculative execution. On top of
+// the exact-match entries it keeps per-workload-class calibration aggregates
+// (ClassStats) so the estimator can pre-decide jobs it has never seen under
+// that exact key.
 type History struct {
 	entries map[string]*HistoryEntry
+	classes map[string]*ClassStats
+
+	// Confidence gate: a class predicts only after MinRuns observations
+	// with across-run rate/selectivity CVs at most MaxCV and a mean
+	// within-job map-compute CV at most MaxIntraCV. Below the gate the job
+	// still races (and its outcome calibrates the class).
+	MinRuns    int
+	MaxCV      float64
+	MaxIntraCV float64
 }
 
-// NewHistory returns an empty store.
+// NewHistory returns an empty store with the default confidence gate.
 func NewHistory() *History {
-	return &History{entries: make(map[string]*HistoryEntry)}
+	return &History{
+		entries:    make(map[string]*HistoryEntry),
+		classes:    make(map[string]*ClassStats),
+		MinRuns:    3,
+		MaxCV:      0.25,
+		MaxIntraCV: 0.75,
+	}
 }
 
-// Record stores (or updates) the winner for a job key.
+// Record folds one finished run into the job key's running aggregates. The
+// recorded Winner is the majority vote over all runs, ties going to the most
+// recent winner — a mode keeps the crown only while it wins at least as often
+// as the incumbent, so one anomalous run amid a streak cannot flip future
+// mode decisions.
 func (h *History) Record(job string, winner ModeKind, elapsed time.Duration, s profiler.Summary) {
 	e, ok := h.entries[job]
 	if !ok {
-		e = &HistoryEntry{Job: job}
+		e = &HistoryEntry{Job: job, Wins: make(map[ModeKind]int)}
 		h.entries[job] = e
 	}
-	e.Winner = winner
-	e.Elapsed = elapsed
-	e.AvgMapCPU = s.AvgMapCPU
-	e.AvgIn = s.AvgIn
-	e.AvgOut = s.AvgOut
+	if e.Wins == nil {
+		e.Wins = make(map[ModeKind]int)
+	}
 	e.Runs++
+	n := time.Duration(e.Runs)
+	e.Elapsed += (elapsed - e.Elapsed) / n
+	e.AvgMapCPU += (s.AvgMapCPU - e.AvgMapCPU) / n
+	e.AvgIn += (s.AvgIn - e.AvgIn) / int64(e.Runs)
+	e.AvgOut += (s.AvgOut - e.AvgOut) / int64(e.Runs)
+	e.Wins[winner]++
+	if e.Winner == "" || e.Wins[winner] >= e.Wins[e.Winner] {
+		e.Winner = winner
+	}
 }
 
-// Winner returns the recorded mode for a job key, if any.
+// Observe folds one finished run into its workload class's calibration
+// aggregates. modelEst is the raw Eq. 2/3 estimate for the mode that ran,
+// computed from the run's own measured sample — its ratio to the measured
+// elapsed time is the calibration factor future predictions are scaled by.
+func (h *History) Observe(class string, winner ModeKind, elapsed time.Duration, modelEst time.Duration, s profiler.Summary) {
+	if class == "" || s.MapCount == 0 || s.AvgIn <= 0 {
+		return
+	}
+	cs, ok := h.classes[class]
+	if !ok {
+		cs = &ClassStats{Class: class}
+		h.classes[class] = cs
+	}
+	cs.Runs++
+	cs.Rate.Add(s.AvgMapCPU.Seconds() / float64(s.AvgIn))
+	cs.Sel.Add(float64(s.AvgOut) / float64(s.AvgIn))
+	if s.AvgMapCPU > 0 {
+		cs.IntraCV.Add(s.MapCPUStd.Seconds() / s.AvgMapCPU.Seconds())
+	}
+	if modelEst > 0 && elapsed > 0 {
+		cs.Calib.Add(elapsed.Seconds() / modelEst.Seconds())
+	}
+	switch winner {
+	case ModeDPlus:
+		cs.DWins++
+	case ModeUPlus:
+		cs.UWins++
+	}
+}
+
+// Class returns the calibration aggregates for a workload class, if any.
+func (h *History) Class(class string) (*ClassStats, bool) {
+	cs, ok := h.classes[class]
+	return cs, ok
+}
+
+// Confident reports whether a class has converged enough to pre-decide a
+// job without racing: enough runs, stable per-byte rate and selectivity
+// across runs, and internally un-skewed maps.
+func (h *History) Confident(class string) bool {
+	cs, ok := h.classes[class]
+	if !ok || cs.Runs < h.MinRuns {
+		return false
+	}
+	return cs.Rate.CV() <= h.MaxCV && cs.Sel.CV() <= h.MaxCV && cs.IntraCV.Mean <= h.MaxIntraCV
+}
+
+// Winner returns the recorded majority mode for a job key, if any.
 func (h *History) Winner(job string) (ModeKind, bool) {
 	if e, ok := h.entries[job]; ok {
 		return e.Winner, true
@@ -61,6 +210,29 @@ func (h *History) Winner(job string) (ModeKind, bool) {
 func (h *History) Entry(job string) (*HistoryEntry, bool) {
 	e, ok := h.entries[job]
 	return e, ok
+}
+
+// Entries returns every exact-match record, sorted by job key.
+func (h *History) Entries() []*HistoryEntry {
+	out := make([]*HistoryEntry, 0, len(h.entries))
+	for _, name := range sortedKeys(h.entries) {
+		out = append(out, h.entries[name])
+	}
+	return out
+}
+
+// Classes returns every workload-class aggregate, sorted by class key.
+func (h *History) Classes() []*ClassStats {
+	names := make([]string, 0, len(h.classes))
+	for k := range h.classes {
+		names = append(names, k)
+	}
+	slices.Sort(names)
+	out := make([]*ClassStats, 0, len(names))
+	for _, name := range names {
+		out = append(out, h.classes[name])
+	}
+	return out
 }
 
 // Len reports the number of recorded job keys.
@@ -75,6 +247,15 @@ const (
 	historyTmpPath = historyPath + ".tmp"
 )
 
+// historySnapshot is the persisted schema (version 2): exact-match entries
+// plus workload-class calibration aggregates. Version 1 snapshots were a
+// bare JSON array of entries; Load still accepts them.
+type historySnapshot struct {
+	Version int             `json:"version"`
+	Jobs    []*HistoryEntry `json:"jobs"`
+	Classes []*ClassStats   `json:"classes,omitempty"`
+}
+
 // Save serializes the store into HDFS (replacing any previous snapshot).
 // The write itself is metadata-sized; like the paper's profile uploads it
 // happens off the measured path, so it is staged costlessly.
@@ -85,11 +266,8 @@ const (
 // delete-then-put sequence had a window where a crash lost the whole
 // history.
 func (h *History) Save(dfs *hdfs.DFS) error {
-	list := make([]*HistoryEntry, 0, len(h.entries))
-	for _, name := range sortedKeys(h.entries) {
-		list = append(list, h.entries[name])
-	}
-	data, err := json.MarshalIndent(list, "", "  ")
+	snap := historySnapshot{Version: 2, Jobs: h.Entries(), Classes: h.Classes()}
+	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return fmt.Errorf("core: encoding history: %w", err)
 	}
@@ -113,7 +291,9 @@ func (h *History) Save(dfs *hdfs.DFS) error {
 
 // Load restores a snapshot saved by Save. A missing snapshot yields an
 // empty store, not an error; an interrupted Save is recovered from its
-// staged temporary.
+// staged temporary. Version-1 snapshots (a bare array, written before the
+// running-aggregate schema) migrate transparently: their single recorded
+// values seed the means and their run count seeds the winner's vote.
 func (h *History) Load(dfs *hdfs.DFS) error {
 	path := historyPath
 	if !dfs.Exists(path) {
@@ -127,10 +307,31 @@ func (h *History) Load(dfs *hdfs.DFS) error {
 		return err
 	}
 	var list []*HistoryEntry
-	if err := json.Unmarshal(data, &list); err != nil {
-		return fmt.Errorf("core: decoding history: %w", err)
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '[' {
+		// Version 1: a bare entry array with last-run values.
+		if err := json.Unmarshal(data, &list); err != nil {
+			return fmt.Errorf("core: decoding history: %w", err)
+		}
+	} else {
+		var snap historySnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("core: decoding history: %w", err)
+		}
+		list = snap.Jobs
+		for _, cs := range snap.Classes {
+			if cs != nil && cs.Class != "" {
+				h.classes[cs.Class] = cs
+			}
+		}
 	}
 	for _, e := range list {
+		if e.Wins == nil && e.Winner != "" {
+			runs := e.Runs
+			if runs <= 0 {
+				runs = 1
+			}
+			e.Wins = map[ModeKind]int{e.Winner: runs}
+		}
 		h.entries[e.Job] = e
 	}
 	return nil

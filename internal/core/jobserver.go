@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"mrapid/internal/mapreduce"
 	"mrapid/internal/metrics"
@@ -28,6 +30,13 @@ const (
 	// capacity), so a burst from one tenant cannot starve the others. Within
 	// a tenant, jobs stay FIFO.
 	PolicyWeightedFair AdmissionPolicy = "wfair"
+
+	// PolicyDeadline admits the deadline job with the least laxity —
+	// (deadline − now) − predicted runtime, the prediction coming from the
+	// framework's history/class estimator (see Framework.PredictRuntime).
+	// Jobs without deadlines wait behind all deadline jobs in arrival order;
+	// an unpredictable deadline job schedules on the deadline alone.
+	PolicyDeadline AdmissionPolicy = "deadline"
 )
 
 // JobServerConfig sizes the admission layer.
@@ -68,6 +77,21 @@ type queuedJob struct {
 	done   func(*mapreduce.Result)
 	span   trace.SpanID
 	enqAt  sim.Time
+
+	// deadline is the absolute completion target (hasDeadline false = none);
+	// predicted is the estimator's runtime prediction at submission, used by
+	// PolicyDeadline's laxity ordering.
+	deadline    sim.Time
+	hasDeadline bool
+	predicted   time.Duration
+
+	admitAt sim.Time // when the job left the queue, for slot-second accounting
+}
+
+// laxity is the job's scheduling slack at time now: how long admission could
+// still be deferred before the predicted runtime overruns the deadline.
+func (j *queuedJob) laxity(now sim.Time) time.Duration {
+	return j.deadline.Sub(now) - j.predicted
 }
 
 // JobServer is the long-running submission service in front of a Framework:
@@ -90,6 +114,13 @@ type JobServer struct {
 	Submitted int64
 	Completed int64
 	Rejected  int64
+
+	// SlotSeconds accumulates admission-cost × execution-time over completed
+	// jobs: the cluster-slot consumption the speculative 2× dual-launch pays
+	// for and the calibrating estimator claws back. DeadlineMisses counts
+	// deadline jobs that finished past their target.
+	SlotSeconds    float64
+	DeadlineMisses int64
 }
 
 // NewJobServer builds the admission layer over a started framework. Tenant
@@ -103,7 +134,7 @@ func NewJobServer(fw *Framework, cfg JobServerConfig) (*JobServer, error) {
 	if policy == "" {
 		policy = PolicyFIFO
 	}
-	if policy != PolicyFIFO && policy != PolicyWeightedFair {
+	if policy != PolicyFIFO && policy != PolicyWeightedFair && policy != PolicyDeadline {
 		return nil, fmt.Errorf("core: unknown admission policy %q", policy)
 	}
 	s := &JobServer{
@@ -173,6 +204,19 @@ func (s *JobServer) tenantFor(name string) *tenantState {
 	t, ok := s.tenants[name]
 	if !ok {
 		t = &tenantState{name: name, weight: 1}
+		// Virtual-time join: a tenant arriving after the others have been
+		// served starts at the current minimum served/weight ratio, not at
+		// zero — otherwise weighted-fair would hand the newcomer the whole
+		// window until it "caught up" on work it never submitted.
+		minRatio := math.Inf(1)
+		for _, o := range s.tenants {
+			if r := o.served / o.weight; r < minRatio {
+				minRatio = r
+			}
+		}
+		if !math.IsInf(minRatio, 1) {
+			t.served = minRatio * t.weight
+		}
 		s.tenants[name] = t
 	}
 	return t
@@ -197,6 +241,20 @@ func (s *JobServer) InFlight() int { return s.inFlight }
 // admission window; its queue-wait is recorded as a span and a per-tenant
 // histogram sample.
 func (s *JobServer) Submit(tenant string, mode ModeKind, spec *mapreduce.JobSpec, done func(*mapreduce.Result)) error {
+	return s.submit(tenant, mode, spec, sim.Time(0), false, done)
+}
+
+// SubmitWithDeadline is Submit with an absolute completion target on the
+// virtual clock. Under PolicyDeadline the queue orders by least laxity —
+// (deadline − now) minus the estimator's predicted runtime — and a job that
+// finishes past its target increments DeadlineMisses and the
+// jobserver_deadline_miss_total counter (the job itself still completes
+// normally; the deadline is an SLO, not a kill switch).
+func (s *JobServer) SubmitWithDeadline(tenant string, mode ModeKind, spec *mapreduce.JobSpec, deadline sim.Time, done func(*mapreduce.Result)) error {
+	return s.submit(tenant, mode, spec, deadline, true, done)
+}
+
+func (s *JobServer) submit(tenant string, mode ModeKind, spec *mapreduce.JobSpec, deadline sim.Time, hasDeadline bool, done func(*mapreduce.Result)) error {
 	if spec == nil {
 		panic("core: Submit needs a job spec")
 	}
@@ -216,6 +274,11 @@ func (s *JobServer) Submit(tenant string, mode ModeKind, spec *mapreduce.JobSpec
 			return fmt.Errorf("core: speculative submission needs an AM pool of at least 2")
 		}
 		cost = 2 // the race holds a pooled AM per mode
+		if s.fw.PreDecided(spec) {
+			// History or the calibrating estimator will skip the race and
+			// launch one mode, so admission charges a single slot.
+			cost = 1
+		}
 		run = func(j *queuedJob) {
 			s.fw.SubmitSpeculative(j.spec, func(res *SpecResult) {
 				s.settle(j, res.Result)
@@ -238,12 +301,19 @@ func (s *JobServer) Submit(tenant string, mode ModeKind, spec *mapreduce.JobSpec
 	s.Submitted++
 	spec.Queue = tenant
 	j := &queuedJob{
-		tenant: t,
-		spec:   spec,
-		mode:   mode,
-		cost:   cost,
-		done:   done,
-		enqAt:  s.fw.RT.Eng.Now(),
+		tenant:      t,
+		spec:        spec,
+		mode:        mode,
+		cost:        cost,
+		done:        done,
+		enqAt:       s.fw.RT.Eng.Now(),
+		deadline:    deadline,
+		hasDeadline: hasDeadline,
+	}
+	if hasDeadline {
+		// The prediction is pinned at submission: laxity then orders the
+		// queue deterministically as the clock advances.
+		j.predicted, _ = s.fw.PredictRuntime(spec)
 	}
 	j.run = func() { run(j) }
 	j.span = s.fw.RT.Trace.StartSpan(0, "jobserver", spec.Name+" queue-wait", "admit",
@@ -257,7 +327,14 @@ func (s *JobServer) Submit(tenant string, mode ModeKind, spec *mapreduce.JobSpec
 // settle returns a finished job's admission cost to the window, admits
 // whoever is next, and reports the result to the submitter.
 func (s *JobServer) settle(j *queuedJob, res *mapreduce.Result) {
+	now := s.fw.RT.Eng.Now()
 	s.inFlight -= j.cost
+	s.SlotSeconds += float64(j.cost) * now.Sub(j.admitAt).Seconds()
+	if j.hasDeadline && now.Sub(j.deadline) > 0 {
+		s.DeadlineMisses++
+		s.fw.RT.Reg.Inc(metrics.With("jobserver_deadline_miss_total", "tenant", j.tenant.name))
+		s.fw.RT.Trace.Add("jobserver", "job %s missed its deadline by %s", j.spec.Name, now.Sub(j.deadline))
+	}
 	j.tenant.Completed++
 	s.Completed++
 	s.dispatch()
@@ -285,10 +362,14 @@ func (s *JobServer) dispatch() {
 
 // next picks the pending index to admit: FIFO takes the head; weighted-fair
 // takes the earliest job of the most underserved tenant (lowest
-// served/weight, ties broken by arrival order for determinism).
+// served/weight, ties broken by arrival order for determinism); deadline
+// takes the least-laxity deadline job, no-deadline jobs after all of them.
 func (s *JobServer) next() int {
 	if s.policy == PolicyFIFO {
 		return 0
+	}
+	if s.policy == PolicyDeadline {
+		return s.nextByLaxity()
 	}
 	best := 0
 	bestRatio := s.pending[0].tenant.served / s.pending[0].tenant.weight
@@ -306,11 +387,34 @@ func (s *JobServer) next() int {
 	return best
 }
 
+// nextByLaxity picks the deadline job whose slack — time to deadline minus
+// predicted runtime — is smallest (least-laxity-first). Jobs without
+// deadlines are best-effort: they wait behind every deadline job, in arrival
+// order. Ties break by arrival order for determinism.
+func (s *JobServer) nextByLaxity() int {
+	now := s.fw.RT.Eng.Now()
+	best := -1
+	var bestLax time.Duration
+	for i, j := range s.pending {
+		if !j.hasDeadline {
+			continue
+		}
+		if lax := j.laxity(now); best < 0 || lax < bestLax {
+			best, bestLax = i, lax
+		}
+	}
+	if best < 0 {
+		return 0 // only best-effort jobs pending: arrival order
+	}
+	return best
+}
+
 // admit moves a job from the queue into execution: the wait span closes, the
 // wait lands in the tenant's histogram, and the job runs through the
 // framework.
 func (s *JobServer) admit(j *queuedJob) {
 	s.inFlight += j.cost
+	j.admitAt = s.fw.RT.Eng.Now()
 	j.tenant.served += float64(j.cost)
 	wait := s.fw.RT.Eng.Now().Sub(j.enqAt)
 	s.fw.RT.Trace.EndSpan(j.span, trace.A("wait", wait.String()))

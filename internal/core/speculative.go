@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mrapid/internal/mapreduce"
+	"mrapid/internal/metrics"
 	"mrapid/internal/profiler"
 	"mrapid/internal/sim"
 	"mrapid/internal/trace"
@@ -17,6 +18,12 @@ type SpecResult struct {
 	// FromHistory is true when the decision maker answered from the
 	// execution-record store and only one mode ran.
 	FromHistory bool
+
+	// FromPrediction is true when the calibrating estimator pre-decided the
+	// mode from workload-class aggregates (no exact history record, no
+	// race); Predicted is its calibrated completion-time prediction.
+	FromPrediction bool
+	Predicted      time.Duration
 
 	// DecidedAt is when the estimator's verdict killed the slower mode
 	// (zero when the decision came from history or a mode finishing first).
@@ -67,6 +74,7 @@ func (f *Framework) SubmitSpeculative(spec *mapreduce.JobSpec, done func(*SpecRe
 
 	// Pre-decision from history (step 2).
 	if winner, ok := f.History.Winner(spec.Key()); ok {
+		f.RT.Reg.Inc(metrics.With("estimator_direct_total", "source", "history"))
 		run := f.SubmitUPlus
 		if winner == ModeDPlus {
 			run = f.SubmitDPlus
@@ -82,6 +90,33 @@ func (f *Framework) SubmitSpeculative(spec *mapreduce.JobSpec, done func(*SpecRe
 		return
 	}
 
+	// Pre-decision from the calibrating estimator: a job whose workload
+	// class has converged launches the projected winner directly — no 2×
+	// dual-launch — and its outcome keeps calibrating the class.
+	if pred, ok := f.PredictMode(spec); ok {
+		exec, err := ExecutorFor(pred.Mode)
+		if err == nil {
+			f.RT.Reg.Inc(metrics.With("estimator_direct_total", "source", "prediction"))
+			f.RT.Trace.Add("proxy", "estimator pre-decision: %s direct (predicted %s, class %s over %d runs)",
+				pred.Mode, pred.Runtime, pred.Class, pred.Runs)
+			f.Submit(exec, spec, func(res *mapreduce.Result) {
+				f.recordOutcome(spec, pred.Mode, res)
+				f.accountPrediction(pred, spec, res)
+				out := &SpecResult{
+					Result: res, Winner: pred.Mode,
+					FromPrediction: true, Predicted: pred.Runtime,
+					EstimateD: pred.EstimateD, EstimateU: pred.EstimateU,
+				}
+				if res.Profile != nil {
+					out.Span = res.Profile.Span
+				}
+				done(out)
+			})
+			return
+		}
+	}
+
+	f.RT.Reg.Inc("estimator_race_total")
 	root := f.RT.Trace.StartSpan(0, "job", spec.Name, "", trace.A("mode", "speculative"))
 	uploadStart := f.RT.Eng.Now()
 	f.RT.UploadArtifacts(spec, func(err error) {
@@ -205,24 +240,10 @@ func (f *Framework) race(spec *mapreduce.JobSpec, root trace.SpanID, done func(*
 			return
 		}
 		decided = true
-		workers := f.RT.Cluster.Workers()
-		it := workers[0].Type
-		in := EstimatorInputs{
-			TM:  sample.ComputeDur,
-			SI:  sample.InputBytes,
-			SO:  sample.OutputBytes,
-			NM:  countSplits(f.RT, spec),
-			NC:  mapreduce.ClusterContainerSlots(f.RT),
-			NUM: f.UOpts.MapsPerWave(workers[0]),
-			TL:  f.RT.Params.ContainerStart(),
-			DI:  it.DiskWriteBps,
-			DO:  it.DiskReadBps,
-			BI:  it.NetworkBps,
-			// With the shuffle service attached, the decision maker prices
-			// the post-combine, post-compress shuffle, not the raw map
-			// output the sample measured.
-			ShuffleRatio: f.RT.ShuffleWireRatio(spec),
-		}
+		in := f.estimatorInputs(spec)
+		in.TM = sample.ComputeDur
+		in.SI = sample.InputBytes
+		in.SO = sample.OutputBytes
 		out.EstimateU = EstimateUPlus(in)
 		out.EstimateD = EstimateDPlus(in)
 		out.DecidedAt = f.RT.Eng.Now()
@@ -264,12 +285,15 @@ func loserOf(winner ModeKind) ModeKind {
 	return ModeDPlus
 }
 
-// recordOutcome updates the history with the finished run (step 6).
+// recordOutcome updates the history with the finished run (step 6): the
+// exact-match running aggregates and the workload class's calibration.
 func (f *Framework) recordOutcome(spec *mapreduce.JobSpec, winner ModeKind, res *mapreduce.Result) {
 	if res.Err != nil || res.Profile == nil {
 		return
 	}
-	f.History.Record(spec.Key(), winner, res.Profile.Elapsed(), res.Profile.Summarize())
+	sum := res.Profile.Summarize()
+	f.History.Record(spec.Key(), winner, res.Profile.Elapsed(), sum)
+	f.calibrate(spec, winner, res.Profile.Elapsed(), sum)
 	// Persisting the snapshot mirrors the profiler uploading records to
 	// HDFS; failures only cost future pre-decisions.
 	_ = f.History.Save(f.RT.DFS)

@@ -168,6 +168,20 @@ func (s *JobSpec) Key() string {
 	return s.Name
 }
 
+// ClassKey fingerprints the job's workload class: the structural program
+// shape (record format, compute rates, reduce count, presence of combiner /
+// per-file maps / split costs) without its identity or inputs. Jobs that
+// share a class key behave alike per input byte, so the decision maker's
+// calibrating estimator can generalize execution records across similar
+// jobs that never share an exact Key.
+func (s *JobSpec) ClassKey() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%T|%d|%g|%g|%d|%v|%v|%v",
+		s.Format, s.NumReduces, s.MapRate, s.ReduceRate, s.MapFixedCost,
+		s.Combine != nil, s.MapFor != nil, s.SplitCost != nil)
+	return fmt.Sprintf("class-%016x", h.Sum64())
+}
+
 // partitioner returns the configured or default partition function.
 func (s *JobSpec) partitioner() PartitionFunc {
 	if s.Partition != nil {

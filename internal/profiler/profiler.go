@@ -7,6 +7,7 @@ package profiler
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"mrapid/internal/sim"
@@ -108,6 +109,7 @@ type Summary struct {
 
 	MapCount  int
 	AvgMapCPU time.Duration // t^m: average map-function compute time
+	MapCPUStd time.Duration // stddev of map compute across the job's tasks
 	AvgIn     int64         // s^i: average map input bytes
 	AvgOut    int64         // s^o: average map output bytes
 
@@ -141,6 +143,20 @@ func (jp *JobProfile) Summarize() Summary {
 		s.AvgMapCPU = mapCPU / time.Duration(s.MapCount)
 		s.AvgIn = in / int64(s.MapCount)
 		s.AvgOut = out / int64(s.MapCount)
+	}
+	if s.MapCount > 1 {
+		// Within-job spread of map compute: the calibrating estimator uses
+		// it to keep internally skewed workloads behind the confidence gate.
+		var sq float64
+		mean := float64(s.AvgMapCPU)
+		for _, t := range jp.Tasks {
+			if t.Failed || t.Kind != MapTask {
+				continue
+			}
+			d := float64(t.ComputeDur) - mean
+			sq += d * d
+		}
+		s.MapCPUStd = time.Duration(math.Sqrt(sq / float64(s.MapCount-1)))
 	}
 	return s
 }
