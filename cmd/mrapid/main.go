@@ -15,18 +15,28 @@
 // quantiles, queue wait, and per-tenant fairness.
 //
 //	mrapid -jobs 60 -tenants 3 -arrival poisson:250ms -policy wfair
+//
+// With -job query the command runs a join-heavy analytics query through the
+// query compiler and compares the sequential stage chain against the DAG
+// scheduler (parallel branches, producer-local intermediates):
+//
+//	mrapid -job query -query-exec both
+//	mrapid -job query -query-exec dag -node-fail 'node-01@4s:20s'
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"strconv"
 
 	"mrapid/internal/bench"
 	"mrapid/internal/core"
 	"mrapid/internal/mapreduce"
 	"mrapid/internal/metrics"
 	"mrapid/internal/profiler"
+	"mrapid/internal/query"
 	"mrapid/internal/report"
 	"mrapid/internal/sim"
 	"mrapid/internal/trace"
@@ -36,7 +46,7 @@ import (
 
 func main() {
 	var (
-		job      = flag.String("job", "wordcount", "workload: wordcount | terasort | pi")
+		job      = flag.String("job", "wordcount", "workload: wordcount | terasort | pi | query")
 		mode     = flag.String("mode", "speculative", "mode: hadoop | uber | dplus | uplus | speculative")
 		cluster  = flag.String("cluster", "A3x4", "cluster: A3x4 | A2x9")
 		files    = flag.Int("files", 4, "wordcount/terasort input files")
@@ -61,10 +71,18 @@ func main() {
 		predict  = flag.Bool("predict", false, "enable the calibrating estimator: confident workload classes skip the speculative dual-launch (workload mode: the whole stream runs speculative with prediction on)")
 		repeat   = flag.Int("repeat", 1, "speculative mode: submit the job N times under fresh job keys, so the class estimator warms up and later runs can pre-decide")
 		showHist = flag.Bool("show-history", false, "print the execution-record history (exact-match entries and per-class calibration aggregates) after the run")
+		qexec    = flag.String("query-exec", "both", "query job: stage scheduling — chain | dag | both (compare)")
 	)
 	flag.Parse()
 
 	svc := shuffleSetting{Enabled: *shuffle, Codec: *codec}
+	if *job == "query" {
+		if err := runQuery(*cluster, *qexec, *seed, *workers, *nodeFail, svc, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jobs > 1 {
 		if err := runWorkload(*cluster, *jobs, *tenants, *arrival, *policy, *seed, *workers, *nodeFail, svc, *predict); err != nil {
 			fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
@@ -161,6 +179,163 @@ func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed
 		fmt.Printf("estimator: races=%d direct=%d (history=%d prediction=%d) slot-seconds=%.1f\n",
 			res.Races, res.DirectHistory+res.DirectPrediction, res.DirectHistory, res.DirectPrediction, res.SlotSeconds)
 		fmt.Printf("prediction: mean-rel-error=%.3f regret=%d\n", res.PredErrMean, res.Regret)
+	}
+	return nil
+}
+
+// runQuery is the query demo: a join-heavy analytics query (two group-by
+// branches feeding a join and an order-by) compiled to a stage DAG and
+// executed with the sequential chain runner, the DAG runner, or both for a
+// side-by-side comparison. Each execution gets a fresh simulation so the
+// modes never share history or cluster state, and stages run as plain D+
+// jobs so the wall-clock difference is scheduling, not race outcomes.
+func runQuery(cluster, exec string, seed int64, workers int, nodeFail string, svc shuffleSetting, verbose bool) error {
+	if exec != "chain" && exec != "dag" && exec != "both" {
+		return fmt.Errorf("unknown -query-exec %q (want chain, dag, or both)", exec)
+	}
+	plan := query.Scan("sales").
+		Filter(query.Where("amount", query.OpGt, "250")).
+		GroupBy([]string{"cell"}, query.Sum("amount"), query.Count()).
+		Join(query.Scan("returns").
+			Filter(query.Where("refund", query.OpGt, "40")).
+			GroupBy([]string{"cell"}, query.Sum("refund")),
+			"cell", "cell").
+		OrderBy("sum(amount)", true)
+	fmt.Println("logical plan:", plan)
+
+	runOne := func(dag bool) (*query.Result, float64, error) {
+		var setup bench.ClusterSetup
+		switch cluster {
+		case "A3x4":
+			setup = bench.A3x4()
+		case "A2x9":
+			setup = bench.A2x9()
+		default:
+			return nil, 0, fmt.Errorf("unknown cluster %q", cluster)
+		}
+		setup.Seed = seed
+		setup.HostWorkers = workers
+		if svc.Enabled {
+			setup.Params.ShuffleService = true
+			setup.Params.ShuffleCodec = svc.Codec
+		}
+		faults, err := mapreduce.ParseNodeFaults(nodeFail)
+		if err != nil {
+			return nil, 0, err
+		}
+		setup.NodeFaults = faults
+		v := bench.VariantDPlus()
+		// Racing a stage speculatively holds two pooled AMs; give the DAG's
+		// two concurrent branches room to race side by side.
+		v.PoolSize = 6
+		env, err := bench.NewEnv(setup, v)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer env.Close()
+
+		cat := query.NewCatalog(env.DFS, env.Cluster)
+		rng := rand.New(rand.NewSource(seed))
+		var sales, returns []query.Row
+		for i := 0; i < 20_000; i++ {
+			sales = append(sales, query.Row{
+				strconv.Itoa(i), fmt.Sprintf("c%05d", rng.Intn(2500)), strconv.Itoa(rng.Intn(1000)),
+			})
+		}
+		for i := 0; i < 10_000; i++ {
+			returns = append(returns, query.Row{
+				strconv.Itoa(i), fmt.Sprintf("c%05d", rng.Intn(2500)), strconv.Itoa(rng.Intn(200)),
+			})
+		}
+		if _, err := cat.Create("sales", query.Schema{"id", "cell", "amount"}, sales, 4); err != nil {
+			return nil, 0, err
+		}
+		if _, err := cat.Create("returns", query.Schema{"rid", "cell", "refund"}, returns, 3); err != nil {
+			return nil, 0, err
+		}
+
+		var run func(*query.Plan, func(*query.Result, error))
+		if dag {
+			dr, err := query.NewDAGRunner(env.FW, nil, cat)
+			if err != nil {
+				return nil, 0, err
+			}
+			dr.Mode = query.ViaDPlus
+			run = dr.Run
+		} else {
+			r := query.NewRunner(env.FW, cat)
+			r.Mode = query.ViaDPlus
+			run = r.Run
+		}
+		var res *query.Result
+		var qerr error
+		var wall float64
+		env.Eng.After(0, func() {
+			submitted := env.Eng.Now()
+			run(plan, func(r *query.Result, err error) {
+				res, qerr = r, err
+				wall = env.Eng.Now().Sub(submitted).Seconds()
+				env.RM.Stop()
+			})
+		})
+		env.Eng.RunUntil(sim.Time(1 << 42))
+		if qerr != nil {
+			return nil, 0, qerr
+		}
+		if res == nil {
+			return nil, 0, fmt.Errorf("query did not finish")
+		}
+		name := "chain"
+		if dag {
+			name = "dag"
+		}
+		fmt.Printf("%-5s %d stages in %.2f virtual seconds, max %d in flight, winners %v",
+			name, res.Stages, wall, res.MaxConcurrent, res.Winners)
+		if res.Recoveries > 0 {
+			fmt.Printf(", %d lineage recoveries", res.Recoveries)
+		}
+		if res.AggParseErrors > 0 {
+			fmt.Printf(", %d skipped aggregate values", res.AggParseErrors)
+		}
+		fmt.Println()
+		if st := env.RT.Intermediates; st != nil && st.HDFSBytesAvoided > 0 {
+			fmt.Printf("      intermediates: %d B kept out of HDFS (%d B in memory, %d B on producer disks)\n",
+				st.HDFSBytesAvoided, st.MemBytes, st.DiskBytes)
+		}
+		return res, wall, nil
+	}
+
+	var chain, dag *query.Result
+	var chainWall, dagWall float64
+	var err error
+	if exec != "dag" {
+		if chain, chainWall, err = runOne(false); err != nil {
+			return fmt.Errorf("chain: %w", err)
+		}
+	}
+	if exec != "chain" {
+		if dag, dagWall, err = runOne(true); err != nil {
+			return fmt.Errorf("dag: %w", err)
+		}
+	}
+	if chain != nil && dag != nil {
+		if len(chain.Rows) != len(dag.Rows) {
+			return fmt.Errorf("chain returned %d rows, dag %d — results diverge", len(chain.Rows), len(dag.Rows))
+		}
+		fmt.Printf("dag vs chain: %.2fs vs %.2fs (%.1f%% faster), %d identical result rows\n",
+			dagWall, chainWall, (chainWall-dagWall)/chainWall*100, len(dag.Rows))
+	}
+	show := chain
+	if show == nil {
+		show = dag
+	}
+	n := len(show.Rows)
+	if !verbose && n > 5 {
+		n = 5
+	}
+	fmt.Printf("result: %v (top %d of %d rows)\n", []string(show.Table.Schema), n, len(show.Rows))
+	for _, r := range show.Rows[:n] {
+		fmt.Printf("  %v\n", []string(r))
 	}
 	return nil
 }

@@ -516,6 +516,7 @@ var Registry = []struct {
 	{"throughput", Throughput, "multi-tenant JobServer throughput & fairness"},
 	{"shuffle", Shuffle, "shuffle service: consolidated fetches, combine & compression"},
 	{"warm", Warm, "calibrating estimator: warm workloads skip the 2× dual-launch"},
+	{"dagquery", DAGQuery, "query DAG scheduler: parallel branches vs sequential chains"},
 }
 
 // Lookup finds a registered experiment by ID.

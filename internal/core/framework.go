@@ -138,7 +138,7 @@ func (f *Framework) retryLostAM(spec *mapreduce.JobSpec, attempt int, res *mapre
 		return false
 	}
 	f.RT.Trace.Add("proxy", "job %s attempt %d lost its AM; relaunching", spec.Name, attempt)
-	f.RT.DFS.DeletePrefix(spec.OutputFile)
+	f.RT.DeleteOutputPrefix(spec.OutputFile)
 	relaunch()
 	return true
 }

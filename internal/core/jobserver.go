@@ -241,7 +241,32 @@ func (s *JobServer) InFlight() int { return s.inFlight }
 // admission window; its queue-wait is recorded as a span and a per-tenant
 // histogram sample.
 func (s *JobServer) Submit(tenant string, mode ModeKind, spec *mapreduce.JobSpec, done func(*mapreduce.Result)) error {
-	return s.submit(tenant, mode, spec, sim.Time(0), false, done)
+	return s.submit(tenant, tenant, mode, spec, sim.Time(0), false, done)
+}
+
+// SubmitAs is Submit with the fairness identity decoupled from the RM
+// queue: admission accounting (weighted-fair ordering, queue-wait
+// histograms, served-work ratios) runs under tenant, while the job's
+// containers land in queue ("" = default). The query DAG runner uses this
+// to give every query its own admission tenant — so one query's burst of
+// ready stages cannot starve another query's — without requiring an RM
+// capacity queue per query. The queue, not the tenant, is validated
+// against the RM.
+func (s *JobServer) SubmitAs(tenant, queue string, mode ModeKind, spec *mapreduce.JobSpec, done func(*mapreduce.Result)) error {
+	return s.submit(tenant, queue, mode, spec, sim.Time(0), false, done)
+}
+
+// ReleaseTenant drops a logical tenant's fairness state once it has no
+// pending or future submissions (a finished query). Dropping the state
+// keeps the tenant map from growing one entry per query forever; a tenant
+// with jobs still queued is left alone.
+func (s *JobServer) ReleaseTenant(name string) {
+	for _, j := range s.pending {
+		if j.tenant.name == name {
+			return
+		}
+	}
+	delete(s.tenants, name)
 }
 
 // SubmitWithDeadline is Submit with an absolute completion target on the
@@ -251,20 +276,20 @@ func (s *JobServer) Submit(tenant string, mode ModeKind, spec *mapreduce.JobSpec
 // jobserver_deadline_miss_total counter (the job itself still completes
 // normally; the deadline is an SLO, not a kill switch).
 func (s *JobServer) SubmitWithDeadline(tenant string, mode ModeKind, spec *mapreduce.JobSpec, deadline sim.Time, done func(*mapreduce.Result)) error {
-	return s.submit(tenant, mode, spec, deadline, true, done)
+	return s.submit(tenant, tenant, mode, spec, deadline, true, done)
 }
 
-func (s *JobServer) submit(tenant string, mode ModeKind, spec *mapreduce.JobSpec, deadline sim.Time, hasDeadline bool, done func(*mapreduce.Result)) error {
+func (s *JobServer) submit(tenant, queue string, mode ModeKind, spec *mapreduce.JobSpec, deadline sim.Time, hasDeadline bool, done func(*mapreduce.Result)) error {
 	if spec == nil {
 		panic("core: Submit needs a job spec")
 	}
 	if done == nil {
 		panic("core: Submit needs a completion callback")
 	}
-	if !s.fw.RT.RM.ValidQueue(tenant) {
+	if !s.fw.RT.RM.ValidQueue(queue) {
 		s.Rejected++
 		s.fw.RT.Reg.Inc(metrics.With("jobserver_rejected_total", "tenant", tenant))
-		return fmt.Errorf("core: unknown tenant queue %q", tenant)
+		return fmt.Errorf("core: unknown tenant queue %q", queue)
 	}
 	cost := 1
 	var run func(*queuedJob)
@@ -299,7 +324,7 @@ func (s *JobServer) submit(tenant string, mode ModeKind, spec *mapreduce.JobSpec
 	t := s.tenantFor(tenant)
 	t.Submitted++
 	s.Submitted++
-	spec.Queue = tenant
+	spec.Queue = queue
 	j := &queuedJob{
 		tenant:      t,
 		spec:        spec,

@@ -49,7 +49,7 @@ func (f *Framework) estimatorInputs(spec *mapreduce.JobSpec) EstimatorInputs {
 
 // avgSplitBytes returns the job's mean input split size (0 when unknown).
 func (f *Framework) avgSplitBytes(spec *mapreduce.JobSpec) int64 {
-	splits, err := f.RT.DFS.Splits(spec.InputFiles)
+	splits, err := f.RT.Splits(spec.InputFiles)
 	if err != nil || len(splits) == 0 {
 		return 0
 	}

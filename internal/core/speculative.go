@@ -161,9 +161,11 @@ func (f *Framework) race(spec *mapreduce.JobSpec, root trace.SpanID, done func(*
 		if winner == ModeUPlus && dHandle != nil {
 			dHandle.Kill()
 		}
-		// Promote the winner's output and discard the loser's.
-		f.RT.DFS.DeletePrefix(tempOutput(spec.OutputFile, loserOf(winner)))
-		if _, err := f.RT.DFS.RenamePrefix(tempOutput(spec.OutputFile, winner), spec.OutputFile); err != nil && res.Err == nil {
+		// Promote the winner's output and discard the loser's — from HDFS
+		// and the intermediate store both, since intra-query stages commit
+		// their racing temp outputs to the store.
+		f.RT.DeleteOutputPrefix(tempOutput(spec.OutputFile, loserOf(winner)))
+		if err := f.RT.RenameOutputPrefix(tempOutput(spec.OutputFile, winner), spec.OutputFile); err != nil && res.Err == nil {
 			res.Err = err
 		}
 		res.Spec = spec
@@ -201,12 +203,12 @@ func (f *Framework) race(spec *mapreduce.JobSpec, root trace.SpanID, done func(*
 		}
 		// The estimator must not kill the sole survivor after this point.
 		decided = true
-		f.RT.DFS.DeletePrefix(tempOutput(spec.OutputFile, mode))
+		f.RT.DeleteOutputPrefix(tempOutput(spec.OutputFile, mode))
 		other := loserOf(mode)
 		otherH := handleOf(other)
 		if crashed[other] || (otherH != nil && otherH.killed) {
 			finished = true
-			f.RT.DFS.DeletePrefix(tempOutput(spec.OutputFile, other))
+			f.RT.DeleteOutputPrefix(tempOutput(spec.OutputFile, other))
 			out.Result = &mapreduce.Result{Spec: spec, Err: firstErr}
 			f.RT.Trace.EndSpan(root, trace.A("error", firstErr.Error()))
 			done(out)
@@ -301,7 +303,7 @@ func (f *Framework) recordOutcome(spec *mapreduce.JobSpec, winner ModeKind, res 
 
 // countSplits returns n^m for the estimator.
 func countSplits(rt *mapreduce.Runtime, spec *mapreduce.JobSpec) int {
-	splits, err := rt.DFS.Splits(spec.InputFiles)
+	splits, err := rt.Splits(spec.InputFiles)
 	if err != nil {
 		return 0
 	}

@@ -79,7 +79,7 @@ func NewUPlusAM(rt *mapreduce.Runtime, spec *mapreduce.JobSpec, app *yarn.App, a
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	splits, err := rt.DFS.Splits(spec.InputFiles)
+	splits, err := rt.Splits(spec.InputFiles)
 	if err != nil {
 		return nil, err
 	}

@@ -83,7 +83,7 @@ func NewDistributedAM(rt *Runtime, spec *JobSpec, app *yarn.App, amNode *topolog
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	splits, err := rt.DFS.Splits(spec.InputFiles)
+	splits, err := rt.Splits(spec.InputFiles)
 	if err != nil {
 		return nil, err
 	}
@@ -560,7 +560,7 @@ func (am *DistributedAM) recoverReduce() {
 	am.consolidated = nil
 	am.pendingGroups = 0
 	for p := 0; p < am.spec.NumReduces; p++ {
-		am.rt.DFS.Delete(PartFileName(am.spec.OutputFile, p))
+		am.rt.DeleteOutput(PartFileName(am.spec.OutputFile, p))
 	}
 	am.retryAsks = append(am.retryAsks, &yarn.Ask{
 		App:      am.app,

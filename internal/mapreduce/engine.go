@@ -45,6 +45,12 @@ type Runtime struct {
 	// observing from worker-pool tasks.
 	Reg *metrics.Registry
 
+	// Intermediates, when non-nil, holds intra-query intermediate tables
+	// outside HDFS (see IntermediateStore): jobs marked
+	// spec.IntermediateOutput commit reduce outputs there, and Splits /
+	// ReadSplit resolve inputs against it before falling through to HDFS.
+	Intermediates *IntermediateStore
+
 	// Shuffle, when non-nil, is the per-node shuffle service
 	// (internal/shuffle): AMs register committed map outputs with it and
 	// reducers fetch one consolidated result per (node, partition) through
@@ -349,7 +355,7 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 		trace.A("split", split.File))
 	readStart := rt.Eng.Now()
 	readSpan := rt.Trace.StartSpan(span, comp, "read", "map")
-	rt.DFS.ReadRange(split.File, split.Offset, split.Length, node, func(data []byte, err error) {
+	rt.ReadSplit(split, node, func(data []byte, err error) {
 		if !node.AliveEpoch(epoch) {
 			return
 		}
@@ -750,13 +756,7 @@ func (rt *Runtime) RunReduceTask(spec *JobSpec, part int, opts ReduceOptions, ou
 			rt.Trace.SpanSince(span, comp, "compute", "reduce", computeStart,
 				trace.A("records", fmt.Sprint(r.records)))
 			writeStart := rt.Eng.Now()
-			// A superseded attempt's write cannot be cancelled (engine events
-			// are uncancellable), so a stale part file may have landed after an
-			// AM relaunch wiped the output directory. Reduce output for a given
-			// (job, partition) is deterministic, so committing is safely
-			// last-writer-wins: clear any stale file and write ours.
-			rt.DFS.Delete(PartFileName(spec.OutputFile, part))
-			rt.DFS.Write(PartFileName(spec.OutputFile, part), r.encoded, node, func(_ *hdfs.File, err error) {
+			committed := func(err error) {
 				if !node.AliveEpoch(epoch) {
 					return
 				}
@@ -770,6 +770,24 @@ func (rt *Runtime) RunReduceTask(spec *JobSpec, part int, opts ReduceOptions, ou
 				rt.Reg.Inc(metrics.With("mapreduce_task_attempts_total", "kind", "reduce", "outcome", "ok"))
 				rt.Reg.Observe(metrics.With("mapreduce_task_seconds", "kind", "reduce"), tp.Elapsed().Seconds())
 				done(tp, err)
+			}
+			if spec.IntermediateOutput && rt.Intermediates != nil {
+				// Intra-query intermediates skip the replicated HDFS write:
+				// the output stays on the producer node (memory while the
+				// store's budget lasts, local disk after) and the consuming
+				// stage reads it shuffle-style. CommitIntermediate is
+				// last-writer-wins like the HDFS path below.
+				rt.CommitIntermediate(PartFileName(spec.OutputFile, part), r.encoded, node, committed)
+				return
+			}
+			// A superseded attempt's write cannot be cancelled (engine events
+			// are uncancellable), so a stale part file may have landed after an
+			// AM relaunch wiped the output directory. Reduce output for a given
+			// (job, partition) is deterministic, so committing is safely
+			// last-writer-wins: clear any stale file and write ours.
+			rt.DFS.Delete(PartFileName(spec.OutputFile, part))
+			rt.DFS.Write(PartFileName(spec.OutputFile, part), r.encoded, node, func(_ *hdfs.File, err error) {
+				committed(err)
 			})
 		})
 	})

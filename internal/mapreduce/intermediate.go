@@ -1,0 +1,343 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mrapid/internal/hdfs"
+	"mrapid/internal/topology"
+)
+
+// ErrIntermediateLost reports that an intra-query intermediate output died
+// with its producer node before a consumer read it. Unlike HDFS files,
+// intermediates are unreplicated — they live in the producer's memory or on
+// its local disk, like U+ cache entries — so losing the node loses the
+// data. The DAG runner answers this by reverting and re-running the
+// producing stage (lineage recovery), the same move the AM makes for lost
+// map outputs.
+var ErrIntermediateLost = errors.New("mapreduce: intermediate output lost with its node")
+
+// interFile is one committed intermediate file: the bytes, the node that
+// produced (and holds) them, and that node's boot generation at commit
+// time.
+type interFile struct {
+	data     []byte
+	node     *topology.Node
+	epoch    int
+	inMemory bool
+}
+
+// available reports whether the entry can still be read: its node is up and
+// has not rebooted since the commit. Empty entries carry no bytes and stay
+// readable forever.
+func (f *interFile) available() bool {
+	return len(f.data) == 0 || f.node.AliveEpoch(f.epoch)
+}
+
+// IntermediateStore holds intra-query intermediate tables outside HDFS,
+// extending the U+ in-memory cache idea from intra-job to inter-stage:
+// committed reduce outputs stay in the producer node's memory while a
+// shared budget lasts and spill to its local disk after, instead of paying
+// a replicated HDFS write plus a re-read in the consuming stage. Entries
+// are unreplicated and node-local, so consumers price their reads like
+// shuffle fetches (memory | disk | network transports) and lose the data
+// when the producer dies.
+//
+// All methods run on the engine goroutine, like every other Runtime method.
+type IntermediateStore struct {
+	// MemBudget bounds the bytes held in memory across all entries;
+	// commits past it go to the producer's local disk.
+	MemBudget int64
+
+	files   map[string]*interFile
+	memUsed int64
+
+	// MemBytes and DiskBytes count committed bytes by residence;
+	// HDFSBytesAvoided totals every commit — bytes that skipped the
+	// replicated HDFS write path entirely.
+	MemBytes         int64
+	DiskBytes        int64
+	HDFSBytesAvoided int64
+}
+
+// NewIntermediateStore builds an empty store with the given memory budget.
+func NewIntermediateStore(memBudget int64) *IntermediateStore {
+	return &IntermediateStore{MemBudget: memBudget, files: make(map[string]*interFile)}
+}
+
+// EnsureIntermediates attaches an intermediate store to the runtime (reusing
+// the U+ cache budget as its memory bound) and returns it. Idempotent.
+func (rt *Runtime) EnsureIntermediates() *IntermediateStore {
+	if rt.Intermediates == nil {
+		rt.Intermediates = NewIntermediateStore(rt.Params.UberCacheBytes)
+	}
+	return rt.Intermediates
+}
+
+// lookup returns the entry for a name, if present.
+func (st *IntermediateStore) lookup(name string) (*interFile, bool) {
+	f, ok := st.files[name]
+	return f, ok
+}
+
+// Has reports whether the store holds a file under name (readable or not).
+func (st *IntermediateStore) Has(name string) bool {
+	_, ok := st.files[name]
+	return ok
+}
+
+// Available reports whether a held file can still be read.
+func (st *IntermediateStore) Available(name string) bool {
+	f, ok := st.files[name]
+	return ok && f.available()
+}
+
+// Size returns a held file's length in bytes.
+func (st *IntermediateStore) Size(name string) (int64, bool) {
+	f, ok := st.files[name]
+	if !ok {
+		return 0, false
+	}
+	return int64(len(f.data)), true
+}
+
+// MemUsed reports the bytes currently held in memory.
+func (st *IntermediateStore) MemUsed() int64 { return st.memUsed }
+
+// Holder returns the node that committed (and holds) a file.
+func (st *IntermediateStore) Holder(name string) (*topology.Node, bool) {
+	f, ok := st.files[name]
+	if !ok {
+		return nil, false
+	}
+	return f.node, true
+}
+
+// Put stores a file instantly, without charging any device — the
+// bookkeeping primitive behind empty-stage short-circuits and renames. Use
+// Runtime.CommitIntermediate for priced commits.
+func (st *IntermediateStore) Put(name string, data []byte, node *topology.Node) {
+	st.Delete(name)
+	inMem := st.memUsed+int64(len(data)) <= st.MemBudget
+	if inMem {
+		st.memUsed += int64(len(data))
+	}
+	st.files[name] = &interFile{data: data, node: node, epoch: node.Epoch(), inMemory: inMem}
+}
+
+// Delete drops a file, refunding its memory budget. Unknown names are a
+// no-op.
+func (st *IntermediateStore) Delete(name string) {
+	f, ok := st.files[name]
+	if !ok {
+		return
+	}
+	if f.inMemory {
+		st.memUsed -= int64(len(f.data))
+	}
+	delete(st.files, name)
+}
+
+// DeletePrefix drops every file under a path prefix and reports how many.
+func (st *IntermediateStore) DeletePrefix(prefix string) int {
+	n := 0
+	for name := range st.files {
+		if strings.HasPrefix(name, prefix) {
+			st.Delete(name)
+			n++
+		}
+	}
+	return n
+}
+
+// RenamePrefix moves every file under oldPrefix to newPrefix and reports
+// how many, the store half of a speculative winner's output promotion.
+func (st *IntermediateStore) RenamePrefix(oldPrefix, newPrefix string) int {
+	n := 0
+	for name, f := range st.files {
+		if strings.HasPrefix(name, oldPrefix) {
+			delete(st.files, name)
+			st.files[newPrefix+name[len(oldPrefix):]] = f
+			n++
+		}
+	}
+	return n
+}
+
+// CommitIntermediate stores a reduce task's output bytes as an intermediate
+// file on the producing node: free while the memory budget lasts, a local
+// disk write after (no replication pipeline either way — that is the entire
+// point). Last-writer-wins like the HDFS commit path: any stale entry from
+// a superseded attempt is dropped first.
+func (rt *Runtime) CommitIntermediate(name string, data []byte, node *topology.Node, done func(error)) {
+	st := rt.Intermediates
+	if st == nil {
+		panic("mapreduce: CommitIntermediate without an intermediate store")
+	}
+	st.Delete(name)
+	n := int64(len(data))
+	st.HDFSBytesAvoided += n
+	entry := &interFile{data: data, node: node, epoch: node.Epoch()}
+	st.files[name] = entry
+	if st.memUsed+n <= st.MemBudget {
+		entry.inMemory = true
+		st.memUsed += n
+		st.MemBytes += n
+		rt.Eng.After(0, func() { done(nil) })
+		return
+	}
+	st.DiskBytes += n
+	if n == 0 {
+		rt.Eng.After(0, func() { done(nil) })
+		return
+	}
+	node.Disk.Use(n, func() { done(nil) })
+}
+
+// Splits computes a job's input splits with the intermediate store layered
+// over HDFS: files the store holds get synthesized splits (chunked at the
+// HDFS block size, hosted on the producer node); everything else falls
+// through to DFS.Splits. Split indices are renumbered to stay ordinal
+// within the combined list. Entries whose node died are still listed — the
+// read surfaces ErrIntermediateLost, which the failing job's owner answers
+// with lineage recovery.
+func (rt *Runtime) Splits(files []string) ([]*hdfs.Split, error) {
+	st := rt.Intermediates
+	if st == nil {
+		return rt.DFS.Splits(files)
+	}
+	var splits []*hdfs.Split
+	for _, name := range files {
+		if f, ok := st.lookup(name); ok {
+			block := rt.Params.HDFSBlockBytes
+			for off := int64(0); off < int64(len(f.data)); off += block {
+				length := min(block, int64(len(f.data))-off)
+				splits = append(splits, &hdfs.Split{
+					File: name, Index: len(splits), Offset: off, Length: length,
+					Hosts: []*topology.Node{f.node},
+				})
+			}
+			continue
+		}
+		fs, err := rt.DFS.Splits([]string{name})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range fs {
+			s.Index = len(splits)
+			splits = append(splits, s)
+		}
+	}
+	return splits, nil
+}
+
+// ReadSplit reads one input split on behalf of a map task running on node.
+// Intermediate-store splits are priced like shuffle fetches — free from the
+// producer's memory on the same node, a local disk read, or a network
+// transfer (source disk, both NICs, core switch across racks) — and
+// observed under kind "intermediate" with the matching transport label.
+// Everything else is a plain locality-priced HDFS range read.
+func (rt *Runtime) ReadSplit(split *hdfs.Split, node *topology.Node, done func([]byte, error)) {
+	st := rt.Intermediates
+	var f *interFile
+	if st != nil {
+		f, _ = st.lookup(split.File)
+	}
+	if f == nil {
+		rt.DFS.ReadRange(split.File, split.Offset, split.Length, node, done)
+		return
+	}
+	lost := func() {
+		rt.Eng.After(rt.Params.RPCLatency, func() {
+			done(nil, fmt.Errorf("reading %s: %w", split, ErrIntermediateLost))
+		})
+	}
+	if !f.available() {
+		lost()
+		return
+	}
+	data := f.data[split.Offset : split.Offset+split.Length]
+	n := split.Length
+	transport := "disk"
+	if f.inMemory {
+		transport = "memory"
+	}
+	if f.node != node {
+		transport = "network"
+	}
+	finish := func() {
+		// A read in flight when the producer dies is a failed read, like a
+		// dropped shuffle connection.
+		if !f.available() {
+			lost()
+			return
+		}
+		rt.ObserveShuffle("intermediate", transport, n)
+		done(data, nil)
+	}
+	switch {
+	case f.inMemory && f.node == node:
+		rt.Eng.After(0, finish)
+	case f.node == node:
+		node.Disk.Use(n, finish)
+	default:
+		pending := 0
+		armed := false
+		complete := func() {
+			pending--
+			if pending == 0 && armed {
+				finish()
+			}
+		}
+		if !f.inMemory {
+			pending++
+			f.node.Disk.Use(n, complete)
+		}
+		pending++
+		f.node.NIC.Use(n, complete)
+		pending++
+		node.NIC.Use(n, complete)
+		if f.node.Rack != node.Rack {
+			pending++
+			rt.Cluster.CoreSwitch.Use(n, complete)
+		}
+		armed = true
+		if pending == 0 {
+			rt.Eng.After(0, finish)
+		}
+	}
+}
+
+// DeleteOutput removes one committed output file from wherever it lives —
+// the intermediate store, HDFS, or both. Used by recovery paths that wipe
+// a superseded attempt's part files.
+func (rt *Runtime) DeleteOutput(name string) {
+	if rt.Intermediates != nil {
+		rt.Intermediates.Delete(name)
+	}
+	if rt.DFS.Exists(name) {
+		_ = rt.DFS.Delete(name)
+	}
+}
+
+// DeleteOutputPrefix removes every output file under a prefix from both the
+// intermediate store and HDFS.
+func (rt *Runtime) DeleteOutputPrefix(prefix string) {
+	if rt.Intermediates != nil {
+		rt.Intermediates.DeletePrefix(prefix)
+	}
+	rt.DFS.DeletePrefix(prefix)
+}
+
+// RenameOutputPrefix moves every output file under oldPrefix to newPrefix
+// in both the intermediate store and HDFS — the speculative race's winner
+// promotion, which must work whether the racing modes committed to HDFS or
+// to the store.
+func (rt *Runtime) RenameOutputPrefix(oldPrefix, newPrefix string) error {
+	if rt.Intermediates != nil {
+		rt.Intermediates.RenamePrefix(oldPrefix, newPrefix)
+	}
+	_, err := rt.DFS.RenamePrefix(oldPrefix, newPrefix)
+	return err
+}

@@ -104,6 +104,13 @@ type JobSpec struct {
 	OutputFile string
 	NumReduces int
 
+	// IntermediateOutput marks a job whose output is an intra-query
+	// intermediate: when the runtime has an IntermediateStore attached, the
+	// reduce commit lands there (producer-local memory or disk, no HDFS
+	// replication) and downstream stages read it shuffle-style. The final
+	// stage of a query leaves this false so results stay in HDFS.
+	IntermediateOutput bool
+
 	// Queue is the YARN tenant queue every app of this job submits to
 	// ("" = default). The JobServer stamps it from the submitting tenant so
 	// the RM's per-queue capacity ceilings bound the job's containers on

@@ -17,7 +17,7 @@ import (
 // maker compares estimated completion times instead — but the stock runtime
 // exposes it so callers can reproduce Hadoop's behaviour.
 func UberEligible(rt *Runtime, spec *JobSpec) (bool, error) {
-	splits, err := rt.DFS.Splits(spec.InputFiles)
+	splits, err := rt.Splits(spec.InputFiles)
 	if err != nil {
 		return false, err
 	}
@@ -60,7 +60,7 @@ func NewUberAM(rt *Runtime, spec *JobSpec, app *yarn.App, amNode *topology.Node,
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	splits, err := rt.DFS.Splits(spec.InputFiles)
+	splits, err := rt.Splits(spec.InputFiles)
 	if err != nil {
 		return nil, err
 	}

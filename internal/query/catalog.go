@@ -83,6 +83,9 @@ func (c *Catalog) Register(t *Table) error {
 	if t.Name == "" || len(t.Schema) == 0 {
 		return fmt.Errorf("query: table needs a name and schema")
 	}
+	if len(t.Files) == 0 {
+		return fmt.Errorf("query: table %q has no files", t.Name)
+	}
 	if _, exists := c.tables[t.Name]; exists {
 		return fmt.Errorf("query: table %q already exists", t.Name)
 	}
@@ -99,6 +102,15 @@ func (c *Catalog) Create(name string, schema Schema, rows []Row, files int) (*Ta
 	for _, r := range rows {
 		if len(r) != len(schema) {
 			return nil, fmt.Errorf("query: row width %d != schema width %d", len(r), len(schema))
+		}
+		// The runtime's framing bytes (tab, newline), the column separator,
+		// and NUL (reserved by the descending-sort encoding) may not appear
+		// inside values: a value smuggling one of them would silently corrupt
+		// every downstream row decode.
+		for j, v := range r {
+			if strings.ContainsAny(v, "\t\n"+colSep+"\x00") {
+				return nil, fmt.Errorf("query: value %q for column %q contains a reserved byte (tab, newline, 0x1f, or NUL)", v, schema[j])
+			}
 		}
 	}
 	t := &Table{Name: name, Schema: schema}
@@ -146,16 +158,22 @@ func (c *Catalog) ReadTable(t *Table) ([]Row, error) {
 			// Result part files are pair-encoded: key TAB value. The row
 			// lives in the key; values carry either nothing or a row (for
 			// order-by results, where the key is the sort key).
+			var row Row
 			if i := bytes.IndexByte(line, '\t'); i >= 0 {
 				key, val := line[:i], line[i+1:]
 				if len(val) > 0 {
-					rows = append(rows, DecodeRow(val))
+					row = DecodeRow(val)
 				} else {
-					rows = append(rows, DecodeRow(key))
+					row = DecodeRow(key)
 				}
 			} else {
-				rows = append(rows, DecodeRow(line))
+				row = DecodeRow(line)
 			}
+			if len(row) != len(t.Schema) {
+				return nil, fmt.Errorf("query: table %q: row %q decodes to %d columns, schema %v has %d",
+					t.Name, line, len(row), []string(t.Schema), len(t.Schema))
+			}
+			rows = append(rows, row)
 		}
 	}
 	return rows, nil

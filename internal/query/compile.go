@@ -5,6 +5,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"mrapid/internal/mapreduce"
 )
@@ -16,34 +17,100 @@ const (
 	stageReduceRate = 20e6
 )
 
+// Reduce-count heuristic defaults: one reducer per this many estimated
+// input bytes, capped. Small enough that modest tables already exercise
+// partitioned intermediates, large enough that the tiny golden-test tables
+// stay single-reduce.
+const (
+	DefaultTargetBytesPerReduce = 256 << 10
+	DefaultMaxReduces           = 8
+)
+
+// CompileOptions tune the physical planner.
+type CompileOptions struct {
+	// TargetBytesPerReduce sizes each shuffle stage's reduce count from its
+	// estimated input: reduces = ceil(est / target), clamped to
+	// [1, MaxReduces]. Order-by stages always use one reducer (global
+	// order needs a single sorted stream). Zero means the default.
+	TargetBytesPerReduce int64
+
+	// MaxReduces caps the per-stage reduce count. Zero means the default.
+	MaxReduces int
+}
+
+func (o CompileOptions) reducesFor(estBytes int64) int {
+	target := o.TargetBytesPerReduce
+	if target <= 0 {
+		target = DefaultTargetBytesPerReduce
+	}
+	maxR := o.MaxReduces
+	if maxR <= 0 {
+		maxR = DefaultMaxReduces
+	}
+	r := int((estBytes + target - 1) / target)
+	if r < 1 {
+		r = 1
+	}
+	if r > maxR {
+		r = maxR
+	}
+	return r
+}
+
 // Stage is one MapReduce job of a compiled query, producing a temp table.
 type Stage struct {
+	// ID is the stage's index in Compiled.Stages; Deps lists the IDs of the
+	// stages whose outputs this stage reads (base tables contribute no
+	// edge). The slice order is a valid topological order — producers are
+	// always emitted before their consumers — so the sequential Runner can
+	// still execute stages front to back, while the DAG runner launches
+	// every dependency-free stage concurrently.
+	ID   int
+	Deps []int
+
 	Spec *mapreduce.JobSpec
 	Out  *Table
 	Kind string // "groupby", "join", "orderby", "materialize"
+
+	// EstInBytes is the planner's input-size estimate that sized the
+	// stage's reduce count.
+	EstInBytes int64
 }
 
-// Compiled is the physical plan: stages to run in order, last one producing
-// the result table.
+// Compiled is the physical plan: a stage DAG (Stages in topological order,
+// dependency edges in Stage.Deps), the last stage producing the result.
 type Compiled struct {
 	Stages []*Stage
 	Out    *Table
+
+	// AggParseErrors counts non-numeric values that SUM/MIN/MAX/AVG
+	// aggregates skipped during this query's map tasks (satellite: the old
+	// planner silently aggregated them as 0). Incremented from worker-pool
+	// goroutines, hence atomic; under a speculative race both modes map the
+	// same rows, so treat the count as a lower-bounded signal, not an exact
+	// row count.
+	AggParseErrors *atomic.Int64
 }
 
 // compiler carries naming state for one compilation.
 type compiler struct {
 	cat   *Catalog
 	qid   string
+	opts  CompileOptions
 	stage int
 	out   []*Stage
+	errs  *atomic.Int64
 }
 
 // source is a fusable input: files plus a row transform pending application
-// in the next stage's map function.
+// in the next stage's map function. producer is the stage that wrote the
+// files (-1 for base tables); estBytes is the planner's size estimate.
 type source struct {
 	files     []string
 	schema    Schema
 	transform func(Row) (Row, bool) // nil = identity
+	producer  int
+	estBytes  int64
 }
 
 // apply runs the pending transform.
@@ -54,11 +121,32 @@ func (s *source) apply(r Row) (Row, bool) {
 	return s.transform(r)
 }
 
-// Compile lowers a logical plan to MapReduce stages, fusing filters and
-// projections into the map phase of the nearest downstream shuffle — the
-// way Hive's physical planner packs operators into job boundaries.
+// deps returns the dependency edges a stage reading these sources needs.
+func stageDeps(srcs ...*source) []int {
+	var deps []int
+	for _, s := range srcs {
+		if s.producer >= 0 {
+			deps = append(deps, s.producer)
+		}
+	}
+	return deps
+}
+
+// Compile lowers a logical plan to MapReduce stages with default options.
 func Compile(cat *Catalog, qid string, p *Plan) (*Compiled, error) {
-	c := &compiler{cat: cat, qid: qid}
+	return CompileWith(cat, qid, p, CompileOptions{})
+}
+
+// CompileWith lowers a logical plan to a stage DAG, fusing filters and
+// projections into the map phase of the nearest downstream shuffle — the
+// way Hive's physical planner packs operators into job boundaries. Interior
+// map-only work never becomes its own stage: a `materialize` stage appears
+// only at the result boundary, when the plan ends in fused-but-unapplied
+// transforms (or is a bare scan). Every stage except the result producer is
+// marked IntermediateOutput, routing its table through the runtime's
+// intermediate store instead of HDFS.
+func CompileWith(cat *Catalog, qid string, p *Plan, opts CompileOptions) (*Compiled, error) {
+	c := &compiler{cat: cat, qid: qid, opts: opts, errs: &atomic.Int64{}}
 	src, err := c.compileNode(p)
 	if err != nil {
 		return nil, err
@@ -66,10 +154,8 @@ func Compile(cat *Catalog, qid string, p *Plan) (*Compiled, error) {
 	// A plan ending in scan/filter/project (pending transform, or no stage
 	// at all) still needs one job to materialize its result.
 	var out *Table
-	endsAtStage := src.transform == nil && len(c.out) > 0 &&
-		c.out[len(c.out)-1].Out.Files[0] == src.files[0]
-	if endsAtStage {
-		out = c.out[len(c.out)-1].Out
+	if src.transform == nil && src.producer >= 0 {
+		out = c.out[src.producer].Out
 	} else {
 		st, err := c.materialize(src)
 		if err != nil {
@@ -77,7 +163,11 @@ func Compile(cat *Catalog, qid string, p *Plan) (*Compiled, error) {
 		}
 		out = st.Out
 	}
-	return &Compiled{Stages: c.out, Out: out}, nil
+	// The result table stays in HDFS; everything upstream is intra-query.
+	for _, st := range c.out {
+		st.Spec.IntermediateOutput = st.Out != out
+	}
+	return &Compiled{Stages: c.out, Out: out, AggParseErrors: c.errs}, nil
 }
 
 // tmpTable allocates the next stage's output table.
@@ -92,10 +182,32 @@ func (c *compiler) tmpTable(schema Schema, reduces int) *Table {
 	return t
 }
 
-// outputBase recovers the OutputFile prefix from a tmp table.
-func outputBase(t *Table) string {
+// outputBase recovers the OutputFile prefix from a tmp table. A table whose
+// files do not follow the /part- layout cannot serve as a job output
+// directory — report that instead of slicing at index -1.
+func outputBase(t *Table) (string, error) {
+	if len(t.Files) == 0 {
+		return "", fmt.Errorf("query: table %q has no files", t.Name)
+	}
 	f := t.Files[0]
-	return f[:strings.LastIndex(f, "/part-")]
+	i := strings.LastIndex(f, "/part-")
+	if i < 0 {
+		return "", fmt.Errorf("query: table %q file %q is not a part file (want .../part-NNNNN)", t.Name, f)
+	}
+	return f[:i], nil
+}
+
+// tableBytes sums the on-DFS sizes of a source's files for the reduce-count
+// heuristic. Files that do not exist yet (another stage's pending output)
+// contribute nothing — callers estimate those from the producer instead.
+func (c *compiler) tableBytes(files []string) int64 {
+	var total int64
+	for _, name := range files {
+		if f, err := c.cat.dfs.Lookup(name); err == nil {
+			total += f.Size()
+		}
+	}
+	return total
 }
 
 // compileNode returns the fusable source for a plan node, emitting stages
@@ -107,7 +219,10 @@ func (c *compiler) compileNode(p *Plan) (*source, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &source{files: t.Files, schema: t.Schema}, nil
+		if len(t.Files) == 0 {
+			return nil, fmt.Errorf("query: table %q has no files", t.Name)
+		}
+		return &source{files: t.Files, schema: t.Schema, producer: -1, estBytes: c.tableBytes(t.Files)}, nil
 
 	case nodeFilter:
 		src, err := c.compileNode(p.left)
@@ -200,18 +315,33 @@ func (c *compiler) compileNode(p *Plan) (*source, error) {
 	}
 }
 
-// newStageSpec builds the common JobSpec skeleton for one stage.
-func (c *compiler) newStageSpec(kind string, inputs []string, out *Table, reduces int) *mapreduce.JobSpec {
-	return &mapreduce.JobSpec{
-		Name:       out.Name,
-		JobKey:     "query-" + kind,
-		InputFiles: inputs,
-		OutputFile: outputBase(out),
-		NumReduces: reduces,
-		Format:     mapreduce.LineFormat{},
-		MapRate:    stageMapRate,
-		ReduceRate: stageReduceRate,
+// newStage builds the common JobSpec skeleton for one stage and appends the
+// stage to the plan with its dependency edges.
+func (c *compiler) newStage(kind string, inputs []string, out *Table, estIn int64, deps []int) (*Stage, error) {
+	base, err := outputBase(out)
+	if err != nil {
+		return nil, err
 	}
+	st := &Stage{
+		ID:   len(c.out),
+		Deps: deps,
+		Out:  out,
+		Kind: kind,
+
+		EstInBytes: estIn,
+		Spec: &mapreduce.JobSpec{
+			Name:       out.Name,
+			JobKey:     "query-" + kind,
+			InputFiles: inputs,
+			OutputFile: base,
+			NumReduces: len(out.Files),
+			Format:     mapreduce.LineFormat{},
+			MapRate:    stageMapRate,
+			ReduceRate: stageReduceRate,
+		},
+	}
+	c.out = append(c.out, st)
+	return st, nil
 }
 
 // decodeStageLine recovers a row from either a raw table line or a
@@ -231,37 +361,50 @@ func decodeStageLine(line []byte) Row {
 }
 
 // materialize emits a pass-through stage for plans ending without a
-// shuffle: rows become keys so the output is deterministic (sorted), with
-// duplicate rows preserved through value multiplicity.
+// shuffle: rows become keys so the output is deterministic (sorted within
+// each partition), with duplicate rows preserved through value
+// multiplicity. Interior map-only work is always fused into its consumer's
+// map function, so this stage only ever sits at the result boundary.
 func (c *compiler) materialize(src *source) (*Stage, error) {
-	out := c.tmpTable(src.schema, 1)
-	spec := c.newStageSpec("materialize", src.files, out, 1)
-	spec.Map = func(_, line []byte, emit mapreduce.Emit) {
+	out := c.tmpTable(src.schema, c.opts.reducesFor(src.estBytes))
+	st, err := c.newStage("materialize", src.files, out, src.estBytes, stageDeps(src))
+	if err != nil {
+		return nil, err
+	}
+	st.Spec.Map = func(_, line []byte, emit mapreduce.Emit) {
 		row, ok := src.apply(decodeStageLine(line))
 		if !ok {
 			return
 		}
 		emit(EncodeRow(row), nil)
 	}
-	spec.Reduce = func(key []byte, values [][]byte, emit mapreduce.Emit) {
+	st.Spec.Reduce = func(key []byte, values [][]byte, emit mapreduce.Emit) {
 		for range values {
 			emit(key, nil)
 		}
 	}
-	st := &Stage{Spec: spec, Out: out, Kind: "materialize"}
-	c.out = append(c.out, st)
 	return st, nil
 }
 
 // aggState is the mergeable partial state of all aggregates for one key:
 // per aggregate, (count, sum, min, max) encoded compactly so map-side
-// combining works.
-func encodeAggStates(row Row, aggIdx []int, aggs []Agg) []byte {
+// combining works. A value that fails to parse as a number contributes an
+// empty state (count 0) instead of silently aggregating as 0, and ticks the
+// skipped counter; COUNT counts rows regardless.
+func encodeAggStates(row Row, aggIdx []int, aggs []Agg, skipped *atomic.Int64) []byte {
 	parts := make([]string, len(aggs))
 	for i := range aggs {
-		v := 0.0
-		if aggs[i].Kind != AggCount {
-			v, _ = numeric(row[aggIdx[i]])
+		if aggs[i].Kind == AggCount {
+			parts[i] = "1,0,0,0"
+			continue
+		}
+		v, ok := numeric(row[aggIdx[i]])
+		if !ok {
+			if skipped != nil {
+				skipped.Add(1)
+			}
+			parts[i] = "0,0,0,0"
+			continue
 		}
 		parts[i] = "1," + formatNum(v) + "," + formatNum(v) + "," + formatNum(v)
 	}
@@ -290,6 +433,12 @@ func mergeAggStates(values [][]byte, n int) ([]int64, []float64, []float64, []fl
 			c, err := strconv.ParseInt(f[0], 10, 64)
 			if err != nil {
 				return nil, nil, nil, nil, err
+			}
+			// Empty states (count 0, from skipped non-numeric values) carry
+			// no observation: folding their placeholder min/max/sum would
+			// resurrect the silent-zero bug this encoding exists to fix.
+			if c == 0 {
+				continue
 			}
 			s, _ := strconv.ParseFloat(f[1], 64)
 			lo, _ := strconv.ParseFloat(f[2], 64)
@@ -338,9 +487,13 @@ func (c *compiler) groupByStage(src *source, keys []string, aggs []Agg) (*source
 	for _, a := range aggs {
 		outSchema = append(outSchema, a.Name())
 	}
-	out := c.tmpTable(outSchema, 1)
-	spec := c.newStageSpec("groupby", src.files, out, 1)
-	spec.Map = func(_, line []byte, emit mapreduce.Emit) {
+	out := c.tmpTable(outSchema, c.opts.reducesFor(src.estBytes))
+	st, err := c.newStage("groupby", src.files, out, src.estBytes, stageDeps(src))
+	if err != nil {
+		return nil, err
+	}
+	skipped := c.errs
+	st.Spec.Map = func(_, line []byte, emit mapreduce.Emit) {
 		row, ok := src.apply(decodeStageLine(line))
 		if !ok {
 			return
@@ -349,7 +502,7 @@ func (c *compiler) groupByStage(src *source, keys []string, aggs []Agg) (*source
 		for i, j := range keyIdx {
 			keyParts[i] = row[j]
 		}
-		emit([]byte(strings.Join(keyParts, colSep)), encodeAggStates(row, aggIdx, aggs))
+		emit([]byte(strings.Join(keyParts, colSep)), encodeAggStates(row, aggIdx, aggs, skipped))
 	}
 	mergeAndEmit := func(key []byte, values [][]byte, emit mapreduce.Emit, final bool) {
 		cnt, sum, mn, mx, err := mergeAggStates(values, len(aggs))
@@ -359,6 +512,10 @@ func (c *compiler) groupByStage(src *source, keys []string, aggs []Agg) (*source
 		if !final {
 			parts := make([]string, len(aggs))
 			for i := range aggs {
+				if cnt[i] == 0 {
+					parts[i] = "0,0,0,0"
+					continue
+				}
 				parts[i] = fmt.Sprintf("%d,%s,%s,%s", cnt[i], formatNum(sum[i]), formatNum(mn[i]), formatNum(mx[i]))
 			}
 			emit(key, []byte(strings.Join(parts, colSep)))
@@ -382,22 +539,32 @@ func (c *compiler) groupByStage(src *source, keys []string, aggs []Agg) (*source
 					v = sum[i] / float64(cnt[i])
 				}
 			}
+			if cnt[i] == 0 {
+				// Every value in the group failed to parse: surface NULL
+				// rather than a fabricated 0 (or ±Inf from the identity
+				// elements).
+				row = append(row, "NULL")
+				continue
+			}
 			row = append(row, formatNum(v))
 		}
 		emit(EncodeRow(row), nil)
 	}
-	spec.Combine = func(key []byte, values [][]byte, emit mapreduce.Emit) {
+	st.Spec.Combine = func(key []byte, values [][]byte, emit mapreduce.Emit) {
 		mergeAndEmit(key, values, emit, false)
 	}
-	spec.Reduce = func(key []byte, values [][]byte, emit mapreduce.Emit) {
+	st.Spec.Reduce = func(key []byte, values [][]byte, emit mapreduce.Emit) {
 		mergeAndEmit(key, values, emit, true)
 	}
-	c.out = append(c.out, &Stage{Spec: spec, Out: out, Kind: "groupby"})
-	return &source{files: out.Files, schema: outSchema}, nil
+	// Grouping collapses rows; a quarter of the input is a workable prior
+	// for sizing downstream stages.
+	return &source{files: out.Files, schema: outSchema, producer: st.ID, estBytes: src.estBytes / 4}, nil
 }
 
 // joinStage emits the repartition join job: both sides' files feed one job
-// whose per-file map tags each row with its side.
+// whose per-file map tags each row with its side. The two input subtrees
+// are independent — the stage's Deps carry one edge per side that is itself
+// a stage, which is exactly where the DAG runner overlaps branches.
 func (c *compiler) joinStage(left, right *source, leftCol, rightCol string) (*source, error) {
 	li, err := left.schema.Index(leftCol)
 	if err != nil {
@@ -408,9 +575,13 @@ func (c *compiler) joinStage(left, right *source, leftCol, rightCol string) (*so
 		return nil, err
 	}
 	outSchema := append(append(Schema(nil), left.schema...), right.schema...)
-	out := c.tmpTable(outSchema, 1)
+	estIn := left.estBytes + right.estBytes
+	out := c.tmpTable(outSchema, c.opts.reducesFor(estIn))
 	inputs := append(append([]string(nil), left.files...), right.files...)
-	spec := c.newStageSpec("join", inputs, out, 1)
+	st, err := c.newStage("join", inputs, out, estIn, stageDeps(left, right))
+	if err != nil {
+		return nil, err
+	}
 
 	leftFiles := map[string]bool{}
 	for _, f := range left.files {
@@ -427,13 +598,13 @@ func (c *compiler) joinStage(left, right *source, leftCol, rightCol string) (*so
 	}
 	leftMap := mkSide(left, li, "L")
 	rightMap := mkSide(right, ri, "R")
-	spec.MapFor = func(file string) mapreduce.MapFunc {
+	st.Spec.MapFor = func(file string) mapreduce.MapFunc {
 		if leftFiles[file] {
 			return leftMap
 		}
 		return rightMap
 	}
-	spec.Reduce = func(_ []byte, values [][]byte, emit mapreduce.Emit) {
+	st.Spec.Reduce = func(_ []byte, values [][]byte, emit mapreduce.Emit) {
 		var ls, rs []Row
 		for _, v := range values {
 			s := string(v)
@@ -454,36 +625,37 @@ func (c *compiler) joinStage(left, right *source, leftCol, rightCol string) (*so
 			}
 		}
 	}
-	c.out = append(c.out, &Stage{Spec: spec, Out: out, Kind: "join"})
-	return &source{files: out.Files, schema: outSchema}, nil
+	return &source{files: out.Files, schema: outSchema, producer: st.ID, estBytes: estIn}, nil
 }
 
 // orderByStage emits the single-reducer sort job. Numeric columns sort
 // numerically via an order-preserving fixed-width encoding of the float
-// bits; string columns sort lexically (descending strings are rejected at
-// compile time — there is no order-reversing encoding for unbounded
-// strings).
+// bits; string columns sort lexically.
 func (c *compiler) orderByStage(src *source, col string, desc bool) (*source, error) {
 	ci, err := src.schema.Index(col)
 	if err != nil {
 		return nil, err
 	}
+	// Global order needs one sorted stream: the reduce count stays 1
+	// regardless of input size.
 	out := c.tmpTable(src.schema, 1)
-	spec := c.newStageSpec("orderby", src.files, out, 1)
-	spec.Map = func(_, line []byte, emit mapreduce.Emit) {
+	st, err := c.newStage("orderby", src.files, out, src.estBytes, stageDeps(src))
+	if err != nil {
+		return nil, err
+	}
+	st.Spec.Map = func(_, line []byte, emit mapreduce.Emit) {
 		row, ok := src.apply(decodeStageLine(line))
 		if !ok {
 			return
 		}
 		emit(sortKey(row[ci], desc), EncodeRow(row))
 	}
-	spec.Reduce = func(key []byte, values [][]byte, emit mapreduce.Emit) {
+	st.Spec.Reduce = func(key []byte, values [][]byte, emit mapreduce.Emit) {
 		for _, v := range values {
 			emit(key, v)
 		}
 	}
-	c.out = append(c.out, &Stage{Spec: spec, Out: out, Kind: "orderby"})
-	return &source{files: out.Files, schema: src.schema}, nil
+	return &source{files: out.Files, schema: src.schema, producer: st.ID, estBytes: src.estBytes}, nil
 }
 
 // sortKey builds an order-preserving byte encoding of a column value:
@@ -504,13 +676,19 @@ func sortKey(v string, desc bool) []byte {
 		return []byte(fmt.Sprintf("n%016x", bits))
 	}
 	if desc {
-		// Descending strings: invert each byte. Works for the ASCII data
-		// the catalog stores.
+		// Descending strings: invert each byte, then close with a 0xff
+		// sentinel. The sentinel fixes prefix ordering — without it, the
+		// inverted encoding of "ab" is a prefix of the inverted "abc" and
+		// sorts before it, putting the shorter string first when descending
+		// order demands it last. 0xff cannot collide with inverted content:
+		// the catalog rejects NUL bytes in values, so no inverted byte is
+		// ever 0xff.
 		b := []byte(v)
-		inv := make([]byte, len(b))
+		inv := make([]byte, len(b)+1)
 		for i, ch := range b {
 			inv[i] = 0xff - ch
 		}
+		inv[len(b)] = 0xff
 		return append([]byte("s"), inv...)
 	}
 	return append([]byte("s"), v...)

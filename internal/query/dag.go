@@ -1,0 +1,297 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"mrapid/internal/core"
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/sim"
+	"mrapid/internal/trace"
+)
+
+// maxDAGRecoveries bounds lineage-recovery rounds per query: a cluster
+// losing intermediates faster than stages can recompute them fails the
+// query instead of looping.
+const maxDAGRecoveries = 5
+
+// DAGRunner executes compiled queries as a stage DAG: every stage whose
+// dependencies are satisfied is submitted immediately through a
+// core.JobServer, so independent branches (a join's two input subtrees,
+// stages of different in-flight queries) overlap on the cluster. Each query
+// runs under its own logical admission tenant, so one query's burst of
+// ready stages cannot starve another's. Intra-query intermediates live in
+// the runtime's IntermediateStore (memory within budget, producer-local
+// disk beyond) instead of HDFS; stages whose inputs die with a node are
+// recomputed from lineage.
+type DAGRunner struct {
+	FW   *core.Framework
+	Srv  *core.JobServer
+	Cat  *Catalog
+	Mode SubmitMode
+	Opts CompileOptions
+
+	// Queue is the RM capacity queue stage jobs land in ("" = default). The
+	// admission tenant is always the query itself.
+	Queue string
+
+	qseq int
+}
+
+// NewDAGRunner builds a DAG runner over a started framework. srv may be nil:
+// a private weighted-fair JobServer (default window, no capacity queues) is
+// created. Pass a shared server to mix queries with other tenants' jobs
+// under one admission window.
+func NewDAGRunner(fw *core.Framework, srv *core.JobServer, cat *Catalog) (*DAGRunner, error) {
+	if srv == nil {
+		var err error
+		srv, err = core.NewJobServer(fw, core.JobServerConfig{Policy: core.PolicyWeightedFair})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &DAGRunner{FW: fw, Srv: srv, Cat: cat, Mode: ViaSpeculative}, nil
+}
+
+// jobMode maps the runner's submission mode to the JobServer routing mode.
+func (r *DAGRunner) jobMode() core.ModeKind {
+	switch r.Mode {
+	case ViaDPlus:
+		return core.ModeDPlus
+	case ViaUPlus:
+		return core.ModeUPlus
+	default:
+		return core.ModeSpeculative
+	}
+}
+
+// stage lifecycle within one DAG execution.
+type stageStatus int
+
+const (
+	stagePending stageStatus = iota
+	stageRunning
+	stageDone
+)
+
+// dagRun is the in-flight state of one query's DAG execution.
+type dagRun struct {
+	r        *DAGRunner
+	qid      string
+	tenant   string
+	compiled *Compiled
+	res      *Result
+	done     func(*Result, error)
+	span     trace.SpanID
+	startAt  sim.Time
+
+	status    []stageStatus
+	remaining []int // unfinished dependencies per stage
+	children  [][]int
+	spans     []trace.SpanID
+	winners   []core.ModeKind
+
+	running    int
+	doneCount  int
+	recoveries int
+	failed     bool
+}
+
+func (d *dagRun) rt() *mapreduce.Runtime { return d.r.FW.RT }
+
+// Run compiles the plan into a stage DAG and executes it, invoking done
+// with the result. Results are row-identical to the sequential Runner's
+// (modulo row order across part files); Elapsed is the query's makespan on
+// the virtual clock rather than a per-stage sum.
+func (r *DAGRunner) Run(p *Plan, done func(*Result, error)) {
+	if done == nil {
+		panic("query: Run needs a completion callback")
+	}
+	r.qseq++
+	qid := fmt.Sprintf("dq%04d", r.qseq)
+	compiled, err := CompileWith(r.Cat, qid, p, r.Opts)
+	if err != nil {
+		r.FW.RT.Eng.After(0, func() { done(nil, err) })
+		return
+	}
+	rt := r.FW.RT
+	rt.EnsureIntermediates()
+	n := len(compiled.Stages)
+	d := &dagRun{
+		r:         r,
+		qid:       qid,
+		tenant:    "query/" + qid,
+		compiled:  compiled,
+		res:       &Result{Table: compiled.Out, Stages: n},
+		done:      done,
+		startAt:   rt.Eng.Now(),
+		status:    make([]stageStatus, n),
+		remaining: make([]int, n),
+		children:  make([][]int, n),
+		spans:     make([]trace.SpanID, n),
+		winners:   make([]core.ModeKind, n),
+	}
+	for _, st := range compiled.Stages {
+		d.remaining[st.ID] = len(st.Deps)
+		for _, dep := range st.Deps {
+			d.children[dep] = append(d.children[dep], st.ID)
+		}
+	}
+	d.span = rt.Trace.StartSpan(0, "query", qid+" dag", "",
+		trace.A("stages", fmt.Sprint(n)))
+	d.submitReady()
+}
+
+// submitReady launches every pending stage whose dependencies are done.
+func (d *dagRun) submitReady() {
+	if d.failed {
+		return
+	}
+	for _, st := range d.compiled.Stages {
+		if d.status[st.ID] == stagePending && d.remaining[st.ID] == 0 {
+			d.launch(st)
+		}
+	}
+}
+
+// launch submits one ready stage. Empty-input stages short-circuit: their
+// output files materialize empty without running a job.
+func (d *dagRun) launch(st *Stage) {
+	rt := d.rt()
+	d.status[st.ID] = stageRunning
+	d.running++
+	if d.running > d.res.MaxConcurrent {
+		d.res.MaxConcurrent = d.running
+	}
+	d.spans[st.ID] = rt.Trace.StartSpan(d.span, "query", st.Spec.Name, "stage",
+		trace.A("kind", st.Kind), trace.A("reduces", fmt.Sprint(st.Spec.NumReduces)))
+	if stageInputBytes(rt, st.Spec.InputFiles) == 0 {
+		rt.Eng.After(0, func() {
+			if err := emitEmptyOutputs(rt, st); err != nil {
+				d.complete(st, StageSkipped, err)
+				return
+			}
+			d.complete(st, StageSkipped, nil)
+		})
+		return
+	}
+	err := d.r.Srv.SubmitAs(d.tenant, d.r.Queue, d.r.jobMode(), st.Spec, func(jr *mapreduce.Result) {
+		winner := core.ModeKind(jr.Mode)
+		d.complete(st, winner, jr.Err)
+	})
+	if err != nil {
+		d.complete(st, "", err)
+	}
+}
+
+// complete settles one stage's outcome: successes unlock children, lost
+// intermediates trigger lineage recovery, anything else fails the query.
+func (d *dagRun) complete(st *Stage, winner core.ModeKind, err error) {
+	if d.failed {
+		return
+	}
+	rt := d.rt()
+	d.running--
+	if err != nil {
+		rt.Trace.EndSpan(d.spans[st.ID], trace.A("error", err.Error()))
+		if errors.Is(err, mapreduce.ErrIntermediateLost) && d.recoveries < maxDAGRecoveries {
+			d.recover(st)
+			return
+		}
+		d.fail(fmt.Errorf("query: stage %d (%s): %w", st.ID, st.Kind, err))
+		return
+	}
+	rt.Trace.EndSpan(d.spans[st.ID], trace.A("winner", string(winner)))
+	d.status[st.ID] = stageDone
+	d.doneCount++
+	d.winners[st.ID] = winner
+	for _, c := range d.children[st.ID] {
+		d.remaining[c]--
+	}
+	d.submitReady()
+	d.maybeFinish()
+}
+
+// outputsAvailable reports whether a stage's committed intermediates are
+// still readable (a node death takes its unreplicated share down with it).
+// Final-stage outputs live in HDFS and are always considered available.
+func (d *dagRun) outputsAvailable(st *Stage) bool {
+	if !st.Spec.IntermediateOutput {
+		return true
+	}
+	store := d.rt().Intermediates
+	for _, f := range st.Out.Files {
+		if !store.Available(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// recover handles a stage that failed reading a lost intermediate: the
+// stage reverts to pending, every done producer whose outputs are no longer
+// available reverts too (its output is recomputed from lineage — the paper's
+// short-job setting makes recompute cheaper than replicating intermediates),
+// dependency counts are rebuilt, and the ready frontier resubmits.
+func (d *dagRun) recover(failed *Stage) {
+	rt := d.rt()
+	d.recoveries++
+	rt.Trace.Add("query", "%s: stage %d lost an intermediate input; recovery round %d",
+		d.qid, failed.ID, d.recoveries)
+	d.status[failed.ID] = stagePending
+	rt.DeleteOutputPrefix(failed.Spec.OutputFile)
+	for _, st := range d.compiled.Stages {
+		if d.status[st.ID] == stageDone && !d.outputsAvailable(st) {
+			d.status[st.ID] = stagePending
+			d.doneCount--
+			rt.DeleteOutputPrefix(st.Spec.OutputFile)
+		}
+	}
+	for _, st := range d.compiled.Stages {
+		if d.status[st.ID] != stagePending {
+			continue
+		}
+		n := 0
+		for _, dep := range st.Deps {
+			if d.status[dep] != stageDone {
+				n++
+			}
+		}
+		d.remaining[st.ID] = n
+	}
+	d.submitReady()
+}
+
+// maybeFinish completes the query once every stage is done: intermediates
+// are released, the per-query admission tenant retires, and the result
+// table is read back from HDFS.
+func (d *dagRun) maybeFinish() {
+	if d.failed || d.doneCount < len(d.compiled.Stages) || d.running > 0 {
+		return
+	}
+	rt := d.rt()
+	d.res.Elapsed = rt.Eng.Now().Sub(d.startAt).Seconds()
+	d.res.Recoveries = d.recoveries
+	d.res.Winners = append(d.res.Winners, d.winners...)
+	for _, st := range d.compiled.Stages {
+		if st.Spec.IntermediateOutput {
+			rt.Intermediates.DeletePrefix(st.Spec.OutputFile)
+		}
+	}
+	d.r.Srv.ReleaseTenant(d.tenant)
+	rt.Trace.EndSpan(d.span, trace.A("max_concurrent", fmt.Sprint(d.res.MaxConcurrent)))
+	finishQuery(d.r.FW, d.r.Cat, d.compiled, d.res, d.done)
+}
+
+// fail reports a terminal error. Stages still in flight keep running to
+// completion on the cluster but their outcomes are ignored.
+func (d *dagRun) fail(err error) {
+	if d.failed {
+		return
+	}
+	d.failed = true
+	rt := d.rt()
+	rt.Trace.EndSpan(d.span, trace.A("error", err.Error()))
+	d.r.Srv.ReleaseTenant(d.tenant)
+	d.done(nil, err)
+}

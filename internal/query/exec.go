@@ -20,7 +20,13 @@ const (
 	ViaUPlus
 )
 
-// Runner executes compiled queries through the MRapid framework.
+// StageSkipped marks a stage whose input was empty: no job ran, the stage's
+// output files were materialized empty.
+const StageSkipped = core.ModeKind("skipped")
+
+// Runner executes compiled queries through the MRapid framework, one stage
+// at a time in plan order. It is the sequential baseline the DAGRunner is
+// measured against; both produce identical result tables.
 type Runner struct {
 	FW   *core.Framework
 	Cat  *Catalog
@@ -40,8 +46,75 @@ type Result struct {
 	Table   *Table
 	Rows    []Row
 	Stages  int
-	Elapsed float64 // summed virtual seconds across stages
+	Elapsed float64 // virtual seconds: summed per stage (chain) or makespan (DAG)
 	Winners []core.ModeKind
+
+	// MaxConcurrent is the peak number of this query's stages in flight at
+	// once: always 1 for the sequential Runner, ≥2 when the DAG runner
+	// overlapped independent branches.
+	MaxConcurrent int
+
+	// AggParseErrors counts non-numeric values the query's aggregates
+	// skipped (also fed to the query_agg_parse_errors metric).
+	AggParseErrors int64
+
+	// Recoveries counts lineage-recovery rounds the DAG runner ran after
+	// losing unreplicated intermediates with a dead node (always 0 for the
+	// sequential Runner, whose intermediates never outlive a stage
+	// submission by much but which simply fails on loss).
+	Recoveries int
+}
+
+// stageInputBytes totals a stage's input size across the intermediate store
+// and HDFS. Missing files contribute nothing.
+func stageInputBytes(rt *mapreduce.Runtime, files []string) int64 {
+	var total int64
+	for _, f := range files {
+		if rt.Intermediates != nil {
+			if n, ok := rt.Intermediates.Size(f); ok {
+				total += n
+				continue
+			}
+		}
+		if df, err := rt.DFS.Lookup(f); err == nil {
+			total += df.Size()
+		}
+	}
+	return total
+}
+
+// emitEmptyOutputs materializes a skipped stage's output files as empty, so
+// consumers still find them: store entries for intra-query stages, zero-byte
+// HDFS files for the result stage (zero-size blocks yield no input splits,
+// so downstream jobs and ReadTable both see an empty table).
+func emitEmptyOutputs(rt *mapreduce.Runtime, st *Stage) error {
+	node := rt.Cluster.Workers()[0]
+	for _, f := range st.Out.Files {
+		if st.Spec.IntermediateOutput && rt.Intermediates != nil {
+			rt.Intermediates.Put(f, nil, node)
+			continue
+		}
+		if _, err := rt.DFS.PutInstant(f, nil, node); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishQuery loads the result table and settles the aggregate-skip
+// accounting shared by both runners.
+func finishQuery(fw *core.Framework, cat *Catalog, compiled *Compiled, res *Result, done func(*Result, error)) {
+	rows, err := cat.ReadTable(compiled.Out)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	res.Rows = rows
+	res.AggParseErrors = compiled.AggParseErrors.Load()
+	if res.AggParseErrors > 0 {
+		fw.RT.Reg.Add("query_agg_parse_errors", res.AggParseErrors)
+	}
+	done(res, nil)
 }
 
 // Run compiles and executes the plan, invoking done with the result. The
@@ -58,19 +131,14 @@ func (r *Runner) Run(p *Plan, done func(*Result, error)) {
 		r.FW.RT.Eng.After(0, func() { done(nil, err) })
 		return
 	}
-	res := &Result{Table: compiled.Out, Stages: len(compiled.Stages)}
+	r.FW.RT.EnsureIntermediates()
+	res := &Result{Table: compiled.Out, Stages: len(compiled.Stages), MaxConcurrent: 1}
 	r.runStage(compiled, 0, res, done)
 }
 
 func (r *Runner) runStage(compiled *Compiled, i int, res *Result, done func(*Result, error)) {
 	if i == len(compiled.Stages) {
-		rows, err := r.Cat.ReadTable(compiled.Out)
-		if err != nil {
-			done(nil, err)
-			return
-		}
-		res.Rows = rows
-		done(res, nil)
+		finishQuery(r.FW, r.Cat, compiled, res, done)
 		return
 	}
 	st := compiled.Stages[i]
@@ -82,6 +150,17 @@ func (r *Runner) runStage(compiled *Compiled, i int, res *Result, done func(*Res
 		res.Elapsed += elapsed
 		res.Winners = append(res.Winners, winner)
 		r.runStage(compiled, i+1, res, done)
+	}
+	// A stage with nothing to read (every input empty — e.g. a filter that
+	// matched no rows upstream) cannot run as a job: there are no input
+	// splits. Materialize its empty output and move on.
+	if stageInputBytes(r.FW.RT, st.Spec.InputFiles) == 0 {
+		if err := emitEmptyOutputs(r.FW.RT, st); err != nil {
+			done(nil, fmt.Errorf("query: stage %d (%s): %w", i, st.Kind, err))
+			return
+		}
+		next(0, StageSkipped, nil)
+		return
 	}
 	switch r.Mode {
 	case ViaDPlus:
