@@ -32,6 +32,10 @@ func main() {
 		codec    = flag.String("shuffle-codec", "none", "shuffle-service wire codec: none | lz")
 		jsonOut  = flag.String("json", "", "also write the regenerated figures as a JSON array to this path (CI artifact)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
+
+		seriesOut = flag.String("series-out", "", "write the flight recorder's Prometheus series dump here (enables the recorder; throughput experiment)")
+		dashOut   = flag.String("dash-out", "", "write the flight recorder's HTML dashboard here (enables the recorder; throughput experiment)")
+		engineOut = flag.String("engine-bench", "", "write the engine self-profile JSON (BENCH_engine.json) here (enables the recorder; throughput experiment)")
 	)
 	flag.Parse()
 
@@ -63,7 +67,9 @@ func main() {
 	opts := bench.Options{
 		Scale: *scale, Seed: *seed, HostWorkers: *workers, NodeFaults: faults,
 		ShuffleService: *shuffle, ShuffleCodec: *codec,
+		SeriesOut: *seriesOut, DashOut: *dashOut, EngineBenchOut: *engineOut,
 	}
+	opts.FlightRecorder = *seriesOut != "" || *dashOut != "" || *engineOut != ""
 	failures := 0
 	var figures []*bench.Figure
 	for _, r := range bench.Registry {

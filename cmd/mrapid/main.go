@@ -33,6 +33,7 @@ import (
 
 	"mrapid/internal/bench"
 	"mrapid/internal/core"
+	"mrapid/internal/flight"
 	"mrapid/internal/mapreduce"
 	"mrapid/internal/metrics"
 	"mrapid/internal/profiler"
@@ -59,8 +60,10 @@ func main() {
 		verbose  = flag.Bool("verbose", false, "print per-task profile")
 		traceN   = flag.Int("trace", 0, "print the last N scheduling/task trace events")
 		nodeFail = flag.String("node-fail", "", "node-fault schedule 'node@at[:restartAfter]', comma-separated (e.g. 'node-02@5s:20s'); times measured from cluster-ready")
-		traceOut = flag.String("trace-out", "", "write the run's span tree as Chrome trace_event JSON (load in Perfetto / chrome://tracing)")
+		traceOut = flag.String("trace-out", "", "write the run's span tree as Chrome trace_event JSON (load in Perfetto / chrome://tracing); with the flight recorder on, series ride along as counter lanes")
 		metOut   = flag.String("metrics-out", "", "write the phase report and metrics registry as JSON")
+		serOut   = flag.String("series-out", "", "enable the flight recorder and write its Prometheus series dump here")
+		dashOut  = flag.String("dash-out", "", "enable the flight recorder and write its HTML dashboard here")
 		phaseRep = flag.Bool("report", false, "print the critical-path phase-attribution report")
 		shuffle  = flag.Bool("shuffle-service", false, "attach the per-node consolidating shuffle service (one fetch per node & partition, in-node combine)")
 		codec    = flag.String("shuffle-codec", "none", "shuffle-service wire codec: none | lz")
@@ -84,13 +87,13 @@ func main() {
 		return
 	}
 	if *jobs > 1 {
-		if err := runWorkload(*cluster, *jobs, *tenants, *arrival, *policy, *seed, *workers, *nodeFail, svc, *predict); err != nil {
+		if err := runWorkload(*cluster, *jobs, *tenants, *arrival, *policy, *seed, *workers, *nodeFail, svc, *predict, *serOut, *dashOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
-	obs := observability{TraceOut: *traceOut, MetricsOut: *metOut, Report: *phaseRep}
+	obs := observability{TraceOut: *traceOut, MetricsOut: *metOut, Report: *phaseRep, SeriesOut: *serOut, DashOut: *dashOut}
 	est := estimatorSetting{Predict: *predict, Repeat: *repeat, ShowHistory: *showHist}
 	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN, *nodeFail, svc, obs, est); err != nil {
 		fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
@@ -129,7 +132,7 @@ type shuffleSetting struct {
 
 // runWorkload is the multi-job mode: a WordCount stream through the
 // JobServer on the chosen cluster, reported as a throughput/fairness table.
-func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed int64, workers int, nodeFail string, svc shuffleSetting, predict bool) error {
+func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed int64, workers int, nodeFail string, svc shuffleSetting, predict bool, seriesOut, dashOut string) error {
 	var setup bench.ClusterSetup
 	switch cluster {
 	case "A3x4":
@@ -155,13 +158,16 @@ func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed
 	default:
 		return fmt.Errorf("unknown admission policy %q (want fifo, wfair, or deadline)", policy)
 	}
+	opts := bench.Options{
+		Seed: seed, HostWorkers: workers, NodeFaults: faults,
+		ShuffleService: svc.Enabled, ShuffleCodec: svc.Codec,
+		SeriesOut: seriesOut, DashOut: dashOut,
+		FlightRecorder: seriesOut != "" || dashOut != "",
+	}
 	res, err := bench.RunThroughput(setup, bench.WorkloadConfig{
 		Jobs: jobs, Tenants: tenants, Arrival: arrival, Policy: pol,
 		Speculative: predict, Predict: predict, UniqueKeys: predict,
-	}, bench.Options{
-		Seed: seed, HostWorkers: workers, NodeFaults: faults,
-		ShuffleService: svc.Enabled, ShuffleCodec: svc.Codec,
-	})
+	}, opts)
 	if err != nil {
 		return err
 	}
@@ -179,6 +185,25 @@ func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed
 		fmt.Printf("estimator: races=%d direct=%d (history=%d prediction=%d) slot-seconds=%.1f\n",
 			res.Races, res.DirectHistory+res.DirectPrediction, res.DirectHistory, res.DirectPrediction, res.SlotSeconds)
 		fmt.Printf("prediction: mean-rel-error=%.3f regret=%d\n", res.PredErrMean, res.Regret)
+	}
+	if res.SLO != nil {
+		fmt.Printf("flight recorder: %d samples\n", res.FlightSamples)
+		fmt.Println("per-tenant SLO (queue wait):")
+		for _, name := range res.TenantOrder {
+			if rep := res.SLO[name]; rep != nil {
+				fmt.Printf("  %-10s %s\n", name, rep)
+			}
+		}
+		title := fmt.Sprintf("workload: %d jobs, policy=%s, cluster=%s", jobs, policy, cluster)
+		if err := res.WriteFlightArtifacts(opts, title); err != nil {
+			return err
+		}
+		if seriesOut != "" {
+			fmt.Printf("series dump written to %s\n", seriesOut)
+		}
+		if dashOut != "" {
+			fmt.Printf("dashboard written to %s\n", dashOut)
+		}
 	}
 	return nil
 }
@@ -340,15 +365,22 @@ func runQuery(cluster, exec string, seed int64, workers int, nodeFail string, sv
 	return nil
 }
 
-// observability groups the -trace-out/-metrics-out/-report outputs.
+// observability groups the -trace-out/-metrics-out/-report/-series-out/
+// -dash-out outputs.
 type observability struct {
 	TraceOut   string
 	MetricsOut string
 	Report     bool
+	SeriesOut  string
+	DashOut    string
 }
 
 func (o observability) enabled() bool {
-	return o.TraceOut != "" || o.MetricsOut != "" || o.Report
+	return o.TraceOut != "" || o.MetricsOut != "" || o.Report || o.flight()
+}
+
+func (o observability) flight() bool {
+	return o.SeriesOut != "" || o.DashOut != ""
 }
 
 func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int, nodeFail string, svc shuffleSetting, obs observability, est estimatorSetting) error {
@@ -404,6 +436,12 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 			limit = traceN
 		}
 		env.EnableObservability(limit)
+		if obs.flight() {
+			// Single-job mode has no admission queue, so the recorder runs
+			// without an SLO tracker: cluster gauges, counter rates, and the
+			// engine self-profile still fill the dashboard.
+			env.EnableFlightRecorder(flight.SLOConfig{})
+		}
 		if traceN > 0 {
 			tlog = env.Trace
 		}
@@ -478,6 +516,11 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 				env.FW.SubmitSpeculative(&run, func(r *core.SpecResult) {
 					res = r
 					env.RM.Stop()
+					// Stop the recorder with the first completion so its
+					// ticker doesn't keep the event queue alive to the
+					// horizon; with -repeat the flight artifacts therefore
+					// cover run 1.
+					env.Flight.StopIfRunning()
 				})
 			})
 			env.Eng.RunUntil(sim.Time(1 << 42))
@@ -581,9 +624,17 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 			if err != nil {
 				return err
 			}
-			if err := env.Trace.WriteChromeTrace(f); err != nil {
+			// With the recorder on, its series ride along as Chrome counter
+			// lanes so Perfetto shows gauges above the span tree.
+			var werr error
+			if env.Flight != nil {
+				werr = env.Trace.WriteChromeTraceCounters(f, env.Flight.CounterSeries())
+			} else {
+				werr = env.Trace.WriteChromeTrace(f)
+			}
+			if werr != nil {
 				f.Close()
-				return err
+				return werr
 			}
 			if err := f.Close(); err != nil {
 				return err
@@ -604,6 +655,38 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 				return err
 			}
 			fmt.Printf("metrics summary written to %s\n", obs.MetricsOut)
+		}
+		if obs.SeriesOut != "" {
+			f, err := os.Create(obs.SeriesOut)
+			if err != nil {
+				return err
+			}
+			if err := env.Flight.WritePrometheus(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("series dump written to %s (%d samples, %d series)\n",
+				obs.SeriesOut, env.Flight.Samples(), len(env.Flight.SeriesNames()))
+		}
+		if obs.DashOut != "" {
+			d := env.FlightDashboard(fmt.Sprintf("job=%s mode=%s cluster=%s", job, winner, cluster), 15)
+			eb := env.Flight.SelfProfiler().Summary()
+			d.Engine = &eb
+			f, err := os.Create(obs.DashOut)
+			if err != nil {
+				return err
+			}
+			if err := flight.WriteDashboard(f, d); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("dashboard written to %s\n", obs.DashOut)
 		}
 	}
 

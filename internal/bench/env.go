@@ -11,6 +11,7 @@ import (
 
 	"mrapid/internal/core"
 	"mrapid/internal/costmodel"
+	"mrapid/internal/flight"
 	"mrapid/internal/hdfs"
 	"mrapid/internal/mapreduce"
 	"mrapid/internal/metrics"
@@ -126,9 +127,15 @@ type Env struct {
 	RT      *mapreduce.Runtime
 	FW      *core.Framework
 
+	// Params is the validated cost model the env was built with.
+	Params costmodel.Params
+
 	// Trace and Reg are set by EnableObservability; nil otherwise.
 	Trace *trace.Log
 	Reg   *metrics.Registry
+
+	// Flight is set by EnableFlightRecorder; nil otherwise.
+	Flight *flight.Recorder
 }
 
 // EnableObservability attaches a span tracer and a metrics registry to
@@ -171,7 +178,7 @@ func NewEnv(setup ClusterSetup, v Variant) (*Env, error) {
 			return nil, err
 		}
 	}
-	env := &Env{Eng: eng, Cluster: cluster, DFS: dfs, RM: rm, RT: rt}
+	env := &Env{Eng: eng, Cluster: cluster, DFS: dfs, RM: rm, RT: rt, Params: params}
 	if v.UseFramework {
 		fw := core.NewFramework(rt, v.PoolSize, v.UOpts)
 		fw.NotifyPoll = v.NotifyPoll
@@ -203,6 +210,7 @@ func (e *Env) Run(v Variant, spec *mapreduce.JobSpec) (*mapreduce.Result, error)
 		done := func(r *mapreduce.Result) {
 			res = r
 			e.RM.Stop()
+			e.Flight.StopIfRunning()
 		}
 		switch v.Mode {
 		case core.ModeHadoop:

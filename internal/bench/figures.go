@@ -37,6 +37,18 @@ type Options struct {
 	// experiment ignores these and sweeps its own configurations.
 	ShuffleService bool
 	ShuffleCodec   string
+
+	// FlightRecorder turns on the flight recorder (internal/flight) for
+	// workload runs: virtual-clock time-series, per-tenant SLO burn rates,
+	// and the engine self-profile. Sampling is read-only on the virtual
+	// clock, so results are byte-identical with it on or off.
+	FlightRecorder bool
+	// SeriesOut/DashOut/EngineBenchOut, when non-empty, make the recording
+	// experiments write the Prometheus series dump, the HTML dashboard,
+	// and the engine self-profile JSON to these paths.
+	SeriesOut      string
+	DashOut        string
+	EngineBenchOut string
 }
 
 // applyTo copies the run-wide Options knobs onto one simulation's setup.
@@ -46,6 +58,9 @@ func (o Options) applyTo(setup ClusterSetup) ClusterSetup {
 	if o.ShuffleService {
 		setup.Params.ShuffleService = true
 		setup.Params.ShuffleCodec = o.ShuffleCodec
+	}
+	if o.FlightRecorder {
+		setup.Params.FlightRecorder = true
 	}
 	return setup
 }

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"mrapid/internal/flight"
+	"mrapid/internal/metrics"
+	"mrapid/internal/report"
+)
+
+// DefaultSLO is the objective the workload experiments hold every tenant
+// to: p99 queue wait under 10s, with a 10% bad-event budget burned over
+// 30s/2m/10m windows. The blocked-FIFO throughput run violates it hard
+// for the later tenants, which is exactly what the burn-rate lanes are
+// meant to show.
+func DefaultSLO() flight.SLOConfig {
+	return flight.SLOConfig{
+		TargetWait: 10 * time.Second,
+		MissBudget: 0.1,
+	}
+}
+
+// EnableFlightRecorder attaches a flight recorder (and, when slo has a
+// target, the per-tenant SLO tracker) with the standard cluster gauges:
+// per-node running containers, the scheduler's pending-container backlog,
+// shuffle bytes in flight, intermediate-store residency, and AM-pool
+// occupancy. Registry counters — including uplus_cache_bytes and every
+// *_total rate — ride along automatically. Gauges are read-only probes, so
+// the recorder cannot perturb the run. The recorder is created started;
+// Env.Run stops it with the job, and other drivers call StopIfRunning.
+func (e *Env) EnableFlightRecorder(slo flight.SLOConfig) *flight.Recorder {
+	if e.Flight != nil {
+		return e.Flight
+	}
+	e.EnableObservability(1 << 16)
+	cfg := flight.ConfigFromParams(e.Params)
+	cfg.SLO = slo
+	rec := flight.New(e.Eng, e.Reg, e.Trace, cfg)
+
+	rec.AddGauge(func(sample func(string, float64)) {
+		byNode := e.RM.ContainersByNode()
+		names := make([]string, 0, len(byNode))
+		for n := range byNode {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			sample(metrics.With("yarn_running_containers", "node", n), float64(byNode[n]))
+		}
+		sample("yarn_pending_asks", float64(e.RM.PendingAsks()))
+		sample("mapreduce_shuffle_bytes_in_flight", float64(e.RT.ShuffleBytesInFlight()))
+		if st := e.RT.Intermediates; st != nil {
+			sample("intermediate_store_mem_bytes", float64(st.MemBytes))
+			sample("intermediate_store_disk_bytes", float64(st.DiskBytes))
+		}
+		if e.FW != nil && e.FW.Pool != nil {
+			sample("ampool_idle", float64(e.FW.Pool.Idle()))
+			sample("ampool_alive", float64(e.FW.Pool.AliveAMs()))
+			sample("ampool_size", float64(e.FW.Pool.Size()))
+		}
+	})
+
+	rec.Start()
+	e.Flight = rec
+	return rec
+}
+
+// FlightDashboard renders the env's recorder into a Dashboard value with
+// the top-k slowest phases filled in from the trace. Engine is left nil so
+// the output stays deterministic; callers wanting the host lane set it
+// from the recorder's SelfProfiler after stopping.
+func (e *Env) FlightDashboard(title string, topK int) flight.Dashboard {
+	return flight.Dashboard{
+		Title:    title,
+		Rec:      e.Flight,
+		TopSpans: report.TopSpans(e.Trace, topK),
+	}
+}
+
+// WriteFlightArtifacts writes whichever flight artifacts the options ask
+// for: the Prometheus series dump (SeriesOut), the HTML dashboard
+// (DashOut, host lane included when bench != nil), and the engine
+// self-profile (EngineBenchOut).
+func writeFlightArtifacts(env *Env, o Options, title string, bench *flight.EngineBench) error {
+	if env.Flight == nil {
+		return nil
+	}
+	if o.SeriesOut != "" {
+		f, err := os.Create(o.SeriesOut)
+		if err != nil {
+			return err
+		}
+		if err := env.Flight.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.DashOut != "" {
+		d := env.FlightDashboard(title, 15)
+		d.Engine = bench
+		f, err := os.Create(o.DashOut)
+		if err != nil {
+			return err
+		}
+		if err := flight.WriteDashboard(f, d); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.EngineBenchOut != "" && bench != nil {
+		f, err := os.Create(o.EngineBenchOut)
+		if err != nil {
+			return err
+		}
+		if err := flight.WriteEngineBench(f, "engine", *bench); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TenantSLOReport is one tenant's SLO outcome in a ThroughputResult: the
+// tracker's view (bucket-interpolated p99, burn rates, breaches) alongside
+// the experiment's own raw nearest-rank p99, which RunThroughput asserts
+// the tracker against.
+type TenantSLOReport struct {
+	TargetSeconds float64
+	P99Wait       float64 // bucket-interpolated, from the SLO tracker
+	RawP99Wait    float64 // nearest-rank, from the run's raw wait samples
+	Events        int64
+	Bad           int64
+	Breaches      int64
+	Burn          map[string]float64 // window label → burn rate at end of run
+}
+
+func (t *TenantSLOReport) String() string {
+	return fmt.Sprintf("p99=%.3fs raw=%.3fs bad=%d/%d breaches=%d",
+		t.P99Wait, t.RawP99Wait, t.Bad, t.Events, t.Breaches)
+}

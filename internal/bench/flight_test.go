@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"mrapid/internal/core"
+	"mrapid/internal/flight"
+	"mrapid/internal/mapreduce"
+)
+
+// flightWorkload is the shared small workload for the recorder tests.
+func flightWorkload() WorkloadConfig {
+	return WorkloadConfig{
+		Jobs: 8, Tenants: 2, Arrival: "poisson:200ms",
+		Policy: core.PolicyWeightedFair, Blocked: true,
+	}
+}
+
+// TestFlightRecorderByteIdentity is the recorder's core contract: sampling
+// is a pure observer. Across recorder on/off, sequential vs parallel host
+// workers, and a node-crash chaos schedule, every job's output must hash
+// identically.
+func TestFlightRecorderByteIdentity(t *testing.T) {
+	// The crash lands mid-workload (after the AM pool is fully up) and the
+	// node comes back, so every schedule still completes all jobs.
+	chaos := []mapreduce.NodeFault{{Node: "node-02", At: 6 * time.Second, RestartAfter: 8 * time.Second}}
+	for _, faults := range [][]mapreduce.NodeFault{nil, chaos} {
+		var base map[string]string
+		for _, recorder := range []bool{false, true} {
+			for _, workers := range []int{0, 4} {
+				o := Options{Scale: 0.05, Seed: 3, HostWorkers: workers,
+					FlightRecorder: recorder, NodeFaults: faults}
+				r, err := RunThroughput(A3x4(), flightWorkload(), o)
+				if err != nil {
+					t.Fatalf("recorder=%v workers=%d faults=%v: %v", recorder, workers, faults, err)
+				}
+				if base == nil {
+					base = r.OutputHashes
+					continue
+				}
+				for job, want := range base {
+					if got := r.OutputHashes[job]; got != want {
+						t.Fatalf("recorder=%v workers=%d faults=%v: %s output %s, want %s",
+							recorder, workers, faults, job, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlightRecorderSeriesDeterminism pins the series artifact itself: two
+// identical recorder-on runs must produce byte-identical Prometheus dumps
+// and byte-identical dashboards (host lane excluded), independent of host
+// worker count.
+func TestFlightRecorderSeriesDeterminism(t *testing.T) {
+	dump := func(workers int) (series, dash []byte) {
+		o := Options{Scale: 0.05, Seed: 3, HostWorkers: workers, FlightRecorder: true}
+		r, err := RunThroughput(A3x4(), flightWorkload(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb bytes.Buffer
+		if err := r.flightEnv.Flight.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		var db bytes.Buffer
+		if err := writeDashboardTo(&db, r); err != nil {
+			t.Fatal(err)
+		}
+		return sb.Bytes(), db.Bytes()
+	}
+	s1, d1 := dump(0)
+	s2, d2 := dump(0)
+	s3, d3 := dump(4)
+	if !bytes.Equal(s1, s2) || !bytes.Equal(s1, s3) {
+		t.Fatal("Prometheus series dumps differ between identical runs")
+	}
+	if !bytes.Equal(d1, d2) || !bytes.Equal(d1, d3) {
+		t.Fatal("dashboards differ between identical runs")
+	}
+	if len(s1) == 0 {
+		t.Fatal("empty series dump")
+	}
+}
+
+func writeDashboardTo(w *bytes.Buffer, r *ThroughputResult) error {
+	d := r.flightEnv.FlightDashboard("determinism check", 10)
+	return flight.WriteDashboard(w, d)
+}
+
+// TestFlightRecorderSLOPopulated checks the recorder-on result carries the
+// cross-verified SLO reports (RunThroughput errors out if the tracker and
+// the raw recomputation disagree, so reaching here means they agreed).
+func TestFlightRecorderSLOPopulated(t *testing.T) {
+	o := Options{Scale: 0.05, Seed: 7, FlightRecorder: true}
+	r, err := RunThroughput(A3x4(), flightWorkload(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlightSamples == 0 {
+		t.Fatal("no samples recorded")
+	}
+	if len(r.SLO) != 2 {
+		t.Fatalf("SLO reports for %d tenants, want 2", len(r.SLO))
+	}
+	for tn, rep := range r.SLO {
+		if rep.Events == 0 {
+			t.Errorf("%s: no SLO events", tn)
+		}
+		if len(rep.Burn) != 3 {
+			t.Errorf("%s: burn windows = %v, want 3", tn, rep.Burn)
+		}
+		if rep.TargetSeconds != 10 {
+			t.Errorf("%s: target = %v", tn, rep.TargetSeconds)
+		}
+	}
+	if r.Engine == nil || r.Engine.Events == 0 || r.Engine.MaxEventHeapDepth == 0 {
+		t.Fatalf("engine self-profile degenerate: %+v", r.Engine)
+	}
+	// The recorder-off result must carry none of it.
+	r2, err := RunThroughput(A3x4(), flightWorkload(), Options{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SLO != nil || r2.Engine != nil || r2.FlightSamples != 0 {
+		t.Fatal("recorder-off run carries flight results")
+	}
+	// And the recorder must not move the measured numbers at all.
+	if r.Makespan != r2.Makespan || r.P50 != r2.P50 || r.MeanWait != r2.MeanWait {
+		t.Fatalf("recorder shifted measurements: %v/%v vs %v/%v",
+			r.Makespan, r.P50, r2.Makespan, r2.P50)
+	}
+}
+
+// TestFlightArtifactsWritten drives the artifact path end to end through a
+// temp dir: series dump, dashboard, and engine bench all written and
+// non-trivial.
+func TestFlightArtifactsWritten(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{Scale: 0.05, Seed: 7, FlightRecorder: true,
+		SeriesOut:      dir + "/series.prom",
+		DashOut:        dir + "/dash.html",
+		EngineBenchOut: dir + "/BENCH_engine.json",
+	}
+	r, err := RunThroughput(A3x4(), flightWorkload(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteFlightArtifacts(o, "artifact test"); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{o.SeriesOut, o.DashOut, o.EngineBenchOut} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(data) < 100 {
+			t.Fatalf("%s: suspiciously small (%d bytes)", f, len(data))
+		}
+	}
+	series, _ := os.ReadFile(o.SeriesOut)
+	if !bytes.Contains(series, []byte(`slo_burn_rate{tenant="tenant-0",window="30s"}`)) {
+		t.Fatal("series dump missing SLO burn series")
+	}
+	dash, _ := os.ReadFile(o.DashOut)
+	if !bytes.Contains(dash, []byte("self-profile")) {
+		t.Fatal("dashboard missing the host-lane block")
+	}
+}
+
+func ExampleTenantSLOReport_String() {
+	rep := &TenantSLOReport{P99Wait: 1.5, RawP99Wait: 1.25, Events: 10, Bad: 2, Breaches: 1}
+	fmt.Println(rep)
+	// Output: p99=1.500s raw=1.250s bad=2/10 breaches=1
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mrapid/internal/core"
+	"mrapid/internal/flight"
 	"mrapid/internal/mapreduce"
 	"mrapid/internal/metrics"
 	"mrapid/internal/sim"
@@ -89,6 +90,26 @@ type ThroughputResult struct {
 	// of the concatenated part files), so two runs of the same workload can
 	// be checked for byte-identical results.
 	OutputHashes map[string]string
+
+	// Flight-recorder results, populated only when Options.FlightRecorder
+	// was set: per-tenant SLO outcomes (already cross-checked against the
+	// run's raw measurements), the sample count, and the engine's host-side
+	// self-profile.
+	SLO           map[string]*TenantSLOReport
+	FlightSamples int64
+	Engine        *flight.EngineBench
+
+	// flightEnv keeps the recorded simulation alive for artifact writing.
+	flightEnv *Env
+}
+
+// WriteFlightArtifacts writes the series dump / dashboard / engine-bench
+// files the options ask for. No-op when the run had no recorder.
+func (r *ThroughputResult) WriteFlightArtifacts(o Options, title string) error {
+	if r.flightEnv == nil {
+		return nil
+	}
+	return writeFlightArtifacts(r.flightEnv, o, title, r.Engine)
 }
 
 // arrivalTimes expands a WorkloadConfig.Arrival spec into one absolute
@@ -177,6 +198,30 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 	env.FW = fw
 	fw.Predict = cfg.Predict
 
+	// Flight recorder: cluster gauges from the env, JobServer gauges here,
+	// and the SLO tracker fed through a tap that also keeps the raw events,
+	// so the tracker's percentiles and burn rates can be verified against
+	// an independent recomputation after the run.
+	var rec *flight.Recorder
+	var tap *sloTap
+	if setup.Params.FlightRecorder {
+		rec = env.EnableFlightRecorder(DefaultSLO())
+		rec.AddGauge(func(sample func(string, float64)) {
+			pending := srv.PendingByTenant()
+			names := make([]string, 0, len(pending))
+			for n := range pending {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				sample(metrics.With("jobserver_pending_jobs", "tenant", n), float64(pending[n]))
+			}
+			sample("jobserver_inflight_jobs", float64(srv.InFlight()))
+		})
+		tap = &sloTap{eng: env.Eng, inner: rec.SLO(), events: make(map[string][]sloRawEvent)}
+		srv.Observer = tap
+	}
+
 	names, err := workloads.GenerateWordCountInput(env.DFS, env.Cluster, "/in/tp", workloads.WordCountConfig{
 		Files: 4, FileBytes: o.bytes(2 * mb), Seed: o.Seed,
 	})
@@ -227,6 +272,7 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 				ends = append(ends, jobEnd{tenant, lastDone.Sub(submittedAt).Seconds()})
 				if len(ends) == cfg.Jobs {
 					env.RM.Stop()
+					env.Flight.StopIfRunning()
 				}
 			})
 			if err != nil && submitErr == nil {
@@ -317,7 +363,133 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 		}
 		res.OutputHashes[spec.Name] = fmt.Sprintf("%016x", hash.Sum64())
 	}
+
+	if rec != nil {
+		if err := collectSLO(res, env, rec, tap); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
+}
+
+// sloRawEvent is the tap's independent record of one SLO event.
+type sloRawEvent struct {
+	at   sim.Time
+	wait float64 // seconds; admissions only (completions carry -1)
+	bad  bool
+}
+
+// sloTap sits between the JobServer and the SLO tracker: it forwards every
+// observation and keeps its own copy, so the tracker's outputs can be
+// verified against a from-scratch recomputation.
+type sloTap struct {
+	eng    *sim.Engine
+	inner  core.AdmissionObserver
+	events map[string][]sloRawEvent
+}
+
+func (t *sloTap) JobAdmitted(tenant string, wait time.Duration) {
+	t.events[tenant] = append(t.events[tenant], sloRawEvent{
+		at: t.eng.Now(), wait: wait.Seconds(),
+		bad: wait > DefaultSLO().TargetWait,
+	})
+	t.inner.JobAdmitted(tenant, wait)
+}
+
+func (t *sloTap) JobCompleted(tenant string, missedDeadline bool) {
+	t.events[tenant] = append(t.events[tenant], sloRawEvent{
+		at: t.eng.Now(), wait: -1, bad: missedDeadline,
+	})
+	t.inner.JobCompleted(tenant, missedDeadline)
+}
+
+// collectSLO fills ThroughputResult's flight fields and enforces the
+// recorder's accuracy contract: for every tenant, the tracker's
+// bucket-interpolated p99 queue wait must land within one histogram bucket
+// of the nearest-rank p99 computed from the raw waits, and every window's
+// burn rate must exactly match a recomputation from the tap's event log.
+func collectSLO(res *ThroughputResult, env *Env, rec *flight.Recorder, tap *sloTap) error {
+	slo := rec.SLO()
+	scfg := slo.Config()
+	now := env.Eng.Now()
+	res.FlightSamples = rec.Samples()
+	res.SLO = make(map[string]*TenantSLOReport)
+	res.flightEnv = env
+
+	eb := rec.SelfProfiler().Summary()
+	res.Engine = &eb
+
+	for _, tn := range slo.Tenants() {
+		total, bad := slo.Events(tn)
+		rep := &TenantSLOReport{
+			TargetSeconds: scfg.TargetWait.Seconds(),
+			P99Wait:       slo.P99Wait(tn),
+			Events:        total,
+			Bad:           bad,
+			Breaches:      slo.Breaches(tn),
+			Burn:          make(map[string]float64, len(scfg.Windows)),
+		}
+
+		var waits []float64
+		var rawTotal, rawBad int64
+		for _, e := range tap.events[tn] {
+			rawTotal++
+			if e.bad {
+				rawBad++
+			}
+			if e.wait >= 0 {
+				waits = append(waits, e.wait)
+			}
+		}
+		if rawTotal != total || rawBad != bad {
+			return fmt.Errorf("bench: SLO tracker for %s counted (%d,%d) events, tap saw (%d,%d)",
+				tn, total, bad, rawTotal, rawBad)
+		}
+		sort.Float64s(waits)
+		rep.RawP99Wait = percentile(waits, 0.99)
+		if err := quantilesAgree(rep.P99Wait, rep.RawP99Wait); err != nil {
+			return fmt.Errorf("bench: tenant %s p99 queue wait: %w", tn, err)
+		}
+
+		for _, w := range scfg.Windows {
+			got := slo.BurnRate(tn, w)
+			cutoff := now.Add(-w)
+			var wTotal, wBad int64
+			for _, e := range tap.events[tn] {
+				if e.at < cutoff {
+					continue
+				}
+				wTotal++
+				if e.bad {
+					wBad++
+				}
+			}
+			var want float64
+			if wTotal > 0 {
+				want = float64(wBad) / float64(wTotal) / scfg.MissBudget
+			}
+			if math.Abs(got-want) > 1e-9 {
+				return fmt.Errorf("bench: tenant %s burn over %s: tracker %v, recomputed %v",
+					tn, w, got, want)
+			}
+			rep.Burn[w.String()] = got
+		}
+		res.SLO[tn] = rep
+	}
+	return nil
+}
+
+// quantilesAgree checks that a bucket-interpolated quantile and a raw
+// nearest-rank quantile fall in the same or adjacent histogram bucket —
+// the tightest bound interpolation can honestly promise (the interpolated
+// rank can sit one sample below the nearest-rank sample).
+func quantilesAgree(interp, raw float64) error {
+	bi := sort.SearchFloat64s(metrics.DefaultDurationBuckets, interp)
+	br := sort.SearchFloat64s(metrics.DefaultDurationBuckets, raw)
+	if bi > br+1 || br > bi+1 {
+		return fmt.Errorf("interpolated %.4fs (bucket %d) vs raw %.4fs (bucket %d)", interp, bi, raw, br)
+	}
+	return nil
 }
 
 func srvPolicy(p core.AdmissionPolicy) core.AdmissionPolicy {
@@ -382,12 +554,19 @@ func Throughput(o Options) (*Figure, error) {
 			"mean-wait is time queued in the JobServer before admission",
 		},
 	}
-	for i, policy := range []core.AdmissionPolicy{core.PolicyFIFO, core.PolicyWeightedFair} {
-		r, err := RunThroughput(A3x4(), WorkloadConfig{
+	workload := func(policy core.AdmissionPolicy) WorkloadConfig {
+		return WorkloadConfig{
 			Jobs: 60, Tenants: 3, Arrival: "poisson:250ms", Policy: policy, Blocked: true,
-		}, o)
+		}
+	}
+	var wfair *ThroughputResult
+	for i, policy := range []core.AdmissionPolicy{core.PolicyFIFO, core.PolicyWeightedFair} {
+		r, err := RunThroughput(A3x4(), workload(policy), o)
 		if err != nil {
 			return nil, err
+		}
+		if policy == core.PolicyWeightedFair {
+			wfair = r
 		}
 		fig.Points = append(fig.Points, Point{
 			X: float64(i), Label: string(policy),
@@ -396,6 +575,36 @@ func Throughput(o Options) (*Figure, error) {
 				"mean-wait": r.MeanWait, "fairness": r.Fairness,
 			},
 		})
+	}
+
+	// Third row: the weighted-fair run again with the flight recorder on.
+	// Recording must be a pure observer — every job's output has to hash
+	// identically to the recorder-off row — and RunThroughput has already
+	// cross-checked the recorder's p99s and burn rates against the run's
+	// own raw measurements. This row is also where the series dump /
+	// dashboard / engine-bench artifacts come from when paths are set.
+	fo := o
+	fo.FlightRecorder = true
+	fr, err := RunThroughput(A3x4(), workload(core.PolicyWeightedFair), fo)
+	if err != nil {
+		return nil, err
+	}
+	for job, want := range wfair.OutputHashes {
+		if got := fr.OutputHashes[job]; got != want {
+			return nil, fmt.Errorf("bench: recorder changed %s output: %s vs %s", job, got, want)
+		}
+	}
+	fig.Points = append(fig.Points, Point{
+		X: 2, Label: "wfair+recorder",
+		Seconds: map[string]float64{
+			"makespan": fr.Makespan, "p50": fr.P50, "p99": fr.P99,
+			"mean-wait": fr.MeanWait, "fairness": fr.Fairness,
+		},
+	})
+	fig.Notes = append(fig.Notes,
+		"wfair+recorder re-runs the wfair row with the flight recorder sampling every 250ms of virtual time; outputs are verified byte-identical and all columns must match the recorder-off row")
+	if err := fr.WriteFlightArtifacts(fo, "throughput: weighted-fair, flight recorder on"); err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

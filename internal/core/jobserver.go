@@ -94,6 +94,20 @@ func (j *queuedJob) laxity(now sim.Time) time.Duration {
 	return j.deadline.Sub(now) - j.predicted
 }
 
+// AdmissionObserver receives the JobServer's per-tenant lifecycle signals.
+// The flight recorder's SLO tracker hangs off this: queue waits feed the
+// per-tenant p99 objective, completions feed the deadline-miss budget.
+// Callbacks fire on the engine's virtual-clock goroutine, synchronously
+// with the state change they describe.
+type AdmissionObserver interface {
+	// JobAdmitted fires when a job leaves the queue, with the time it waited.
+	JobAdmitted(tenant string, wait time.Duration)
+
+	// JobCompleted fires when a job finishes, before the submitter's own
+	// callback. missedDeadline is true for a deadline job past its target.
+	JobCompleted(tenant string, missedDeadline bool)
+}
+
 // JobServer is the long-running submission service in front of a Framework:
 // clients Submit jobs tagged with a tenant, the server validates the tenant
 // queue, applies backpressure against the admission window, orders waiting
@@ -121,6 +135,10 @@ type JobServer struct {
 	// deadline jobs that finished past their target.
 	SlotSeconds    float64
 	DeadlineMisses int64
+
+	// Observer, when non-nil, is notified of admissions and completions
+	// (see AdmissionObserver). Set it before submitting.
+	Observer AdmissionObserver
 }
 
 // NewJobServer builds the admission layer over a started framework. Tenant
@@ -227,6 +245,21 @@ func (s *JobServer) Tenant(name string) *tenantState { return s.tenants[name] }
 
 // Pending reports how many submissions are waiting for admission.
 func (s *JobServer) Pending() int { return len(s.pending) }
+
+// PendingByTenant counts the queued submissions per tenant — the queue-depth
+// gauge the flight recorder samples. Tenants with nothing queued but known
+// to the server (configured queues or past submitters) report 0, so their
+// series do not wink out between bursts.
+func (s *JobServer) PendingByTenant() map[string]int {
+	out := make(map[string]int, len(s.tenants))
+	for name := range s.tenants {
+		out[name] = 0
+	}
+	for _, j := range s.pending {
+		out[j.tenant.name]++
+	}
+	return out
+}
 
 // InFlight reports the admission cost currently executing.
 func (s *JobServer) InFlight() int { return s.inFlight }
@@ -355,13 +388,17 @@ func (s *JobServer) settle(j *queuedJob, res *mapreduce.Result) {
 	now := s.fw.RT.Eng.Now()
 	s.inFlight -= j.cost
 	s.SlotSeconds += float64(j.cost) * now.Sub(j.admitAt).Seconds()
-	if j.hasDeadline && now.Sub(j.deadline) > 0 {
+	missed := j.hasDeadline && now.Sub(j.deadline) > 0
+	if missed {
 		s.DeadlineMisses++
 		s.fw.RT.Reg.Inc(metrics.With("jobserver_deadline_miss_total", "tenant", j.tenant.name))
 		s.fw.RT.Trace.Add("jobserver", "job %s missed its deadline by %s", j.spec.Name, now.Sub(j.deadline))
 	}
 	j.tenant.Completed++
 	s.Completed++
+	if s.Observer != nil {
+		s.Observer.JobCompleted(j.tenant.name, missed)
+	}
 	s.dispatch()
 	// The submitter's callback runs after dispatch so a chain of short jobs
 	// can't observe an artificially empty window.
@@ -444,5 +481,8 @@ func (s *JobServer) admit(j *queuedJob) {
 	wait := s.fw.RT.Eng.Now().Sub(j.enqAt)
 	s.fw.RT.Trace.EndSpan(j.span, trace.A("wait", wait.String()))
 	s.fw.RT.Reg.Observe(metrics.With("jobserver_queue_wait_seconds", "tenant", j.tenant.name), wait.Seconds())
+	if s.Observer != nil {
+		s.Observer.JobAdmitted(j.tenant.name, wait)
+	}
 	j.run()
 }

@@ -67,6 +67,7 @@ type UPlusAM struct {
 	mapAttempts    map[int]int
 	reduceAttempts map[int]int
 	killed         bool
+	cacheReleased  bool
 	failed         error
 	done           func(*profiler.JobProfile, error)
 
@@ -118,6 +119,7 @@ func (am *UPlusAM) Kill() {
 		return
 	}
 	am.killed = true
+	am.releaseCacheGauge()
 	am.rt.RM.KillApp(am.app)
 }
 
@@ -154,7 +156,20 @@ func (am *UPlusAM) admitToCache(outBytes int64) bool {
 		return false
 	}
 	am.cacheUsed += outBytes
+	am.rt.Reg.Add("uplus_cache_bytes", outBytes)
 	return true
+}
+
+// releaseCacheGauge returns this AM's share of the cluster-wide
+// uplus_cache_bytes gauge when the job ends (finished or killed): the
+// in-heap outputs are freed with the JVM. CacheUsed itself is kept for
+// post-run inspection; only the shared gauge is settled, exactly once.
+func (am *UPlusAM) releaseCacheGauge() {
+	if am.cacheReleased {
+		return
+	}
+	am.cacheReleased = true
+	am.rt.Reg.Add("uplus_cache_bytes", -am.cacheUsed)
 }
 
 func (am *UPlusAM) runOne(s *hdfs.Split) {
@@ -184,6 +199,7 @@ func (am *UPlusAM) runOne(s *hdfs.Split) {
 			// spilling everything.
 			if b, ok := am.admitted[s.Index]; ok {
 				am.cacheUsed -= b
+				am.rt.Reg.Add("uplus_cache_bytes", -b)
 				delete(am.admitted, s.Index)
 			}
 			am.prof.Add(tp)
@@ -349,6 +365,7 @@ func (am *UPlusAM) finish(err error) {
 		return
 	}
 	am.killed = true
+	am.releaseCacheGauge()
 	if am.rt.Shuffle != nil {
 		for _, mo := range am.outputs {
 			am.rt.Shuffle.Forget(am.spec, mo)

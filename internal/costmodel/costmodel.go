@@ -141,6 +141,23 @@ type Params struct {
 	// half size on the text-heavy intermediate data of the paper's
 	// workloads.
 	ShuffleLZRatio float64
+
+	// FlightRecorder enables the cluster flight recorder
+	// (internal/flight): the simulation is sampled on the virtual clock
+	// every FlightInterval into ring-buffered time-series — registry rates,
+	// cluster gauges, per-tenant SLO burn rates — exportable as Prometheus
+	// text, Chrome-trace counter lanes, and an HTML dashboard. Off by
+	// default; sampling is read-only, so job outputs are byte-identical
+	// either way.
+	FlightRecorder bool
+
+	// FlightInterval is the virtual-clock sampling period of the flight
+	// recorder (zero means the 250 ms default).
+	FlightInterval time.Duration
+
+	// FlightRingCap bounds the samples retained per series (zero means the
+	// 4096 default); beyond it the oldest samples fall off the ring.
+	FlightRingCap int
 }
 
 // Default returns the calibrated baseline used by all experiments. Values
@@ -175,6 +192,9 @@ func Default() Params {
 		ShuffleService:          false,
 		ShuffleCodec:            "none",
 		ShuffleLZRatio:          0.55,
+		FlightRecorder:          false,
+		FlightInterval:          250 * time.Millisecond,
+		FlightRingCap:           4096,
 	}
 }
 
@@ -223,6 +243,10 @@ func (p Params) Validate() error {
 		return errBad("ShuffleCodec")
 	case p.ShuffleCodec == "lz" && (p.ShuffleLZRatio <= 0 || p.ShuffleLZRatio > 1):
 		return errBad("ShuffleLZRatio")
+	case p.FlightInterval < 0:
+		return errBad("FlightInterval")
+	case p.FlightRingCap < 0:
+		return errBad("FlightRingCap")
 	}
 	return nil
 }

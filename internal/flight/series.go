@@ -1,0 +1,67 @@
+package flight
+
+import "mrapid/internal/sim"
+
+// Sample is one (virtual instant, value) point of a time-series.
+type Sample struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series is a ring-buffered time-series: a fixed-capacity window of the
+// most recent samples. The flight recorder appends one sample per tick;
+// once the ring fills, the oldest samples fall off and are counted.
+type Series struct {
+	// Name is the full series key in metrics.With form, e.g.
+	// "slo_burn_rate{tenant=tenant-0,window=30s}".
+	Name string
+
+	cap     int
+	buf     []Sample
+	head    int // index of the oldest sample
+	n       int
+	evicted int64
+}
+
+func newSeries(name string, capacity int) *Series {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Series{Name: name, cap: capacity}
+}
+
+func (s *Series) add(at sim.Time, v float64) {
+	if len(s.buf) < s.cap {
+		s.buf = append(s.buf, Sample{At: at, Value: v})
+		return
+	}
+	s.buf[s.head] = Sample{At: at, Value: v}
+	s.head = (s.head + 1) % s.cap
+	s.evicted++
+}
+
+// Len reports the number of retained samples.
+func (s *Series) Len() int { return len(s.buf) }
+
+// Evicted reports how many samples the ring has dropped from the front.
+func (s *Series) Evicted() int64 { return s.evicted }
+
+// Samples returns the retained samples oldest-first.
+func (s *Series) Samples() []Sample {
+	out := make([]Sample, 0, len(s.buf))
+	out = append(out, s.buf[s.head:]...)
+	out = append(out, s.buf[:s.head]...)
+	return out
+}
+
+// Last returns the most recent sample, if any.
+func (s *Series) Last() (Sample, bool) {
+	if len(s.buf) == 0 {
+		return Sample{}, false
+	}
+	i := s.head - 1
+	if i < 0 {
+		i = len(s.buf) - 1
+	}
+	return s.buf[i], true
+}

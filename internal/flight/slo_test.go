@@ -1,0 +1,160 @@
+package flight
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mrapid/internal/sim"
+	"mrapid/internal/trace"
+)
+
+func sloFixture() (*sim.Engine, *trace.Log, *SLOTracker) {
+	eng := sim.NewEngine()
+	tlog := trace.New(eng, 0)
+	tr := NewSLOTracker(eng, tlog, SLOConfig{
+		TargetWait: time.Second,
+		MissBudget: 0.5,
+		Windows:    []time.Duration{10 * time.Second},
+		BurnAlert:  1.0,
+	})
+	return eng, tlog, tr
+}
+
+func TestSLOBurnRateMath(t *testing.T) {
+	eng, _, tr := sloFixture()
+
+	// 4 admissions: 1 over target → bad fraction 0.25, budget 0.5 → burn 0.5.
+	eng.At(0, func() {
+		tr.JobAdmitted("acme", 100*time.Millisecond)
+		tr.JobAdmitted("acme", 200*time.Millisecond)
+		tr.JobAdmitted("acme", 5*time.Second) // bad
+		tr.JobAdmitted("acme", 900*time.Millisecond)
+	})
+	eng.Run()
+
+	if got := tr.BurnRate("acme", 10*time.Second); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("burn = %v, want 0.5", got)
+	}
+	total, bad := tr.Events("acme")
+	if total != 4 || bad != 1 {
+		t.Fatalf("events = (%d,%d), want (4,1)", total, bad)
+	}
+
+	// Missed deadlines burn too: 2 completions, 1 missed → 6 events, 2 bad
+	// → fraction 1/3, burn 2/3.
+	eng.At(sim.Time(time.Second), func() {
+		tr.JobCompleted("acme", true)
+		tr.JobCompleted("acme", false)
+	})
+	eng.Run()
+	if got := tr.BurnRate("acme", 10*time.Second); math.Abs(got-(2.0/6.0/0.5)) > 1e-12 {
+		t.Fatalf("burn after completions = %v, want 2/3", got)
+	}
+
+	// Unknown tenant and empty window are zero, not NaN.
+	if tr.BurnRate("ghost", 10*time.Second) != 0 {
+		t.Fatal("unknown tenant burn != 0")
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	eng, _, tr := sloFixture()
+	eng.At(0, func() { tr.JobAdmitted("acme", 5*time.Second) }) // bad at t=0
+	eng.At(sim.Time(20*time.Second), func() {
+		if got := tr.BurnRate("acme", 10*time.Second); got != 0 {
+			t.Errorf("burn with only stale events = %v, want 0", got)
+		}
+		tr.JobAdmitted("acme", 2*time.Second) // fresh bad event
+		if got := tr.BurnRate("acme", 10*time.Second); math.Abs(got-2.0) > 1e-12 {
+			t.Errorf("fresh burn = %v, want 2.0 (1/1 bad over budget 0.5)", got)
+		}
+	})
+	eng.Run()
+}
+
+func TestSLOQuantileTracksWaits(t *testing.T) {
+	eng, _, tr := sloFixture()
+	eng.At(0, func() {
+		for i := 0; i < 99; i++ {
+			tr.JobAdmitted("acme", 100*time.Millisecond)
+		}
+		tr.JobAdmitted("acme", 50*time.Second)
+	})
+	eng.Run()
+	// 99% of waits are 0.1s; the p99 must sit in the 0.1s bucket region,
+	// far below the one 50s outlier.
+	p99 := tr.P99Wait("acme")
+	if p99 <= 0 || p99 > 0.25 {
+		t.Fatalf("p99 = %v, want within (0, 0.25]", p99)
+	}
+	h := tr.WaitHistogram("acme")
+	if h.Count != 100 {
+		t.Fatalf("histogram count = %d", h.Count)
+	}
+}
+
+func TestSLOBreachSpansOpenAndClose(t *testing.T) {
+	eng, tlog, tr := sloFixture()
+	record := func(string, float64) {}
+
+	eng.At(0, func() {
+		// All-bad admissions: fraction 1.0, burn 2.0 ≥ alert 1.0.
+		tr.JobAdmitted("acme", 10*time.Second)
+		tr.JobAdmitted("acme", 10*time.Second)
+		tr.sample(eng.Now(), record)
+	})
+	eng.At(sim.Time(5*time.Second), func() {
+		// Re-sampling inside the breach must not open a second span.
+		tr.sample(eng.Now(), record)
+	})
+	eng.At(sim.Time(30*time.Second), func() {
+		// Events expired from the window → burn 0 → span closes.
+		tr.sample(eng.Now(), record)
+	})
+	eng.Run()
+
+	if got := tr.Breaches("acme"); got != 1 {
+		t.Fatalf("breaches = %d, want 1", got)
+	}
+	var breach *trace.Span
+	for _, s := range tlog.Spans() {
+		if s.Component == "slo" {
+			if breach != nil {
+				t.Fatal("more than one breach span")
+			}
+			breach = s
+		}
+	}
+	if breach == nil {
+		t.Fatal("no breach span recorded")
+	}
+	if !breach.Ended || breach.End != sim.Time(30*time.Second) {
+		t.Fatalf("breach span not closed at 30s: ended=%v end=%s", breach.Ended, breach.End)
+	}
+}
+
+func TestSLOSampleEmitsSeries(t *testing.T) {
+	eng, _, tr := sloFixture()
+	got := map[string]float64{}
+	eng.At(0, func() {
+		tr.JobAdmitted("acme", 5*time.Second)
+		tr.sample(eng.Now(), func(name string, v float64) { got[name] = v })
+	})
+	eng.Run()
+
+	for _, want := range []string{
+		"slo_burn_rate{tenant=acme,window=10s}",
+		"slo_queue_wait_p99_seconds{tenant=acme}",
+		"slo_events_total{tenant=acme}",
+		"slo_bad_events_total{tenant=acme}",
+		"slo_breach_total{tenant=acme}",
+	} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("series %q not emitted; got %v", want, got)
+		}
+	}
+	if got["slo_burn_rate{tenant=acme,window=10s}"] != 2.0 {
+		t.Fatalf("burn series = %v, want 2.0", got["slo_burn_rate{tenant=acme,window=10s}"])
+	}
+}

@@ -58,6 +58,10 @@ type Runtime struct {
 	// stock per-map shuffle.
 	Shuffle ShuffleProvider
 
+	// shuffleInFlight is the byte-count of shuffle fetches currently
+	// running (see ShuffleBytesInFlight).
+	shuffleInFlight int64
+
 	// Workers opts into parallel host-side execution of the pure map and
 	// reduce computations: 0 or 1 keeps the fully sequential path, a value
 	// > 1 sizes a bounded worker pool of real OS threads, and a negative
@@ -532,6 +536,16 @@ func ShuffleTransport(mo *MapOutput, dst *topology.Node) string {
 	}
 }
 
+// AddShuffleInFlight adjusts the count of shuffle bytes currently on the
+// move — fetch starts add, completions subtract. Exported for the shuffle
+// service, which charges its consolidated wire bytes through the same
+// gauge. It moves only on the engine goroutine.
+func (rt *Runtime) AddShuffleInFlight(n int64) { rt.shuffleInFlight += n }
+
+// ShuffleBytesInFlight reports the bytes of shuffle fetches currently in
+// progress, the gauge the flight recorder samples.
+func (rt *Runtime) ShuffleBytesInFlight() int64 { return rt.shuffleInFlight }
+
 // ObserveShuffle records one completed shuffle fetch: n bytes into the
 // transport-labeled mapreduce_shuffle_bytes histogram plus a tick of the
 // mapreduce_shuffle_fetch_total counter. kind is "permap" for the stock
@@ -554,7 +568,9 @@ func (rt *Runtime) ShuffleFetch(parent trace.SpanID, mo *MapOutput, part int, ds
 		trace.A("from", mo.Node.Name),
 		trace.A("transport", transport),
 		trace.A("bytes", fmt.Sprint(mo.PartBytes[part])))
+	rt.AddShuffleInFlight(mo.PartBytes[part])
 	rt.FetchPartition(mo, part, dst, func(err error) {
+		rt.AddShuffleInFlight(-mo.PartBytes[part])
 		if err != nil {
 			rt.Trace.EndSpan(span, trace.A("error", err.Error()))
 		} else {

@@ -37,6 +37,45 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) by locating the bucket that
+// contains the target rank and interpolating linearly inside it, the way
+// Prometheus's histogram_quantile does. Values in the overflow bucket cannot
+// be interpolated (no upper bound), so a rank landing there reports the last
+// finite bound — a lower bound on the true quantile. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil || h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			if i >= len(h.Buckets) {
+				return h.Buckets[len(h.Buckets)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Buckets[i-1]
+			}
+			hi := h.Buckets[i]
+			return lo + (hi-lo)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
 // Registry holds named counters and histograms. The zero value is not
 // usable; call New. A nil *Registry is a valid "disabled" registry: every
 // method is a no-op (reads return zero values), so components can carry an
@@ -60,7 +99,11 @@ func New() *Registry {
 
 // With encodes a metric name plus label key/value pairs into a single
 // series key: name{k1=v1,k2=v2} with keys sorted, so the same label set
-// always yields the same series. Pass kvs as alternating key, value.
+// always yields the same series. Pass kvs as alternating key, value. The
+// structural characters `=`, `,`, `{`, `}` and the escape `\` are escaped
+// inside label values, so a tenant named "a=b" yields a distinct series
+// from a tenant "a" with some other label "b" — and ParseSeries can recover
+// the exact labels.
 func With(name string, kvs ...string) string {
 	if len(kvs) == 0 {
 		return name
@@ -68,10 +111,92 @@ func With(name string, kvs ...string) string {
 	n := len(kvs) / 2
 	pairs := make([]string, 0, n)
 	for i := 0; i+1 < len(kvs); i += 2 {
-		pairs = append(pairs, kvs[i]+"="+kvs[i+1])
+		pairs = append(pairs, kvs[i]+"="+escapeLabel(kvs[i+1]))
 	}
 	sort.Strings(pairs)
 	return name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// labelEscaper guards the characters that delimit a series key.
+var labelEscaper = strings.NewReplacer(
+	`\`, `\\`, `=`, `\=`, `,`, `\,`, `{`, `\{`, `}`, `\}`,
+)
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\=,{}`) {
+		return v
+	}
+	return labelEscaper.Replace(v)
+}
+
+func unescapeLabel(v string) string {
+	if !strings.Contains(v, `\`) {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			i++
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// Label is one decoded key/value pair of a series key.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// ParseSeries decodes a series key produced by With back into the bare
+// metric name and its labels (values unescaped, in key order). A key with
+// no label block returns (key, nil). This is the inverse of With; exporters
+// (Prometheus text format, the flight recorder's dashboard) use it to
+// re-render labels in their own quoting conventions.
+func ParseSeries(key string) (name string, labels []Label) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	name = key[:open]
+	body := key[open+1 : len(key)-1]
+	if body == "" {
+		return name, nil
+	}
+	// Split on unescaped commas, then each pair on its first unescaped '='.
+	var pairs []string
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++
+		case ',':
+			pairs = append(pairs, body[start:i])
+			start = i + 1
+		}
+	}
+	pairs = append(pairs, body[start:])
+	for _, p := range pairs {
+		eq := -1
+		for i := 0; i < len(p); i++ {
+			if p[i] == '\\' {
+				i++
+				continue
+			}
+			if p[i] == '=' {
+				eq = i
+				break
+			}
+		}
+		if eq < 0 {
+			labels = append(labels, Label{Key: unescapeLabel(p)})
+			continue
+		}
+		labels = append(labels, Label{Key: p[:eq], Value: unescapeLabel(p[eq+1:])})
+	}
+	return name, labels
 }
 
 // Add increments a counter by delta, creating it on first use.

@@ -63,3 +63,90 @@ func TestRatio(t *testing.T) {
 		t.Fatalf("Ratio(0,0) = %v", got)
 	}
 }
+
+func TestWithEscapesLabelValues(t *testing.T) {
+	// Regression: a tenant literally named "a=b" must not alias the series
+	// of a different label set that renders to the same bytes.
+	k1 := With("jobs", "tenant", "a=b")
+	k2 := With("jobs", "tenant", "a", "extra", "b")
+	if k1 == k2 {
+		t.Fatalf("series alias: %q", k1)
+	}
+	name, labels := ParseSeries(k1)
+	if name != "jobs" || len(labels) != 1 || labels[0].Key != "tenant" || labels[0].Value != "a=b" {
+		t.Fatalf("ParseSeries(%q) = %q %v", k1, name, labels)
+	}
+}
+
+func TestParseSeriesRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"tenant", "t0"},
+		{"tenant", "a=b", "mode", "d+,u+"},
+		{"k", `back\slash`},
+		{"k", "curly{brace}"},
+		{"k", ""},
+	}
+	for _, kvs := range cases {
+		key := With("m", kvs...)
+		name, labels := ParseSeries(key)
+		if name != "m" {
+			t.Fatalf("name %q from %q", name, key)
+		}
+		if len(labels) != len(kvs)/2 {
+			t.Fatalf("labels %v from %q", labels, key)
+		}
+		got := map[string]string{}
+		for _, l := range labels {
+			got[l.Key] = l.Value
+		}
+		for i := 0; i+1 < len(kvs); i += 2 {
+			if got[kvs[i]] != kvs[i+1] {
+				t.Fatalf("label %s = %q, want %q (key %q)", kvs[i], got[kvs[i]], kvs[i+1], key)
+			}
+		}
+	}
+	if name, labels := ParseSeries("bare"); name != "bare" || labels != nil {
+		t.Fatalf("bare series parsed as %q %v", name, labels)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := New()
+	r.Define("lat", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 5, 7} {
+		r.Observe("lat", v)
+	}
+	h := r.Histograms()["lat"]
+	// 8 observations: bucket counts are ≤1:1, ≤2:2, ≤4:3, ≤8:2.
+	if got := h.Quantile(0.5); got < 2 || got > 4 {
+		t.Fatalf("p50 = %v, want within (2,4]", got)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Fatalf("p100 = %v, want 8", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v, want 0 (interpolates to bucket floor)", got)
+	}
+	// Monotone in p.
+	prev := -1.0
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile not monotone: p=%v gives %v after %v", p, q, prev)
+		}
+		prev = q
+	}
+	// Overflow bucket clamps to the last finite bound.
+	r.Observe("lat", 100)
+	r.Observe("lat", 200)
+	r.Observe("lat", 300)
+	h = r.Histograms()["lat"]
+	if got := h.Quantile(0.99); got != 8 {
+		t.Fatalf("overflow p99 = %v, want clamp to 8", got)
+	}
+	var empty *Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v", got)
+	}
+}

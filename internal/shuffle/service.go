@@ -163,7 +163,9 @@ func (s *Service) Fetch(parent trace.SpanID, spec *mapreduce.JobSpec, c *mapredu
 		trace.A("bytes", fmt.Sprint(combined)),
 		trace.A("wire_bytes", fmt.Sprint(wire)))
 
+	rt.AddShuffleInFlight(wire)
 	finish := func(moved int64, err error) {
+		rt.AddShuffleInFlight(-wire)
 		if err != nil {
 			rt.Trace.EndSpan(span, trace.A("error", err.Error()))
 			done(err)

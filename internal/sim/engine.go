@@ -84,11 +84,12 @@ func (h *eventHeap) Pop() any {
 // concurrent use: all simulated "parallelism" is expressed as interleaved
 // events on the one virtual timeline.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	fired   uint64
-	running bool
+	now      Time
+	seq      uint64
+	queue    eventHeap
+	fired    uint64
+	running  bool
+	maxDepth int
 }
 
 // NewEngine returns an engine whose clock starts at virtual time zero.
@@ -107,6 +108,17 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // cancelled events that have not yet been discarded).
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// MaxPending reports the deepest the event heap has ever grown — the
+// engine's high-water mark, recorded for the self-profiler lane of the
+// flight recorder and the engine benchmark.
+func (e *Engine) MaxPending() int { return e.maxDepth }
+
+func (e *Engine) noteDepth() {
+	if n := len(e.queue); n > e.maxDepth {
+		e.maxDepth = n
+	}
+}
+
 // At schedules fn to fire at virtual instant t. Scheduling into the past
 // (t < Now) panics: it would silently reorder causality.
 func (e *Engine) At(t Time, fn func()) {
@@ -118,6 +130,7 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.noteDepth()
 }
 
 // After schedules fn to fire d from now. Negative d fires "now" (after all
@@ -155,6 +168,7 @@ func (e *Engine) AfterTimer(d time.Duration, fn func()) *Timer {
 	cancelled := new(bool)
 	e.seq++
 	heap.Push(&e.queue, &event{at: e.now.Add(d), seq: e.seq, fn: fn, cancel: cancelled})
+	e.noteDepth()
 	return &Timer{cancelled: cancelled}
 }
 

@@ -409,6 +409,25 @@ func (rm *RM) liveOf(app *App) []*Container {
 // LiveContainers reports the number of currently allocated containers.
 func (rm *RM) LiveContainers() int { return len(rm.live) }
 
+// ContainersByNode counts the live containers on each worker node, keyed by
+// node name — the per-node running-container gauge the flight recorder
+// samples. Every tracked node appears, so an idle node reports 0 rather
+// than vanishing from the series.
+func (rm *RM) ContainersByNode() map[string]int {
+	out := make(map[string]int, len(rm.trackers))
+	for _, nt := range rm.trackers {
+		out[nt.Node.Name] = 0
+	}
+	for _, c := range rm.live {
+		out[c.Node.Name]++
+	}
+	return out
+}
+
+// PendingAsks reports the scheduler's queued-ask backlog: container
+// requests accepted but not yet granted.
+func (rm *RM) PendingAsks() int { return rm.Sched.Queued() }
+
 func sortContainers(cs []*Container) {
 	for i := 1; i < len(cs); i++ {
 		for j := i; j > 0 && cs[j].ID < cs[j-1].ID; j-- {

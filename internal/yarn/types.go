@@ -163,6 +163,12 @@ type Scheduler interface {
 	// made here are buffered on the app and delivered at its next AM
 	// heartbeat.
 	OnNodeUpdate(rm *RM, nt *NodeTracker)
+
+	// Queued reports the asks currently waiting in the scheduler — the
+	// pending-container backlog the flight recorder samples as a gauge.
+	// Schedulers that grant immediately (D+) report 0 except for asks
+	// deferred to a later heartbeat.
+	Queued() int
 }
 
 // AppState tracks an application's lifecycle.
