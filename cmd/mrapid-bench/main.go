@@ -35,7 +35,7 @@ func main() {
 
 		seriesOut = flag.String("series-out", "", "write the flight recorder's Prometheus series dump here (enables the recorder; throughput experiment)")
 		dashOut   = flag.String("dash-out", "", "write the flight recorder's HTML dashboard here (enables the recorder; throughput experiment)")
-		engineOut = flag.String("engine-bench", "", "write the engine self-profile JSON (BENCH_engine.json) here (enables the recorder; throughput experiment)")
+		engineOut = flag.String("engine-bench", "", "write the engine self-profile JSON (BENCH_engine.json) here (enables the recorder; throughput and engine experiments)")
 	)
 	flag.Parse()
 

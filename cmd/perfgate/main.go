@@ -1,0 +1,102 @@
+// Command perfgate is the CI perf-regression gate for the discrete-event
+// engine: it diffs a freshly generated BENCH_engine.json against the
+// committed baseline and fails (exit 1) when throughput regressed beyond
+// the tolerance or the allocation rate grew beyond it.
+//
+//	perfgate -baseline perf/BENCH_engine.baseline.json -fresh artifacts/BENCH_engine_storm.json
+//
+// events/sec is host-dependent — the tolerance absorbs machine-to-machine
+// noise, and the baseline should be refreshed (run the engine experiment
+// with -engine-bench and commit the output) whenever CI hardware or an
+// intentional engine change moves the floor. allocs/event is deterministic
+// for a given Go toolchain, so its check is the sharper tripwire.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type engineBench struct {
+	Events              uint64  `json:"events"`
+	VirtualSeconds      float64 `json:"virtual_seconds"`
+	HostSeconds         float64 `json:"host_seconds"`
+	EventsPerHostSec    float64 `json:"events_per_host_sec"`
+	HostNsPerVirtualSec float64 `json:"host_ns_per_virtual_sec"`
+	AllocsPerEvent      float64 `json:"allocs_per_event"`
+	BytesPerEvent       float64 `json:"bytes_per_event"`
+	MaxEventHeapDepth   int     `json:"max_event_heap_depth"`
+}
+
+type benchFile struct {
+	ID    string      `json:"id"`
+	Bench engineBench `json:"bench"`
+}
+
+func load(path string) (engineBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return engineBench{}, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return engineBench{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Bench.EventsPerHostSec <= 0 {
+		return engineBench{}, fmt.Errorf("%s: no events_per_host_sec in bench", path)
+	}
+	return f.Bench, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "perf/BENCH_engine.baseline.json", "committed baseline BENCH_engine.json")
+	freshPath := flag.String("fresh", "", "freshly generated BENCH_engine.json to gate")
+	maxRegress := flag.Float64("max-regress", 0.20, "tolerated fractional events/sec regression (and allocs/event growth)")
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "perfgate: -fresh is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: fresh: %v\n", err)
+		os.Exit(2)
+	}
+
+	evRatio := fresh.EventsPerHostSec / base.EventsPerHostSec
+	fmt.Printf("%-22s %14s %14s %8s\n", "metric", "baseline", "fresh", "ratio")
+	fmt.Printf("%-22s %14.0f %14.0f %7.2fx\n", "events/host-sec", base.EventsPerHostSec, fresh.EventsPerHostSec, evRatio)
+	allocRatio := 0.0
+	if base.AllocsPerEvent > 0 {
+		allocRatio = fresh.AllocsPerEvent / base.AllocsPerEvent
+		fmt.Printf("%-22s %14.3f %14.3f %7.2fx\n", "allocs/event", base.AllocsPerEvent, fresh.AllocsPerEvent, allocRatio)
+	} else {
+		fmt.Printf("%-22s %14.3f %14.3f %8s\n", "allocs/event", base.AllocsPerEvent, fresh.AllocsPerEvent, "n/a")
+	}
+	fmt.Printf("%-22s %14.2f %14.2f\n", "bytes/event", base.BytesPerEvent, fresh.BytesPerEvent)
+	fmt.Printf("%-22s %14d %14d\n", "max-live-pending", base.MaxEventHeapDepth, fresh.MaxEventHeapDepth)
+
+	failed := false
+	if evRatio < 1.0-*maxRegress {
+		fmt.Fprintf(os.Stderr, "perfgate: FAIL events/host-sec regressed %.1f%% (tolerance %.0f%%)\n",
+			(1-evRatio)*100, *maxRegress*100)
+		failed = true
+	}
+	if base.AllocsPerEvent > 0 && allocRatio > 1.0+*maxRegress {
+		fmt.Fprintf(os.Stderr, "perfgate: FAIL allocs/event grew %.1f%% (tolerance %.0f%%)\n",
+			(allocRatio-1)*100, *maxRegress*100)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("perfgate: OK")
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mrapid/internal/flight"
+	"mrapid/internal/metrics"
+	"mrapid/internal/sim"
+)
+
+// The engine experiment is a pure event storm: no mapreduce job, just the
+// discrete-event engine driven through the same primitives the cluster
+// simulation hammers — staggered per-node heartbeat tickers, same-instant
+// launch bursts, FIFO device queues, semaphore churn, watchdog timers that
+// are almost always cancelled, and a per-event metrics sample. It exists
+// to measure the simulator itself: the flight recorder's self-profiler
+// summarizes the run as BENCH_engine.json (events/sec, allocs/event,
+// host-ns/virtual-sec), which CI diffs against a committed baseline.
+//
+// The storm is fully deterministic; the experiment runs it twice and
+// fails if the two virtual timelines or metric dumps diverge.
+
+// engineStormConfig sizes one storm run.
+type engineStormConfig struct {
+	Nodes     int           // heartbeat tickers
+	Burst     int           // container launches per heartbeat
+	Pings     int           // status-RPC acks per heartbeat (pure engine events)
+	Heartbeat time.Duration // ticker period
+	Duration  time.Duration // virtual run length
+}
+
+func defaultStorm(scale float64) engineStormConfig {
+	d := time.Duration(300 * scale * float64(time.Second))
+	if d < 2*time.Second {
+		d = 2 * time.Second
+	}
+	// 256 nodes × 96 status RPCs spread over up to ~96 ms keeps ~12k events
+	// pending at any instant — the regime a large cluster simulation lives
+	// in, where a binary heap pays a deep pointer-chasing sift per event and
+	// a calendar queue stays O(1).
+	return engineStormConfig{Nodes: 256, Burst: 4, Pings: 96, Heartbeat: 100 * time.Millisecond, Duration: d}
+}
+
+// stormOutcome captures everything deterministic about one storm run, for
+// the run-vs-run identity check.
+type stormOutcome struct {
+	Fired    uint64
+	Now      sim.Time
+	Launches int64
+	Timeouts int64
+	Counters map[string]int64
+}
+
+// runEngineStorm drives one storm and returns the deterministic outcome
+// plus the self-profiler's host-lane summary.
+func runEngineStorm(cfg engineStormConfig) (stormOutcome, flight.EngineBench) {
+	eng := sim.NewEngine()
+	reg := metrics.New()
+	rec := flight.New(eng, reg, nil, flight.Config{Interval: 250 * time.Millisecond})
+
+	disk := sim.NewDevice(eng, "disk", 400e6)
+	slots := sim.NewSemaphore(eng, "containers", cfg.Nodes*2)
+
+	var launches, timeouts int64
+	// Hot-path metric handles, bound once at setup the way the yarn and
+	// mapreduce layers bind theirs: per-sample cost is one atomic.
+	launchCounters := make([]metrics.Counter, cfg.Nodes)
+	for n := range launchCounters {
+		launchCounters[n] = reg.CounterHandle("storm_launches_total", "node", fmt.Sprintf("node%02d", n))
+	}
+	heartbeats := reg.CounterHandle("storm_heartbeats_total")
+	watchdogTimeouts := reg.CounterHandle("storm_watchdog_timeouts_total")
+	launchSeconds := reg.HistogramHandle("storm_launch_seconds")
+
+	// One heartbeat: a same-instant burst of container launches, each of
+	// which queues a disk transfer, takes a semaphore slot for a while, and
+	// arms a watchdog timer that the completion path almost always cancels
+	// — the exact shape of the NM/RM hot path, with its timer churn.
+	watchdogFired := func() {
+		timeouts++
+		watchdogTimeouts.Inc()
+	}
+	launch := func(node int) {
+		launches++
+		launchCounters[node].Inc()
+		watchdog := eng.AfterTimer(80*time.Millisecond, watchdogFired)
+		disk.Use(16<<10, func() {
+			slots.Acquire(1, func() {
+				eng.After(5*time.Millisecond, func() {
+					slots.Release(1)
+					watchdog.Stop()
+					launchSeconds.Observe(0.005)
+				})
+			})
+		})
+	}
+
+	// Status-RPC acks: the pure-engine lane. A real node's heartbeat fans
+	// out dozens of small RPCs whose completions are events with trivial
+	// callbacks; this is the traffic that dominates at 1000-node scale.
+	pingDone := func() {}
+	tickers := make([]*sim.Ticker, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		n := n
+		// Stagger starts so heartbeats do not all land on one instant,
+		// then let each burst be genuinely same-instant.
+		eng.After(time.Duration(n)*time.Millisecond, func() {
+			tickers[n] = eng.Every(cfg.Heartbeat, func() {
+				heartbeats.Inc()
+				for p := 0; p < cfg.Pings; p++ {
+					eng.After(time.Duration(p+1)*time.Millisecond, pingDone)
+				}
+				for b := 0; b < cfg.Burst; b++ {
+					launch(n)
+				}
+			})
+		})
+	}
+	// A slice of far-future maintenance timers keeps the overflow tier of
+	// the queue populated the whole run.
+	for i := 0; i < 64; i++ {
+		eng.After(cfg.Duration+time.Duration(i)*time.Second, func() {})
+	}
+
+	rec.Start()
+	eng.RunUntil(sim.Time(0).Add(cfg.Duration))
+	for _, t := range tickers {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	rec.Stop()
+	eng.Run() // drain the far-future tail so Fired covers every event
+
+	return stormOutcome{
+		Fired:    eng.Fired(),
+		Now:      eng.Now(),
+		Launches: launches,
+		Timeouts: timeouts,
+		Counters: reg.Counters(),
+	}, rec.SelfProfiler().Summary()
+}
+
+func sameOutcome(a, b stormOutcome) error {
+	if a.Fired != b.Fired || a.Now != b.Now || a.Launches != b.Launches || a.Timeouts != b.Timeouts {
+		return fmt.Errorf("engine storm diverged: fired %d vs %d, now %v vs %v, launches %d vs %d, timeouts %d vs %d",
+			a.Fired, b.Fired, a.Now, b.Now, a.Launches, b.Launches, a.Timeouts, b.Timeouts)
+	}
+	if len(a.Counters) != len(b.Counters) {
+		return fmt.Errorf("engine storm diverged: %d vs %d counter series", len(a.Counters), len(b.Counters))
+	}
+	for k, v := range a.Counters {
+		if b.Counters[k] != v {
+			return fmt.Errorf("engine storm diverged: %s = %d vs %d", k, v, b.Counters[k])
+		}
+	}
+	return nil
+}
+
+// EngineStorm regenerates the engine self-benchmark: two identical storms
+// (checked for determinism), with the second run's host-lane summary
+// reported and, when Options.EngineBenchOut is set, written as
+// BENCH_engine.json.
+func EngineStorm(o Options) (*Figure, error) {
+	o = o.normalized()
+	cfg := defaultStorm(o.Scale)
+
+	first, _ := runEngineStorm(cfg)
+	second, eb := runEngineStorm(cfg)
+	if err := sameOutcome(first, second); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+
+	fig := &Figure{
+		ID: "engine", Title: "Engine event-storm self-benchmark",
+		XLabel:  "metric",
+		Columns: []string{"value"},
+		Points: []Point{
+			{X: 0, Label: "events", Seconds: map[string]float64{"value": float64(eb.Events)}},
+			{X: 1, Label: "events/host-sec", Seconds: map[string]float64{"value": eb.EventsPerHostSec}},
+			{X: 2, Label: "allocs/event", Seconds: map[string]float64{"value": eb.AllocsPerEvent}},
+			{X: 3, Label: "bytes/event", Seconds: map[string]float64{"value": eb.BytesPerEvent}},
+			{X: 4, Label: "host-ns/virtual-sec", Seconds: map[string]float64{"value": eb.HostNsPerVirtualSec}},
+			{X: 5, Label: "max-live-pending", Seconds: map[string]float64{"value": float64(eb.MaxEventHeapDepth)}},
+		},
+		Notes: []string{
+			"host-side numbers (vary per machine); virtual timeline checked identical across two runs",
+			fmt.Sprintf("storm: %d nodes x %v heartbeats, burst %d, %v virtual", cfg.Nodes, cfg.Heartbeat, cfg.Burst, cfg.Duration),
+		},
+	}
+	if o.EngineBenchOut != "" {
+		if err := writeEngineBenchFile(o.EngineBenchOut, "engine", eb); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}

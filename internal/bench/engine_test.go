@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// The storm must be deterministic run-to-run — that is what makes its
+// before/after throughput numbers comparable and keeps the experiment
+// honest about the engine's (time, seq) contract.
+func TestEngineStormDeterministic(t *testing.T) {
+	cfg := defaultStorm(0.02)
+	a, _ := runEngineStorm(cfg)
+	b, _ := runEngineStorm(cfg)
+	if err := sameOutcome(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Launches == 0 || a.Fired == 0 {
+		t.Fatalf("storm did nothing: %+v", a)
+	}
+	if a.Timeouts >= a.Launches {
+		t.Fatalf("watchdogs should almost never fire: %d timeouts of %d launches", a.Timeouts, a.Launches)
+	}
+}
+
+func TestEngineStormFigure(t *testing.T) {
+	fig, err := EngineStorm(Options{Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "engine" || len(fig.Points) == 0 {
+		t.Fatalf("unexpected figure: %+v", fig)
+	}
+}
+
+func BenchmarkEngineStorm(b *testing.B) {
+	cfg := defaultStorm(0.1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runEngineStorm(cfg)
+	}
+}

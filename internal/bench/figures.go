@@ -532,6 +532,7 @@ var Registry = []struct {
 	{"shuffle", Shuffle, "shuffle service: consolidated fetches, combine & compression"},
 	{"warm", Warm, "calibrating estimator: warm workloads skip the 2× dual-launch"},
 	{"dagquery", DAGQuery, "query DAG scheduler: parallel branches vs sequential chains"},
+	{"engine", EngineStorm, "discrete-event engine self-benchmark (events/sec, allocs/event)"},
 }
 
 // Lookup finds a registered experiment by ID.

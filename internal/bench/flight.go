@@ -117,19 +117,25 @@ func writeFlightArtifacts(env *Env, o Options, title string, bench *flight.Engin
 		}
 	}
 	if o.EngineBenchOut != "" && bench != nil {
-		f, err := os.Create(o.EngineBenchOut)
-		if err != nil {
-			return err
-		}
-		if err := flight.WriteEngineBench(f, "engine", *bench); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeEngineBenchFile(o.EngineBenchOut, "engine", *bench); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeEngineBenchFile writes one self-profiler summary as a BENCH_*.json
+// artifact.
+func writeEngineBenchFile(path, id string, b flight.EngineBench) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := flight.WriteEngineBench(f, id, b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // TenantSLOReport is one tenant's SLO outcome in a ThroughputResult: the

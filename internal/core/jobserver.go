@@ -65,6 +65,36 @@ type tenantState struct {
 
 	Submitted int64
 	Completed int64
+
+	// Pre-resolved tenant-labeled handles, bound per registry (RT.Reg is
+	// assignable after the server is built; see handles).
+	hSrc          *metrics.Registry
+	hSubmitted    map[ModeKind]metrics.Counter
+	hCompleted    metrics.Counter
+	hDeadlineMiss metrics.Counter
+	hQueueWait    metrics.Observer
+}
+
+// handles rebinds the tenant's metric handles when the registry changed.
+func (t *tenantState) handles(reg *metrics.Registry) *tenantState {
+	if t.hSrc != reg || t.hSubmitted == nil {
+		t.hSrc = reg
+		t.hSubmitted = make(map[ModeKind]metrics.Counter)
+		t.hCompleted = reg.CounterHandle("jobserver_completed_total", "tenant", t.name)
+		t.hDeadlineMiss = reg.CounterHandle("jobserver_deadline_miss_total", "tenant", t.name)
+		t.hQueueWait = reg.HistogramHandle("jobserver_queue_wait_seconds", "tenant", t.name)
+	}
+	return t
+}
+
+func (t *tenantState) submittedCounter(reg *metrics.Registry, mode ModeKind) metrics.Counter {
+	t.handles(reg)
+	c, ok := t.hSubmitted[mode]
+	if !ok {
+		c = reg.CounterHandle("jobserver_submitted_total", "tenant", t.name, "mode", string(mode))
+		t.hSubmitted[mode] = c
+	}
+	return c
 }
 
 // queuedJob is one submission waiting for admission.
@@ -374,9 +404,11 @@ func (s *JobServer) submit(tenant, queue string, mode ModeKind, spec *mapreduce.
 		j.predicted, _ = s.fw.PredictRuntime(spec)
 	}
 	j.run = func() { run(j) }
-	j.span = s.fw.RT.Trace.StartSpan(0, "jobserver", spec.Name+" queue-wait", "admit",
-		trace.A("tenant", t.name), trace.A("mode", string(mode)))
-	s.fw.RT.Reg.Inc(metrics.With("jobserver_submitted_total", "tenant", t.name, "mode", string(mode)))
+	if s.fw.RT.Trace != nil {
+		j.span = s.fw.RT.Trace.StartSpan(0, "jobserver", spec.Name+" queue-wait", "admit",
+			trace.A("tenant", t.name), trace.A("mode", string(mode)))
+	}
+	t.submittedCounter(s.fw.RT.Reg, mode).Inc()
 	s.pending = append(s.pending, j)
 	s.dispatch()
 	return nil
@@ -391,8 +423,10 @@ func (s *JobServer) settle(j *queuedJob, res *mapreduce.Result) {
 	missed := j.hasDeadline && now.Sub(j.deadline) > 0
 	if missed {
 		s.DeadlineMisses++
-		s.fw.RT.Reg.Inc(metrics.With("jobserver_deadline_miss_total", "tenant", j.tenant.name))
-		s.fw.RT.Trace.Add("jobserver", "job %s missed its deadline by %s", j.spec.Name, now.Sub(j.deadline))
+		j.tenant.handles(s.fw.RT.Reg).hDeadlineMiss.Inc()
+		if s.fw.RT.Trace != nil {
+			s.fw.RT.Trace.Add("jobserver", "job %s missed its deadline by %s", j.spec.Name, now.Sub(j.deadline))
+		}
 	}
 	j.tenant.Completed++
 	s.Completed++
@@ -405,7 +439,7 @@ func (s *JobServer) settle(j *queuedJob, res *mapreduce.Result) {
 	if res == nil {
 		res = &mapreduce.Result{Spec: j.spec}
 	}
-	s.fw.RT.Reg.Inc(metrics.With("jobserver_completed_total", "tenant", j.tenant.name))
+	j.tenant.handles(s.fw.RT.Reg).hCompleted.Inc()
 	j.done(res)
 }
 
@@ -479,8 +513,10 @@ func (s *JobServer) admit(j *queuedJob) {
 	j.admitAt = s.fw.RT.Eng.Now()
 	j.tenant.served += float64(j.cost)
 	wait := s.fw.RT.Eng.Now().Sub(j.enqAt)
-	s.fw.RT.Trace.EndSpan(j.span, trace.A("wait", wait.String()))
-	s.fw.RT.Reg.Observe(metrics.With("jobserver_queue_wait_seconds", "tenant", j.tenant.name), wait.Seconds())
+	if j.span != 0 {
+		s.fw.RT.Trace.EndSpan(j.span, trace.A("wait", wait.String()))
+	}
+	j.tenant.handles(s.fw.RT.Reg).hQueueWait.Observe(wait.Seconds())
 	if s.Observer != nil {
 		s.Observer.JobAdmitted(j.tenant.name, wait)
 	}

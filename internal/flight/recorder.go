@@ -64,6 +64,10 @@ type Recorder struct {
 	tlog *trace.Log
 	cfg  Config
 
+	// droppedSpans is the pre-resolved gauge the span ring's drop count is
+	// folded into each tick.
+	droppedSpans metrics.Gauge
+
 	series map[string]*Series
 	gauges []GaugeFunc
 	slo    *SLOTracker
@@ -94,6 +98,9 @@ func New(eng *sim.Engine, reg *metrics.Registry, tlog *trace.Log, cfg Config) *R
 		tlog:   tlog,
 		cfg:    cfg,
 		series: make(map[string]*Series),
+	}
+	if tlog != nil {
+		r.droppedSpans = reg.GaugeHandle("trace_dropped_spans_total")
 	}
 	if cfg.SLO.enabled() {
 		r.slo = NewSLOTracker(eng, tlog, cfg.SLO)
@@ -224,7 +231,7 @@ func (r *Recorder) tick() {
 	// rides the normal counter path (and the Prometheus export) rather
 	// than needing a side channel.
 	if r.tlog != nil {
-		r.reg.Set("trace_dropped_spans_total", r.tlog.Dropped())
+		r.droppedSpans.Set(r.tlog.Dropped())
 	}
 
 	counters := r.reg.Counters()

@@ -64,6 +64,25 @@ type tenantSLO struct {
 
 	breachOpen map[time.Duration]trace.SpanID
 	breaches   int64
+
+	// Series names are label-escaped once on first sample, not per tick.
+	nP99, nEvents, nBad, nBreach string
+	nBurn                        map[time.Duration]string
+}
+
+// seriesNames builds the tenant's recorder series keys once.
+func (ts *tenantSLO) seriesNames(windows []time.Duration) {
+	if ts.nP99 != "" {
+		return
+	}
+	ts.nP99 = metrics.With("slo_queue_wait_p99_seconds", "tenant", ts.name)
+	ts.nEvents = metrics.With("slo_events_total", "tenant", ts.name)
+	ts.nBad = metrics.With("slo_bad_events_total", "tenant", ts.name)
+	ts.nBreach = metrics.With("slo_breach_total", "tenant", ts.name)
+	ts.nBurn = make(map[time.Duration]string, len(windows))
+	for _, w := range windows {
+		ts.nBurn[w] = metrics.With("slo_burn_rate", "tenant", ts.name, "window", w.String())
+	}
 }
 
 // SLOTracker watches per-tenant queue waits and deadline misses and turns
@@ -236,18 +255,19 @@ func (t *SLOTracker) sample(at sim.Time, record func(name string, v float64)) {
 	}
 	for _, name := range t.Tenants() {
 		ts := t.tenants[name]
-		record(metrics.With("slo_queue_wait_p99_seconds", "tenant", name), ts.waits.Quantile(0.99))
-		record(metrics.With("slo_events_total", "tenant", name), float64(ts.total))
-		record(metrics.With("slo_bad_events_total", "tenant", name), float64(ts.bad))
+		ts.seriesNames(t.cfg.Windows)
+		record(ts.nP99, ts.waits.Quantile(0.99))
+		record(ts.nEvents, float64(ts.total))
+		record(ts.nBad, float64(ts.bad))
 		for _, w := range t.cfg.Windows {
 			burn := ts.burn(at, w, t.cfg.MissBudget)
-			wl := w.String()
-			record(metrics.With("slo_burn_rate", "tenant", name, "window", wl), burn)
+			record(ts.nBurn[w], burn)
 			open, isOpen := ts.breachOpen[w]
 			switch {
 			case burn >= t.cfg.BurnAlert && !isOpen:
 				ts.breaches++
 				if t.tlog != nil {
+					wl := w.String()
 					ts.breachOpen[w] = t.tlog.StartSpan(0, "slo",
 						fmt.Sprintf("%s burn>%.3g over %s", name, t.cfg.BurnAlert, wl), "",
 						trace.A("tenant", name),
@@ -263,7 +283,7 @@ func (t *SLOTracker) sample(at sim.Time, record func(name string, v float64)) {
 				delete(ts.breachOpen, w)
 			}
 		}
-		record(metrics.With("slo_breach_total", "tenant", name), float64(ts.breaches))
+		record(ts.nBreach, float64(ts.breaches))
 		ts.prune(at, maxWindow)
 	}
 }

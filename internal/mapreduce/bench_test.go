@@ -59,8 +59,12 @@ func BenchmarkMergeSortedRuns(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if out := mergeSortedRuns(runs); len(out) == 0 {
+		out, scratch := mergeSortedRuns(runs)
+		if len(out) == 0 {
 			b.Fatal("empty merge")
+		}
+		if scratch {
+			putPairs(out)
 		}
 	}
 }

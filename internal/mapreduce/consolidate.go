@@ -100,15 +100,22 @@ func ConsolidateGroup(spec *JobSpec, group []*MapOutput) *Consolidated {
 			out.InMemory = false
 		}
 	}
+	runs := getRuns(len(group))
 	for p := 0; p < spec.NumReduces; p++ {
-		runs := make([][]Pair, 0, len(group))
+		runs = runs[:0]
 		for _, mo := range group {
 			runs = append(runs, mo.Partitions[p])
 		}
-		merged := mergeSortedRuns(runs)
+		merged, scratch := mergeSortedRuns(runs)
 		if spec.Combine != nil {
-			merged = combine(spec.Combine, merged)
+			combined := combine(spec.Combine, merged)
+			if scratch {
+				putPairs(merged)
+			}
+			merged = combined
 		}
+		// Without a combiner the merge scratch itself is retained as the
+		// consolidated partition; it simply leaves the pool.
 		out.Partitions[p] = merged
 		var n int64
 		for _, pr := range merged {
@@ -117,6 +124,7 @@ func ConsolidateGroup(spec *JobSpec, group []*MapOutput) *Consolidated {
 		out.PartBytes[p] = n
 		out.TotalBytes += n
 	}
+	putRuns(runs)
 	return &Consolidated{Out: out, Members: group}
 }
 

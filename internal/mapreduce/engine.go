@@ -2,7 +2,6 @@ package mapreduce
 
 import (
 	"bytes"
-	"container/heap"
 	"errors"
 	"fmt"
 	"slices"
@@ -71,6 +70,44 @@ type Runtime struct {
 	Workers int
 
 	pool *WorkerPool
+
+	// h caches pre-resolved metric handles for the per-attempt and
+	// per-fetch paths; see handles().
+	h rtHandles
+}
+
+// rtHandles holds the runtime's pre-resolved metric handles: the four
+// kind×outcome task-attempt counters, the two task-duration histograms, and
+// the transport/kind-keyed shuffle series (bound on first sight of each
+// label value). Reg is a public field assigned after construction, so
+// handles() rebinds whenever it changes.
+type rtHandles struct {
+	src           *metrics.Registry
+	mapOK         metrics.Counter
+	mapFailed     metrics.Counter
+	reduceOK      metrics.Counter
+	reduceFailed  metrics.Counter
+	mapSeconds    metrics.Observer
+	reduceSeconds metrics.Observer
+	shuffleBytes  map[string]metrics.Observer // by transport
+	shuffleFetch  map[string]metrics.Counter  // by kind+transport
+}
+
+func (rt *Runtime) handles() *rtHandles {
+	if rt.h.src != rt.Reg {
+		rt.h = rtHandles{
+			src:           rt.Reg,
+			mapOK:         rt.Reg.CounterHandle("mapreduce_task_attempts_total", "kind", "map", "outcome", "ok"),
+			mapFailed:     rt.Reg.CounterHandle("mapreduce_task_attempts_total", "kind", "map", "outcome", "failed"),
+			reduceOK:      rt.Reg.CounterHandle("mapreduce_task_attempts_total", "kind", "reduce", "outcome", "ok"),
+			reduceFailed:  rt.Reg.CounterHandle("mapreduce_task_attempts_total", "kind", "reduce", "outcome", "failed"),
+			mapSeconds:    rt.Reg.HistogramHandle("mapreduce_task_seconds", "kind", "map"),
+			reduceSeconds: rt.Reg.HistogramHandle("mapreduce_task_seconds", "kind", "reduce"),
+			shuffleBytes:  make(map[string]metrics.Observer),
+			shuffleFetch:  make(map[string]metrics.Counter),
+		}
+	}
+	return &rt.h
 }
 
 // workerPool lazily builds the pool selected by Workers. Called only from
@@ -184,7 +221,9 @@ func ExecMapFile(spec *JobSpec, file string, data []byte) *MapOutput {
 	for p := range out.Partitions {
 		sortPairs(out.Partitions[p])
 		if spec.Combine != nil {
-			out.Partitions[p] = combine(spec.Combine, out.Partitions[p])
+			raw := out.Partitions[p]
+			out.Partitions[p] = combine(spec.Combine, raw)
+			putPairs(raw) // pre-combine scratch, replaced and unreferenced
 		}
 		var n int64
 		for _, pr := range out.Partitions[p] {
@@ -215,8 +254,14 @@ func sortPairs(ps []Pair) {
 
 // mergeSortedRuns merges already-sorted pair runs into one sorted slice via
 // a k-way heap merge — O(n log k) instead of re-sorting everything, which
-// matters when a reduce pulls dozens of pre-sorted map outputs.
-func mergeSortedRuns(runs [][]Pair) []Pair {
+// matters when a reduce pulls dozens of pre-sorted map outputs. The heap is
+// a plain [][]Pair with hand-rolled sifts (container/heap would box every
+// run through an interface), and the output draws on the pair pool.
+//
+// The second result reports whether the returned slice is pool scratch the
+// caller owns (and should putPairs once done) — false when it aliases one
+// of the input runs or is nil.
+func mergeSortedRuns(runs [][]Pair) ([]Pair, bool) {
 	var total int
 	var nonEmpty int
 	var last []Pair
@@ -228,44 +273,63 @@ func mergeSortedRuns(runs [][]Pair) []Pair {
 		}
 	}
 	if nonEmpty == 0 {
-		return nil
+		return nil, false
 	}
 	if nonEmpty == 1 {
-		return last
+		return last, false
 	}
-	h := make(runHeap, 0, nonEmpty)
+	h := getRuns(nonEmpty)
 	for _, r := range runs {
 		if len(r) > 0 {
 			h = append(h, r)
 		}
 	}
-	heap.Init(&h)
-	out := make([]Pair, 0, total)
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftRun(h, i)
+	}
+	out := getPairs(total)
 	for len(h) > 0 {
 		r := h[0]
 		out = append(out, r[0])
 		if len(r) > 1 {
 			h[0] = r[1:]
-			heap.Fix(&h, 0)
 		} else {
-			heap.Pop(&h)
+			n := len(h) - 1
+			h[0] = h[n]
+			h = h[:n]
 		}
+		siftRun(h, 0)
 	}
-	return out
+	putRuns(h)
+	return out, true
 }
 
-// runHeap is a min-heap of sorted pair runs ordered by their head pair.
-type runHeap [][]Pair
+// siftRun restores the min-heap property at index i of a heap of runs
+// ordered by their head pair.
+func siftRun(h [][]Pair, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && comparePairs(h[r][0], h[l][0]) < 0 {
+			m = r
+		}
+		if comparePairs(h[m][0], h[i][0]) >= 0 {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
 
-func (h runHeap) Len() int           { return len(h) }
-func (h runHeap) Less(i, j int) bool { return comparePairs(h[i][0], h[j][0]) < 0 }
-func (h runHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *runHeap) Push(x any)        { *h = append(*h, x.([]Pair)) }
-func (h *runHeap) Pop() any          { old := *h; n := len(old); r := old[n-1]; *h = old[:n-1]; return r }
-
-// combine collapses sorted runs of equal keys through the combiner.
+// combine collapses sorted runs of equal keys through the combiner. The
+// result is freshly built (seeded from the pair pool, never put back by
+// combine itself — call sites retain it); the input is left untouched.
 func combine(c ReduceFunc, in []Pair) []Pair {
-	var out []Pair
+	out := getPairs(len(in))
 	emit := func(k, v []byte) { out = append(out, Pair{Key: k, Value: v}) }
 	groupSorted(in, func(key []byte, values [][]byte) { c(key, values, emit) })
 	sortPairs(out)
@@ -273,21 +337,26 @@ func combine(c ReduceFunc, in []Pair) []Pair {
 }
 
 // groupSorted walks key-sorted pairs and yields each distinct key with its
-// values.
+// values. The values slice is scratch reused between keys (and pooled
+// across calls): consumers — reducers and combiners — must not retain it
+// past the yield, the same contract Hadoop's reduce iterable has. Retaining
+// individual value byte slices is fine.
 func groupSorted(in []Pair, yield func(key []byte, values [][]byte)) {
+	values := getVals()
 	i := 0
 	for i < len(in) {
 		j := i + 1
 		for j < len(in) && bytes.Equal(in[j].Key, in[i].Key) {
 			j++
 		}
-		values := make([][]byte, 0, j-i)
+		values = values[:0]
 		for k := i; k < j; k++ {
 			values = append(values, in[k].Value)
 		}
 		yield(in[i].Key, values)
 		i = j
 	}
+	putVals(values)
 }
 
 // spillCount reports how many spill files a map output of n bytes produces
@@ -354,23 +423,30 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 	// learns of the loss from the RM's lost-container report instead.
 	epoch := node.Epoch()
 	comp := "task/" + node.Name
-	span := rt.Trace.StartSpan(opts.Parent, comp, fmt.Sprintf("map-%d", split.Index), "map",
-		trace.A("attempt", fmt.Sprint(opts.Attempt)),
-		trace.A("split", split.File))
+	var span, readSpan trace.SpanID
+	if rt.Trace != nil {
+		span = rt.Trace.StartSpan(opts.Parent, comp, fmt.Sprintf("map-%d", split.Index), "map",
+			trace.A("attempt", fmt.Sprint(opts.Attempt)),
+			trace.A("split", split.File))
+		readSpan = rt.Trace.StartSpan(span, comp, "read", "map")
+	}
 	readStart := rt.Eng.Now()
-	readSpan := rt.Trace.StartSpan(span, comp, "read", "map")
 	rt.ReadSplit(split, node, func(data []byte, err error) {
 		if !node.AliveEpoch(epoch) {
 			return
 		}
 		if err != nil {
-			rt.Trace.EndSpan(readSpan, trace.A("error", err.Error()))
-			rt.Trace.EndSpan(span, trace.A("error", err.Error()))
+			if rt.Trace != nil {
+				rt.Trace.EndSpan(readSpan, trace.A("error", err.Error()))
+				rt.Trace.EndSpan(span, trace.A("error", err.Error()))
+			}
 			done(nil, tp, err)
 			return
 		}
 		tp.ReadDur = rt.Eng.Now().Sub(readStart)
-		rt.Trace.EndSpan(readSpan, trace.A("bytes", fmt.Sprint(len(data))))
+		if rt.Trace != nil {
+			rt.Trace.EndSpan(readSpan, trace.A("bytes", fmt.Sprint(len(data))))
+		}
 		tp.InputBytes = int64(len(data))
 		if fail, point := rt.Faults.MapAttemptFor(spec.OutputFile, split.Index, opts.Attempt); fail {
 			// The attempt crashes partway through its compute phase: charge
@@ -391,10 +467,12 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 					tp.Failed = true
 					tp.Ended = rt.Eng.Now()
 					rt.Faults.FailNow()
-					rt.Trace.Add("task", "map %d attempt %d FAILED on %s", split.Index, opts.Attempt, node.Name)
-					rt.Trace.SpanSince(span, comp, "compute", "map", computeStart)
-					rt.Trace.EndSpan(span, trace.A("failed", "true"))
-					rt.Reg.Inc(metrics.With("mapreduce_task_attempts_total", "kind", "map", "outcome", "failed"))
+					if rt.Trace != nil {
+						rt.Trace.Add("task", "map %d attempt %d FAILED on %s", split.Index, opts.Attempt, node.Name)
+						rt.Trace.SpanSince(span, comp, "compute", "map", computeStart)
+						rt.Trace.EndSpan(span, trace.A("failed", "true"))
+					}
+					rt.handles().mapFailed.Inc()
 					done(nil, tp, &AttemptError{Kind: "map", Index: split.Index, Attempt: opts.Attempt})
 				})
 			})
@@ -438,15 +516,20 @@ func (rt *Runtime) RunMapTask(spec *JobSpec, split *hdfs.Split, node *topology.N
 					}
 					tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
 					node.Cores.Release(1)
-					rt.Trace.SpanSince(span, comp, "compute", "map", computeStart,
-						trace.A("records", fmt.Sprint(mo.Records)))
+					if rt.Trace != nil {
+						rt.Trace.SpanSince(span, comp, "compute", "map", computeStart,
+							trace.A("records", fmt.Sprint(mo.Records)))
+					}
 					rt.spillPhase(mo, node, epoch, span, tp, func() {
 						tp.Ended = rt.Eng.Now()
-						rt.Trace.Add("task", "map %d attempt %d done on %s (in=%d out=%d mem=%v)",
-							split.Index, opts.Attempt, node.Name, tp.InputBytes, tp.OutputBytes, mo.InMemory)
-						rt.Trace.EndSpan(span, trace.A("out_bytes", fmt.Sprint(mo.TotalBytes)))
-						rt.Reg.Inc(metrics.With("mapreduce_task_attempts_total", "kind", "map", "outcome", "ok"))
-						rt.Reg.Observe(metrics.With("mapreduce_task_seconds", "kind", "map"), tp.Elapsed().Seconds())
+						if rt.Trace != nil {
+							rt.Trace.Add("task", "map %d attempt %d done on %s (in=%d out=%d mem=%v)",
+								split.Index, opts.Attempt, node.Name, tp.InputBytes, tp.OutputBytes, mo.InMemory)
+							rt.Trace.EndSpan(span, trace.A("out_bytes", fmt.Sprint(mo.TotalBytes)))
+						}
+						h := rt.handles()
+						h.mapOK.Inc()
+						h.mapSeconds.Observe(tp.Elapsed().Seconds())
 						done(mo, tp, nil)
 					})
 				})
@@ -494,8 +577,10 @@ func (rt *Runtime) spillPhase(mo *MapOutput, node *topology.Node, epoch int, par
 			return
 		}
 		tp.SpillDur = rt.Eng.Now().Sub(spillStart)
-		rt.Trace.SpanSince(parent, comp, "spill", "map", spillStart,
-			trace.A("spills", fmt.Sprint(tp.Spills)))
+		if rt.Trace != nil {
+			rt.Trace.SpanSince(parent, comp, "spill", "map", spillStart,
+				trace.A("spills", fmt.Sprint(tp.Spills)))
+		}
 		if tp.Spills <= 1 {
 			done()
 			return
@@ -507,7 +592,9 @@ func (rt *Runtime) spillPhase(mo *MapOutput, node *topology.Node, epoch int, par
 					return
 				}
 				tp.MergeDur = rt.Eng.Now().Sub(mergeStart)
-				rt.Trace.SpanSince(parent, comp, "merge", "map", mergeStart)
+				if rt.Trace != nil {
+					rt.Trace.SpanSince(parent, comp, "merge", "map", mergeStart)
+				}
 				done()
 			})
 		})
@@ -552,10 +639,24 @@ func (rt *Runtime) ShuffleBytesInFlight() int64 { return rt.shuffleInFlight }
 // per-(map, partition) fetch and "consolidated" for the shuffle service's
 // per-(node, partition) fetch.
 func (rt *Runtime) ObserveShuffle(kind, transport string, n int64) {
-	name := metrics.With("mapreduce_shuffle_bytes", "transport", transport)
-	rt.Reg.Define(name, shuffleByteBuckets)
-	rt.Reg.Observe(name, float64(n))
-	rt.Reg.Inc(metrics.With("mapreduce_shuffle_fetch_total", "kind", kind, "transport", transport))
+	if rt.Reg == nil {
+		return
+	}
+	h := rt.handles()
+	ob, ok := h.shuffleBytes[transport]
+	if !ok {
+		name := metrics.With("mapreduce_shuffle_bytes", "transport", transport)
+		rt.Reg.Define(name, shuffleByteBuckets)
+		ob = rt.Reg.HistogramHandle(name)
+		h.shuffleBytes[transport] = ob
+	}
+	ob.Observe(float64(n))
+	fetch, ok := h.shuffleFetch[kind+"/"+transport]
+	if !ok {
+		fetch = rt.Reg.CounterHandle("mapreduce_shuffle_fetch_total", "kind", kind, "transport", transport)
+		h.shuffleFetch[kind+"/"+transport] = fetch
+	}
+	fetch.Inc()
 }
 
 // ShuffleFetch is FetchPartition with observability: the fetch is recorded
@@ -563,18 +664,25 @@ func (rt *Runtime) ObserveShuffle(kind, transport string, n int64) {
 // histogram. AMs use this; FetchPartition remains the raw primitive.
 func (rt *Runtime) ShuffleFetch(parent trace.SpanID, mo *MapOutput, part int, dst *topology.Node, done func(error)) {
 	transport := ShuffleTransport(mo, dst)
-	span := rt.Trace.StartSpan(parent, "task/"+dst.Name,
-		fmt.Sprintf("fetch map-%d.p%d", mo.Split.Index, part), "shuffle",
-		trace.A("from", mo.Node.Name),
-		trace.A("transport", transport),
-		trace.A("bytes", fmt.Sprint(mo.PartBytes[part])))
+	var span trace.SpanID
+	if rt.Trace != nil {
+		span = rt.Trace.StartSpan(parent, "task/"+dst.Name,
+			fmt.Sprintf("fetch map-%d.p%d", mo.Split.Index, part), "shuffle",
+			trace.A("from", mo.Node.Name),
+			trace.A("transport", transport),
+			trace.A("bytes", fmt.Sprint(mo.PartBytes[part])))
+	}
 	rt.AddShuffleInFlight(mo.PartBytes[part])
 	rt.FetchPartition(mo, part, dst, func(err error) {
 		rt.AddShuffleInFlight(-mo.PartBytes[part])
 		if err != nil {
-			rt.Trace.EndSpan(span, trace.A("error", err.Error()))
+			if span != 0 {
+				rt.Trace.EndSpan(span, trace.A("error", err.Error()))
+			}
 		} else {
-			rt.Trace.EndSpan(span)
+			if span != 0 {
+				rt.Trace.EndSpan(span)
+			}
 			rt.ObserveShuffle("permap", transport, mo.PartBytes[part])
 		}
 		done(err)
@@ -647,28 +755,39 @@ func (rt *Runtime) FetchPartition(mo *MapOutput, part int, dst *topology.Node, d
 // ExecReduce runs the reduce function for real over the fetched partitions:
 // merge, group by key, reduce. Pure computation.
 func ExecReduce(spec *JobSpec, part int, outputs []*MapOutput) []Pair {
-	runs := make([][]Pair, 0, len(outputs))
+	runs := getRuns(len(outputs))
 	for _, mo := range outputs {
 		runs = append(runs, mo.Partitions[part])
 	}
-	merged := mergeSortedRuns(runs)
+	merged, scratch := mergeSortedRuns(runs)
+	putRuns(runs)
 	var result []Pair
 	emit := func(k, v []byte) { result = append(result, Pair{Key: k, Value: v}) }
 	groupSorted(merged, func(key []byte, values [][]byte) { spec.Reduce(key, values, emit) })
+	if scratch {
+		putPairs(merged)
+	}
 	return result
 }
 
 // EncodePairs serializes output pairs as tab-separated lines, the shape of
-// TextOutputFormat, so job output is a plain inspectable HDFS file.
+// TextOutputFormat, so job output is a plain inspectable HDFS file. The
+// buffer is sized exactly up front — output encoding runs once per reduce
+// over everything the task produced, so the doubling-growth copies a
+// bytes.Buffer would do are pure waste.
 func EncodePairs(ps []Pair) []byte {
-	var buf bytes.Buffer
+	var n int
 	for _, p := range ps {
-		buf.Write(p.Key)
-		buf.WriteByte('\t')
-		buf.Write(p.Value)
-		buf.WriteByte('\n')
+		n += len(p.Key) + len(p.Value) + 2
 	}
-	return buf.Bytes()
+	buf := make([]byte, 0, n)
+	for _, p := range ps {
+		buf = append(buf, p.Key...)
+		buf = append(buf, '\t')
+		buf = append(buf, p.Value...)
+		buf = append(buf, '\n')
+	}
+	return buf
 }
 
 // PartFileName returns the output file for one reduce partition.
@@ -707,8 +826,11 @@ func (rt *Runtime) RunReduceTask(spec *JobSpec, part int, opts ReduceOptions, ou
 		Attempt: attempt,
 	}
 	comp := "task/" + node.Name
-	span := rt.Trace.StartSpan(opts.Parent, comp, fmt.Sprintf("reduce-%d", part), "reduce",
-		trace.A("attempt", fmt.Sprint(attempt)))
+	var span trace.SpanID
+	if rt.Trace != nil {
+		span = rt.Trace.StartSpan(opts.Parent, comp, fmt.Sprintf("reduce-%d", part), "reduce",
+			trace.A("attempt", fmt.Sprint(attempt)))
+	}
 	var in int64
 	for _, mo := range outputs {
 		in += mo.PartBytes[part]
@@ -733,9 +855,11 @@ func (rt *Runtime) RunReduceTask(spec *JobSpec, part int, opts ReduceOptions, ou
 				tp.Failed = true
 				tp.Ended = rt.Eng.Now()
 				rt.Faults.FailNow()
-				rt.Trace.SpanSince(span, comp, "compute", "reduce", computeStart)
-				rt.Trace.EndSpan(span, trace.A("failed", "true"))
-				rt.Reg.Inc(metrics.With("mapreduce_task_attempts_total", "kind", "reduce", "outcome", "failed"))
+				if rt.Trace != nil {
+					rt.Trace.SpanSince(span, comp, "compute", "reduce", computeStart)
+					rt.Trace.EndSpan(span, trace.A("failed", "true"))
+				}
+				rt.handles().reduceFailed.Inc()
 				done(tp, &AttemptError{Kind: "reduce", Index: part, Attempt: attempt})
 			})
 		})
@@ -749,7 +873,9 @@ func (rt *Runtime) RunReduceTask(spec *JobSpec, part int, opts ReduceOptions, ou
 	}
 	fut := Async(rt.workerPool(), func() reduced {
 		result := ExecReduce(spec, part, outputs)
-		return reduced{encoded: EncodePairs(result), records: int64(len(result))}
+		r := reduced{encoded: EncodePairs(result), records: int64(len(result))}
+		putPairs(result) // encoded copies the bytes; the pair headers are dead
+		return r
 	})
 	node.Cores.Acquire(1, func() {
 		if !node.AliveEpoch(epoch) {
@@ -769,8 +895,10 @@ func (rt *Runtime) RunReduceTask(spec *JobSpec, part int, opts ReduceOptions, ou
 			tp.Records = r.records
 			tp.ComputeDur = rt.Eng.Now().Sub(computeStart)
 			node.Cores.Release(1)
-			rt.Trace.SpanSince(span, comp, "compute", "reduce", computeStart,
-				trace.A("records", fmt.Sprint(r.records)))
+			if rt.Trace != nil {
+				rt.Trace.SpanSince(span, comp, "compute", "reduce", computeStart,
+					trace.A("records", fmt.Sprint(r.records)))
+			}
 			writeStart := rt.Eng.Now()
 			committed := func(err error) {
 				if !node.AliveEpoch(epoch) {
@@ -778,13 +906,16 @@ func (rt *Runtime) RunReduceTask(spec *JobSpec, part int, opts ReduceOptions, ou
 				}
 				tp.SpillDur = rt.Eng.Now().Sub(writeStart)
 				tp.Ended = rt.Eng.Now()
-				rt.Trace.Add("task", "reduce %d attempt %d done on %s (in=%d out=%d)",
-					part, attempt, node.Name, tp.InputBytes, tp.OutputBytes)
-				rt.Trace.SpanSince(span, comp, "write", "reduce", writeStart,
-					trace.A("bytes", fmt.Sprint(tp.OutputBytes)))
-				rt.Trace.EndSpan(span)
-				rt.Reg.Inc(metrics.With("mapreduce_task_attempts_total", "kind", "reduce", "outcome", "ok"))
-				rt.Reg.Observe(metrics.With("mapreduce_task_seconds", "kind", "reduce"), tp.Elapsed().Seconds())
+				if rt.Trace != nil {
+					rt.Trace.Add("task", "reduce %d attempt %d done on %s (in=%d out=%d)",
+						part, attempt, node.Name, tp.InputBytes, tp.OutputBytes)
+					rt.Trace.SpanSince(span, comp, "write", "reduce", writeStart,
+						trace.A("bytes", fmt.Sprint(tp.OutputBytes)))
+					rt.Trace.EndSpan(span)
+				}
+				h := rt.handles()
+				h.reduceOK.Inc()
+				h.reduceSeconds.Observe(tp.Elapsed().Seconds())
 				done(tp, err)
 			}
 			if spec.IntermediateOutput && rt.Intermediates != nil {

@@ -1,0 +1,61 @@
+package metrics
+
+import "testing"
+
+// The benchmarks contrast the two access styles on the same registry: the
+// string-keyed path pays With (label escape + sort + join) plus a map
+// lookup under the registry mutex per sample; a handle pays all of that
+// once at bind time and then a bare atomic per sample. Hot paths are
+// expected to stay on handles — the perf gate watches allocs/event.
+
+func BenchmarkCounterLookupInc(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Inc(With("containers_launched_total", "node", "node07"))
+	}
+}
+
+func BenchmarkCounterHandleInc(b *testing.B) {
+	r := New()
+	h := r.CounterHandle("containers_launched_total", "node", "node07")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Inc()
+	}
+}
+
+func BenchmarkCounterBareNameInc(b *testing.B) {
+	// No labels: isolates the map-lookup + mutex cost from With.
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Inc("heartbeats_total")
+	}
+}
+
+func BenchmarkGaugeHandleSet(b *testing.B) {
+	r := New()
+	g := r.GaugeHandle("pending_events")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkObserveLookup(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Observe("alloc_latency_seconds", 0.003)
+	}
+}
+
+func BenchmarkObserveHandle(b *testing.B) {
+	r := New()
+	o := r.HistogramHandle("alloc_latency_seconds")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Observe(0.003)
+	}
+}

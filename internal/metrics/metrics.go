@@ -2,6 +2,17 @@
 // by the simulation components and the CLI tools to report protocol and
 // I/O activity (heartbeat counts, bytes moved, locality hit rates,
 // allocation-latency distributions) alongside job timings.
+//
+// Two access styles share the same underlying cells:
+//
+//   - String-keyed calls (Inc, Add, Set, Observe) resolve the series name in
+//     a map under the registry mutex on every sample. Convenient for cold
+//     paths and tests.
+//   - Pre-resolved handles (CounterHandle, GaugeHandle, HistogramHandle)
+//     bind a label set once at setup and return a cell pointer; each sample
+//     is then a single atomic add with no lock, no map lookup and no label
+//     escaping. Hot paths — per-heartbeat, per-container, per-record — use
+//     handles.
 package metrics
 
 import (
@@ -10,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultDurationBuckets are the upper bounds (in seconds) used by Observe
@@ -76,24 +88,63 @@ func (h *Histogram) Quantile(p float64) float64 {
 	return h.Buckets[len(h.Buckets)-1]
 }
 
+// counterCell is the storage behind one counter/gauge series. Handles point
+// straight at it, so samples are lock-free atomics.
+type counterCell struct {
+	v atomic.Int64
+}
+
+// histCell is the storage behind one histogram series. Buckets are replaced
+// only while the histogram is empty (Define), so observation needs just the
+// cell's own mutex — never the registry's.
+type histCell struct {
+	mu      sync.Mutex
+	buckets []float64
+	counts  []int64
+	sum     float64
+	count   int64
+}
+
+func (hc *histCell) observe(v float64) {
+	hc.mu.Lock()
+	i := sort.SearchFloat64s(hc.buckets, v)
+	hc.counts[i]++
+	hc.sum += v
+	hc.count++
+	hc.mu.Unlock()
+}
+
+func (hc *histCell) snapshot() *Histogram {
+	hc.mu.Lock()
+	h := &Histogram{
+		Buckets: append([]float64(nil), hc.buckets...),
+		Counts:  append([]int64(nil), hc.counts...),
+		Sum:     hc.sum,
+		Count:   hc.count,
+	}
+	hc.mu.Unlock()
+	return h
+}
+
 // Registry holds named counters and histograms. The zero value is not
 // usable; call New. A nil *Registry is a valid "disabled" registry: every
-// method is a no-op (reads return zero values), so components can carry an
-// optional registry without guards. Registries are safe for concurrent
-// use — PR 1's WorkerPool executes host-side map functions on multiple
-// goroutines, and task-level instrumentation records from all of them.
+// method is a no-op (reads return zero values, handle constructors return
+// no-op handles), so components can carry an optional registry without
+// guards. Registries are safe for concurrent use — PR 1's WorkerPool
+// executes host-side map functions on multiple goroutines, and task-level
+// instrumentation records from all of them.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]int64
+	counters map[string]*counterCell
 	order    []string
-	hists    map[string]*Histogram
+	hists    map[string]*histCell
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters: make(map[string]int64),
-		hists:    make(map[string]*Histogram),
+		counters: make(map[string]*counterCell),
+		hists:    make(map[string]*histCell),
 	}
 }
 
@@ -199,17 +250,137 @@ func ParseSeries(key string) (name string, labels []Label) {
 	return name, labels
 }
 
+// counterCellFor resolves (creating on first use) the cell behind a series.
+func (r *Registry) counterCellFor(name string) *counterCell {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(counterCell)
+		r.counters[name] = c
+		r.order = append(r.order, name)
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// histCellFor resolves (creating with the default duration buckets on first
+// use) the cell behind a histogram series.
+func (r *Registry) histCellFor(name string) *histCell {
+	r.mu.Lock()
+	hc, ok := r.hists[name]
+	if !ok {
+		hc = &histCell{
+			buckets: DefaultDurationBuckets,
+			counts:  make([]int64, len(DefaultDurationBuckets)+1),
+		}
+		r.hists[name] = hc
+	}
+	r.mu.Unlock()
+	return hc
+}
+
+// Counter is a pre-resolved handle on one counter series. The zero value
+// (and any handle from a nil registry) is a no-op. Copying is cheap; bind
+// once at setup and sample lock-free ever after.
+type Counter struct{ c *counterCell }
+
+// Add increments the bound series by delta.
+func (c Counter) Add(delta int64) {
+	if c.c != nil {
+		c.c.v.Add(delta)
+	}
+}
+
+// Inc increments the bound series by one.
+func (c Counter) Inc() {
+	if c.c != nil {
+		c.c.v.Add(1)
+	}
+}
+
+// Value reads the bound series (zero for a no-op handle).
+func (c Counter) Value() int64 {
+	if c.c == nil {
+		return 0
+	}
+	return c.c.v.Load()
+}
+
+// Gauge is a pre-resolved handle on one gauge series (a counter cell with
+// overwrite semantics). The zero value is a no-op.
+type Gauge struct{ c *counterCell }
+
+// Set overwrites the bound series.
+func (g Gauge) Set(v int64) {
+	if g.c != nil {
+		g.c.v.Store(v)
+	}
+}
+
+// Add adjusts the bound series by delta (useful for +1/-1 occupancy gauges).
+func (g Gauge) Add(delta int64) {
+	if g.c != nil {
+		g.c.v.Add(delta)
+	}
+}
+
+// Value reads the bound series (zero for a no-op handle).
+func (g Gauge) Value() int64 {
+	if g.c == nil {
+		return 0
+	}
+	return g.c.v.Load()
+}
+
+// Observer is a pre-resolved handle on one histogram series. The zero value
+// is a no-op.
+type Observer struct{ h *histCell }
+
+// Observe records one value into the bound histogram.
+func (o Observer) Observe(v float64) {
+	if o.h != nil {
+		o.h.observe(v)
+	}
+}
+
+// CounterHandle resolves a counter series once and returns a lock-free
+// handle. Labels are passed as alternating key, value (as for With) and are
+// escaped and sorted here, at bind time — never again per sample. A nil
+// registry returns a no-op handle.
+func (r *Registry) CounterHandle(name string, kvs ...string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{c: r.counterCellFor(With(name, kvs...))}
+}
+
+// GaugeHandle resolves a gauge series once and returns a lock-free handle.
+// A nil registry returns a no-op handle.
+func (r *Registry) GaugeHandle(name string, kvs ...string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{c: r.counterCellFor(With(name, kvs...))}
+}
+
+// HistogramHandle resolves a histogram series once and returns a handle
+// whose Observe takes only the cell's own mutex. The histogram is created
+// with the default duration buckets if it does not exist; Define beforehand
+// (or before the first observation) to choose others. A nil registry
+// returns a no-op handle.
+func (r *Registry) HistogramHandle(name string, kvs ...string) Observer {
+	if r == nil {
+		return Observer{}
+	}
+	return Observer{h: r.histCellFor(With(name, kvs...))}
+}
+
 // Add increments a counter by delta, creating it on first use.
 func (r *Registry) Add(name string, delta int64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.counters[name]; !ok {
-		r.order = append(r.order, name)
-	}
-	r.counters[name] += delta
+	r.counterCellFor(name).v.Add(delta)
 }
 
 // Inc increments a counter by one.
@@ -220,12 +391,7 @@ func (r *Registry) Set(name string, value int64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.counters[name]; !ok {
-		r.order = append(r.order, name)
-	}
-	r.counters[name] = value
+	r.counterCellFor(name).v.Store(value)
 }
 
 // Get returns a counter's value (zero when absent).
@@ -234,26 +400,29 @@ func (r *Registry) Get(name string) int64 {
 		return 0
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counters[name]
+	c := r.counters[name]
+	r.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
 }
 
 // Define creates (or re-buckets an empty) histogram with explicit upper
 // bounds, for series where the default duration buckets are wrong — e.g.
-// byte sizes. Bounds must be ascending.
+// byte sizes. Bounds must be ascending. Handles bound before Define observe
+// into the re-bucketed cell.
 func (r *Registry) Define(name string, buckets []float64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h, ok := r.hists[name]; ok && h.Count > 0 {
-		return
+	hc := r.histCellFor(name)
+	hc.mu.Lock()
+	if hc.count == 0 {
+		hc.buckets = append([]float64(nil), buckets...)
+		hc.counts = make([]int64, len(buckets)+1)
 	}
-	r.hists[name] = &Histogram{
-		Buckets: append([]float64(nil), buckets...),
-		Counts:  make([]int64, len(buckets)+1),
-	}
+	hc.mu.Unlock()
 }
 
 // Observe records a value into the named histogram, creating it with the
@@ -262,20 +431,7 @@ func (r *Registry) Observe(name string, v float64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
-	if !ok {
-		h = &Histogram{
-			Buckets: DefaultDurationBuckets,
-			Counts:  make([]int64, len(DefaultDurationBuckets)+1),
-		}
-		r.hists[name] = h
-	}
-	i := sort.SearchFloat64s(h.Buckets, v)
-	h.Counts[i]++
-	h.Sum += v
-	h.Count++
+	r.histCellFor(name).observe(v)
 }
 
 // Names returns all counter names in sorted order.
@@ -300,21 +456,25 @@ func (r *Registry) Len() int {
 	return len(r.counters)
 }
 
-// Reset zeroes every counter and histogram but keeps the names.
+// Reset zeroes every counter and histogram but keeps the names (and any
+// outstanding handles — they keep pointing at the zeroed cells).
 func (r *Registry) Reset() {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for k := range r.counters {
-		r.counters[k] = 0
+	for _, c := range r.counters {
+		c.v.Store(0)
 	}
-	for _, h := range r.hists {
-		for i := range h.Counts {
-			h.Counts[i] = 0
+	for _, hc := range r.hists {
+		hc.mu.Lock()
+		for i := range hc.counts {
+			hc.counts[i] = 0
 		}
-		h.Sum, h.Count = 0, 0
+		hc.sum = 0
+		hc.count = 0
+		hc.mu.Unlock()
 	}
 }
 
@@ -326,8 +486,8 @@ func (r *Registry) Counters() map[string]int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]int64, len(r.counters))
-	for k, v := range r.counters {
-		out[k] = v
+	for k, c := range r.counters {
+		out[k] = c.v.Load()
 	}
 	return out
 }
@@ -338,15 +498,14 @@ func (r *Registry) Histograms() map[string]*Histogram {
 		return nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]*Histogram, len(r.hists))
-	for k, h := range r.hists {
-		out[k] = &Histogram{
-			Buckets: append([]float64(nil), h.Buckets...),
-			Counts:  append([]int64(nil), h.Counts...),
-			Sum:     h.Sum,
-			Count:   h.Count,
-		}
+	cells := make(map[string]*histCell, len(r.hists))
+	for k, hc := range r.hists {
+		cells[k] = hc
+	}
+	r.mu.Unlock()
+	out := make(map[string]*Histogram, len(cells))
+	for k, hc := range cells {
+		out[k] = hc.snapshot()
 	}
 	return out
 }

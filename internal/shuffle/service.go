@@ -38,6 +38,42 @@ type Service struct {
 	// their on-the-wire (post-compress) size.
 	sentRaw  int64
 	sentWire int64
+
+	// Pre-resolved gauge handles for the per-register and per-fetch paths.
+	// Bound per registry — rt.Reg is assignable after Attach, so rebinding
+	// is keyed on the field (see handles).
+	gaugeSrc         *metrics.Registry
+	regGauges        map[*topology.Node]metrics.Gauge
+	combineSaved     metrics.Gauge
+	combineReduction metrics.Gauge
+	compressSaved    metrics.Gauge
+	compressRatio    metrics.Gauge
+}
+
+// handles rebinds the service's gauge handles when the runtime's registry
+// changed (or on first use).
+func (s *Service) handles() {
+	if s.gaugeSrc == s.rt.Reg && s.regGauges != nil {
+		return
+	}
+	s.gaugeSrc = s.rt.Reg
+	s.regGauges = make(map[*topology.Node]metrics.Gauge)
+	s.combineSaved = s.rt.Reg.GaugeHandle("shuffle_combine_saved_bytes")
+	s.combineReduction = s.rt.Reg.GaugeHandle("shuffle_combine_reduction_permille")
+	s.compressSaved = s.rt.Reg.GaugeHandle("shuffle_compress_saved_bytes")
+	s.compressRatio = s.rt.Reg.GaugeHandle("shuffle_compression_ratio_permille")
+}
+
+// registeredGauge returns the node-labeled registered-outputs gauge,
+// binding it on first sight of the node.
+func (s *Service) registeredGauge(n *topology.Node) metrics.Gauge {
+	s.handles()
+	g, ok := s.regGauges[n]
+	if !ok {
+		g = s.rt.Reg.GaugeHandle("shuffle_service_registered_outputs", "node", n.Name)
+		s.regGauges[n] = g
+	}
+	return g
 }
 
 // Attach builds a Service from the runtime's configured codec and installs
@@ -60,7 +96,7 @@ func (s *Service) Codec() Codec { return s.codec }
 // Register notes a committed map output with the service on its node.
 func (s *Service) Register(spec *mapreduce.JobSpec, mo *mapreduce.MapOutput) {
 	s.registered[mo.Node]++
-	s.rt.Reg.Set(metrics.With("shuffle_service_registered_outputs", "node", mo.Node.Name), int64(s.registered[mo.Node]))
+	s.registeredGauge(mo.Node).Set(int64(s.registered[mo.Node]))
 }
 
 // Forget withdraws a registered output (lost with its node, or its job
@@ -69,7 +105,7 @@ func (s *Service) Forget(spec *mapreduce.JobSpec, mo *mapreduce.MapOutput) {
 	if s.registered[mo.Node] > 0 {
 		s.registered[mo.Node]--
 	}
-	s.rt.Reg.Set(metrics.With("shuffle_service_registered_outputs", "node", mo.Node.Name), int64(s.registered[mo.Node]))
+	s.registeredGauge(mo.Node).Set(int64(s.registered[mo.Node]))
 }
 
 // Registered reports how many committed outputs the service currently holds
@@ -92,9 +128,10 @@ func (s *Service) Consolidate(spec *mapreduce.JobSpec, group []*mapreduce.MapOut
 		s.combineOut += c.Out.TotalBytes
 	}
 	if s.rawBytes > 0 {
+		s.handles()
 		saved := s.rawBytes - s.combinedBytes
-		s.rt.Reg.Set("shuffle_combine_saved_bytes", saved)
-		s.rt.Reg.Set("shuffle_combine_reduction_permille", saved*1000/s.rawBytes)
+		s.combineSaved.Set(saved)
+		s.combineReduction.Set(saved * 1000 / s.rawBytes)
 	}
 	return c
 }
@@ -154,24 +191,31 @@ func (s *Service) Fetch(parent trace.SpanID, spec *mapreduce.JobSpec, c *mapredu
 	spilled := c.SpilledPartBytes(part)
 	wire := s.codec.Wire(combined)
 	transport := mapreduce.ShuffleTransport(out, dst)
-	span := rt.Trace.StartSpan(parent, "task/"+dst.Name,
-		fmt.Sprintf("fetch %s.p%d (%d maps)", out.Node.Name, part, len(c.Members)), "shuffle",
-		trace.A("from", out.Node.Name),
-		trace.A("maps", fmt.Sprint(len(c.Members))),
-		trace.A("transport", transport),
-		trace.A("raw_bytes", fmt.Sprint(memberRaw)),
-		trace.A("bytes", fmt.Sprint(combined)),
-		trace.A("wire_bytes", fmt.Sprint(wire)))
+	var span trace.SpanID
+	if rt.Trace != nil {
+		span = rt.Trace.StartSpan(parent, "task/"+dst.Name,
+			fmt.Sprintf("fetch %s.p%d (%d maps)", out.Node.Name, part, len(c.Members)), "shuffle",
+			trace.A("from", out.Node.Name),
+			trace.A("maps", fmt.Sprint(len(c.Members))),
+			trace.A("transport", transport),
+			trace.A("raw_bytes", fmt.Sprint(memberRaw)),
+			trace.A("bytes", fmt.Sprint(combined)),
+			trace.A("wire_bytes", fmt.Sprint(wire)))
+	}
 
 	rt.AddShuffleInFlight(wire)
 	finish := func(moved int64, err error) {
 		rt.AddShuffleInFlight(-wire)
 		if err != nil {
-			rt.Trace.EndSpan(span, trace.A("error", err.Error()))
+			if span != 0 {
+				rt.Trace.EndSpan(span, trace.A("error", err.Error()))
+			}
 			done(err)
 			return
 		}
-		rt.Trace.EndSpan(span)
+		if span != 0 {
+			rt.Trace.EndSpan(span)
+		}
 		rt.ObserveShuffle("consolidated", transport, moved)
 		done(nil)
 	}
@@ -232,8 +276,9 @@ func (s *Service) Fetch(parent trace.SpanID, spec *mapreduce.JobSpec, c *mapredu
 				s.sentRaw += combined
 				s.sentWire += wire
 				if s.sentRaw > 0 {
-					s.rt.Reg.Set("shuffle_compress_saved_bytes", s.sentRaw-s.sentWire)
-					s.rt.Reg.Set("shuffle_compression_ratio_permille", s.sentWire*1000/s.sentRaw)
+					s.handles()
+					s.compressSaved.Set(s.sentRaw - s.sentWire)
+					s.compressRatio.Set(s.sentWire * 1000 / s.sentRaw)
 				}
 				finish(wire, nil)
 			})

@@ -9,6 +9,7 @@ import (
 // floor under every simulation in the repository.
 func BenchmarkScheduleAndFire(b *testing.B) {
 	e := NewEngine()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.After(time.Duration(i%1000)*time.Microsecond, func() {})
@@ -23,6 +24,7 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 // dominant pattern in task state machines.
 func BenchmarkNestedCascade(b *testing.B) {
 	e := NewEngine()
+	b.ReportAllocs()
 	var step func(remaining int)
 	step = func(remaining int) {
 		if remaining > 0 {
@@ -41,6 +43,7 @@ func BenchmarkNestedCascade(b *testing.B) {
 func BenchmarkDeviceQueue(b *testing.B) {
 	e := NewEngine()
 	d := NewDevice(e, "disk", 100e6)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Use(1<<20, func() {})
@@ -56,12 +59,51 @@ func BenchmarkDeviceQueue(b *testing.B) {
 func BenchmarkSemaphoreChurn(b *testing.B) {
 	e := NewEngine()
 	s := NewSemaphore(e, "cores", 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Acquire(1, func() {
 			e.After(time.Millisecond, func() { s.Release(1) })
 		})
 		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkTimerCancelChurn measures the watchdog pattern that dominates
+// NodeManager launches: arm a timer, do a little work, cancel it before it
+// fires. The free list must make the cancelled slot reusable immediately.
+func BenchmarkTimerCancelChurn(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := e.AfterTimer(80*time.Millisecond, func() {})
+		e.After(time.Duration(i%500)*time.Microsecond, func() {})
+		w.Stop()
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkFarFutureInserts measures a deep pending set salted with
+// far-future outliers — the shape that forces the overflow spill and its
+// outlier-robust refill, rather than the near-term calendar.
+func BenchmarkFarFutureInserts(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 63 {
+			e.After(time.Duration(i%7+1)*10*time.Second, func() {})
+		} else {
+			e.After(time.Duration(i%997)*time.Microsecond, func() {})
+		}
+		if i%8192 == 8191 {
 			e.Run()
 		}
 	}

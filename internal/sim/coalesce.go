@@ -1,0 +1,62 @@
+package sim
+
+import "time"
+
+// Coalescer batches callbacks that are scheduled back-to-back for the same
+// instant into a single engine event, so N container launches on one node
+// cost one queue insertion instead of N. Ordering is preserved exactly: a
+// batch only absorbs a callback when nothing else has been scheduled on the
+// engine since the batch itself (checked via SeqMark), so merged callbacks
+// occupy the same position in the virtual timeline that N separate events
+// would have — they run consecutively either way. Anything that would
+// interleave (a different due time, or an unrelated event scheduled in
+// between) starts a fresh batch.
+//
+// A Coalescer is single-owner, like the Engine itself: use one per
+// component (e.g. per NodeManager), from engine callbacks only.
+type Coalescer struct {
+	eng  *Engine
+	cur  *coalesceBatch
+	at   Time
+	mark uint64
+}
+
+type coalesceBatch struct {
+	fns []func()
+}
+
+// NewCoalescer returns a coalescer scheduling on eng.
+func NewCoalescer(eng *Engine) *Coalescer {
+	return &Coalescer{eng: eng}
+}
+
+// After schedules fn after d, merging it into the pending batch when that
+// is provably order-preserving (same due instant, no intervening engine
+// activity).
+func (c *Coalescer) After(d time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: Coalescer.After called with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	due := c.eng.Now().Add(d)
+	if c.cur != nil && c.at == due && c.eng.SeqMark() == c.mark {
+		c.cur.fns = append(c.cur.fns, fn)
+		return
+	}
+	b := &coalesceBatch{fns: append(make([]func(), 0, 4), fn)}
+	c.cur = b
+	c.at = due
+	c.eng.At(due, func() {
+		// Once the batch starts running it must not absorb more callbacks —
+		// they would be silently skipped. Detach before firing.
+		if c.cur == b {
+			c.cur = nil
+		}
+		for _, f := range b.fns {
+			f()
+		}
+	})
+	c.mark = c.eng.SeqMark()
+}

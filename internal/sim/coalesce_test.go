@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Back-to-back same-instant callbacks must merge into one engine event yet
+// run in submission order.
+func TestCoalescerMergesBackToBack(t *testing.T) {
+	eng := NewEngine()
+	co := NewCoalescer(eng)
+	var order []int
+	eng.After(time.Millisecond, func() {
+		for i := 0; i < 5; i++ {
+			i := i
+			co.After(time.Millisecond, func() { order = append(order, i) })
+		}
+	})
+	eng.Run()
+	if eng.Fired() != 2 { // the seed event + one batch
+		t.Fatalf("fired %d events, want 2", eng.Fired())
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d callbacks, want 5", len(order))
+	}
+}
+
+// An unrelated event scheduled between two coalescer calls must flush the
+// batch: merging across it would hoist the second callback ahead of the
+// interloper in the timeline.
+func TestCoalescerPreservesInterleaving(t *testing.T) {
+	eng := NewEngine()
+	co := NewCoalescer(eng)
+	var order []string
+	eng.After(time.Millisecond, func() {
+		co.After(0, func() { order = append(order, "a") })
+		eng.After(0, func() { order = append(order, "x") })
+		co.After(0, func() { order = append(order, "b") })
+	})
+	eng.Run()
+	want := []string{"a", "x", "b"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// Different due instants never merge.
+func TestCoalescerSplitsByDueTime(t *testing.T) {
+	eng := NewEngine()
+	co := NewCoalescer(eng)
+	var n int
+	co.After(time.Millisecond, func() { n++ })
+	co.After(2*time.Millisecond, func() { n++ })
+	eng.Run()
+	if n != 2 || eng.Fired() != 2 {
+		t.Fatalf("n=%d fired=%d, want 2 events", n, eng.Fired())
+	}
+}
+
+// A callback scheduled from inside a running batch must not be absorbed
+// into that batch (it would never run); it gets a fresh event.
+func TestCoalescerNoSelfAbsorption(t *testing.T) {
+	eng := NewEngine()
+	co := NewCoalescer(eng)
+	var ran []string
+	co.After(0, func() {
+		ran = append(ran, "first")
+		co.After(0, func() { ran = append(ran, "second") })
+	})
+	eng.Run()
+	if len(ran) != 2 || ran[1] != "second" {
+		t.Fatalf("ran = %v", ran)
+	}
+}

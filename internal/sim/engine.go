@@ -5,10 +5,20 @@
 // scheduling events on an Engine. Events fire in (time, sequence) order, so
 // two events scheduled for the same instant fire in the order they were
 // scheduled, making every simulation run bit-reproducible.
+//
+// The event queue is a ladder queue tuned for the cluster's workload shape
+// (dense near-future RPC traffic plus sparse far-future maintenance
+// timers): a small binary heap holds only the current time window, future
+// windows sit unsorted in calendar buckets that are heapified — or split
+// into finer rungs — only when the clock reaches them, and everything past
+// the last rung overflows into an unsorted spill that is re-laddered on
+// demand. Events are stored by value in a slab with a free list, so
+// steady-state scheduling allocates nothing and a cancelled Timer releases
+// its slot immediately instead of churning through the queue as a dead
+// entry.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -43,53 +53,92 @@ func (t Time) String() string {
 	return fmt.Sprintf("%.3fs", t.Seconds())
 }
 
-// An event is a callback scheduled to fire at a virtual instant.
-type event struct {
-	at     Time
-	seq    uint64 // tie-break: schedule order
-	fn     func()
-	cancel *bool // non-nil when the event can be cancelled
-	index  int   // heap index
+// A slot holds one scheduled callback in the engine's slab. The generation
+// counter increments every time the slot is released (fired or cancelled),
+// so a stale queue reference or Timer from a previous occupancy can never
+// touch the slot's new tenant.
+type slot struct {
+	fn  func()
+	gen uint32
 }
 
-type eventHeap []*event
+// A ref is the queued, by-value form of an event: its firing key plus the
+// slab coordinates of its callback. Refs are what the heaps and buckets
+// shuffle around — 24 bytes, no pointers into the heap beyond the slab.
+type ref struct {
+	at  Time
+	seq uint64
+	idx int32
+	gen uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func refLess(a, b ref) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// A rung is one calendar tier: equal-width buckets covering [start, end).
+// Buckets before next are consumed. count tracks refs across the live
+// buckets so an exhausted rung is popped without scanning.
+type rung struct {
+	start   Time
+	width   Time
+	end     Time
+	next    int
+	count   int
+	buckets [][]ref
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+
+const (
+	// spawnThreshold is the bucket occupancy above which a bucket is split
+	// into a finer child rung instead of being sorted as the current
+	// window. Below it, a binary heap of the bucket is cheap enough.
+	spawnThreshold = 48
+	// childBuckets is the fan-out of a spawned child rung.
+	childBuckets = 16
+	// minRootBuckets/maxRootBuckets bound the root rung built from the
+	// overflow spill; the root aims for ~1 ref per bucket. Simulated time
+	// is heavily clustered (events land on round instants), so generous
+	// fan-out is what lets a bucket hold a single instant and be adopted
+	// without a re-ladder; empty buckets between clusters cost one nil
+	// check each to skip.
+	minRootBuckets = 16
+	maxRootBuckets = 8192
+)
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use: all simulated "parallelism" is expressed as interleaved
 // events on the one virtual timeline.
 type Engine struct {
-	now      Time
-	seq      uint64
-	queue    eventHeap
-	fired    uint64
-	running  bool
+	now     Time
+	seq     uint64
+	fired   uint64
+	running bool
+
+	live     int // scheduled and not yet fired or cancelled
 	maxDepth int
+
+	slab []slot
+	free []int32
+
+	// cur is the sorted tier: an ascending array of every pending ref with
+	// at < curEnd, consumed from curFront. Refs at or past curEnd live in
+	// the rungs (calendar buckets, deepest == finest last) or, past the
+	// last rung, in the unsorted far spill.
+	cur      []ref
+	curFront int
+	curEnd   Time
+	rungs    []rung
+	far      []ref
+	farLo    Time // min/max at across far, maintained incrementally
+	farHi    Time
+
+	// bucketCache recycles drained bucket backing arrays; rungCache
+	// recycles the bucket-table arrays of popped rungs.
+	bucketCache [][]ref
+	rungCache   [][][]ref
 }
 
 // NewEngine returns an engine whose clock starts at virtual time zero.
@@ -104,18 +153,408 @@ func (e *Engine) Now() Time { return e.now }
 // runaway guard.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports the number of events currently scheduled (including
-// cancelled events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of live scheduled events. Cancelled timers
+// release their slot immediately and are not counted, so this is a true
+// backlog figure (the flight recorder's engine_pending_events lane).
+func (e *Engine) Pending() int { return e.live }
 
-// MaxPending reports the deepest the event heap has ever grown — the
+// MaxPending reports the most live events ever scheduled at once — the
 // engine's high-water mark, recorded for the self-profiler lane of the
 // flight recorder and the engine benchmark.
 func (e *Engine) MaxPending() int { return e.maxDepth }
 
-func (e *Engine) noteDepth() {
-	if n := len(e.queue); n > e.maxDepth {
-		e.maxDepth = n
+// SeqMark returns an opaque mark that changes whenever an event is
+// scheduled. Coalescer uses it to detect whether anything else was
+// scheduled between two of its appends — the condition under which merging
+// them into one event would reorder the timeline.
+func (e *Engine) SeqMark() uint64 { return e.seq }
+
+// alloc claims a slab slot for fn and returns its coordinates.
+func (e *Engine) alloc(fn func()) (int32, uint32) {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		s := &e.slab[idx]
+		s.fn = fn
+		return idx, s.gen
+	}
+	e.slab = append(e.slab, slot{fn: fn})
+	return int32(len(e.slab) - 1), 0
+}
+
+// release frees a slot, dropping its callback so cancelled work is
+// collectable immediately, and bumps the generation to invalidate any
+// outstanding refs or Timers.
+func (e *Engine) release(idx int32) {
+	s := &e.slab[idx]
+	s.fn = nil
+	s.gen++
+	e.free = append(e.free, idx)
+	e.live--
+}
+
+// schedule claims a slot, assigns the next sequence number and files the
+// ref into the right tier.
+func (e *Engine) schedule(at Time, fn func()) (int32, uint32) {
+	e.seq++
+	idx, gen := e.alloc(fn)
+	e.insert(ref{at: at, seq: e.seq, idx: idx, gen: gen})
+	e.live++
+	if e.live > e.maxDepth {
+		e.maxDepth = e.live
+	}
+	return idx, gen
+}
+
+// insert files a ref: the current window's heap, a calendar bucket, or the
+// far spill. The rung walk goes deepest (finest) first; a ref below the
+// deepest rung's range (possible after a re-ladder leaves a gap over an
+// empty stretch) joins the current heap, which keeps ordering correct
+// because everything in the rungs is later than any such gap.
+func (e *Engine) insert(r ref) {
+	if r.at < e.curEnd {
+		e.pushCur(r)
+		return
+	}
+	for i := len(e.rungs) - 1; i >= 0; i-- {
+		rg := &e.rungs[i]
+		if r.at < rg.end {
+			if r.at < rg.start {
+				e.pushCur(r)
+				return
+			}
+			b := int((r.at - rg.start) / rg.width)
+			// The last bucket absorbs the rounding slack when the rung's
+			// nominal span saturated at Infinity.
+			if b >= len(rg.buckets) {
+				b = len(rg.buckets) - 1
+			}
+			if rg.buckets[b] == nil {
+				rg.buckets[b] = e.getBucket()
+			}
+			rg.buckets[b] = append(rg.buckets[b], r)
+			rg.count++
+			return
+		}
+	}
+	if len(e.far) == 0 {
+		e.farLo, e.farHi = r.at, r.at
+	} else {
+		if r.at < e.farLo {
+			e.farLo = r.at
+		}
+		if r.at > e.farHi {
+			e.farHi = r.at
+		}
+	}
+	e.far = append(e.far, r)
+}
+
+// pushCur inserts into the sorted current window. The window is an
+// ascending array consumed from curFront; an insert binary-searches its
+// slot and shifts whichever side is shorter. The common mid-window insert
+// is an After(0) — next to fire, right at the front — which shifts nothing
+// when pops have opened space there.
+func (e *Engine) pushCur(r ref) {
+	h := e.cur
+	lo, hi := e.curFront, len(h)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if refLess(h[m], r) {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if f := e.curFront; f > 0 && lo-f <= len(h)-lo {
+		copy(h[f-1:], h[f:lo])
+		h[lo-1] = r
+		e.curFront = f - 1
+		return
+	}
+	h = append(h, ref{})
+	copy(h[lo+1:], h[lo:])
+	h[lo] = r
+	e.cur = h
+}
+
+// popCur consumes the front of the current window.
+func (e *Engine) popCur() {
+	e.curFront++
+	if e.curFront == len(e.cur) {
+		e.cur = e.cur[:0]
+		e.curFront = 0
+	}
+}
+
+// sortRefs insertion-sorts a window. Buckets arrive nearly sorted — equal
+// instants are appended in schedule order, so inversions only come from
+// distinct instants interleaved at insert time — which keeps this O(n) in
+// practice; it only runs when adoptCur's scan found an inversion at all.
+func sortRefs(h []ref) {
+	for i := 1; i < len(h); i++ {
+		r := h[i]
+		j := i - 1
+		for j >= 0 && refLess(r, h[j]) {
+			h[j+1] = h[j]
+			j--
+		}
+		h[j+1] = r
+	}
+}
+
+func (e *Engine) getBucket() []ref {
+	if n := len(e.bucketCache); n > 0 {
+		b := e.bucketCache[n-1]
+		e.bucketCache = e.bucketCache[:n-1]
+		return b
+	}
+	return make([]ref, 0, 8)
+}
+
+func (e *Engine) putBucket(b []ref) {
+	if cap(b) >= 8 && len(e.bucketCache) < 1024 {
+		e.bucketCache = append(e.bucketCache, b[:0])
+	}
+}
+
+// getBuckets returns a zeroed bucket table of exactly n entries, reusing a
+// cached array when one is big enough.
+func (e *Engine) getBuckets(n int) [][]ref {
+	for i := len(e.rungCache) - 1; i >= 0; i-- {
+		if t := e.rungCache[i]; cap(t) >= n {
+			e.rungCache[i] = e.rungCache[len(e.rungCache)-1]
+			e.rungCache = e.rungCache[:len(e.rungCache)-1]
+			t = t[:n]
+			for j := range t {
+				t[j] = nil
+			}
+			return t
+		}
+	}
+	return make([][]ref, n)
+}
+
+func (e *Engine) putBuckets(t [][]ref) {
+	if len(e.rungCache) < 8 {
+		e.rungCache = append(e.rungCache, t)
+	}
+}
+
+// satAfter returns t+d saturated at Infinity.
+func satAfter(t, d Time) Time {
+	if d > Infinity-t {
+		return Infinity
+	}
+	return t + d
+}
+
+// adoptCur makes refs the new current window, recycling the old backing
+// array. A same-instant cluster — the dominant shape in simulations whose
+// events land on round timestamps — passes the inversion scan untouched
+// and is consumed by pure front-index increments.
+func (e *Engine) adoptCur(refs []ref) {
+	e.putBucket(e.cur)
+	for i := 1; i < len(refs); i++ {
+		if refLess(refs[i], refs[i-1]) {
+			sortRefs(refs)
+			break
+		}
+	}
+	e.cur = refs
+	e.curFront = 0
+}
+
+// spawnRung re-ladders one overweight bucket spanning [start, end) into a
+// finer child rung — or, when the refs turn out to be one same-instant
+// cluster (the dominant case in a simulation whose events land on round
+// timestamps), adopts them as the current window directly: no subdivision
+// can separate refs that share an instant, and re-laddering them down to
+// 1-unit buckets is exactly the pathology a ladder queue must avoid. The
+// child rung subdivides the refs' actual [lo, hi] span, not the bucket's
+// nominal one, so one level almost always separates the clusters; its end
+// stays the bucket's nominal end to keep the tier coverage contiguous.
+func (e *Engine) spawnRung(start, end Time, refs []ref) {
+	lo, hi := refs[0].at, refs[0].at
+	for _, r := range refs[1:] {
+		if r.at < lo {
+			lo = r.at
+		}
+		if r.at > hi {
+			hi = r.at
+		}
+	}
+	if lo == hi {
+		// Equal instants are appended in schedule order, so the cluster is
+		// already sorted by (at, seq): adopt without adoptCur's scan.
+		e.putBucket(e.cur)
+		e.cur = refs
+		e.curFront = 0
+		e.curEnd = end
+		return
+	}
+	width := (hi - lo + childBuckets) / childBuckets // covers [lo, hi] in <= childBuckets
+	rg := rung{
+		start:   lo,
+		width:   width,
+		end:     end,
+		count:   len(refs),
+		buckets: e.getBuckets(childBuckets),
+	}
+	for _, r := range refs {
+		b := int((r.at - lo) / width)
+		if b >= childBuckets {
+			b = childBuckets - 1
+		}
+		if rg.buckets[b] == nil {
+			rg.buckets[b] = e.getBucket()
+		}
+		rg.buckets[b] = append(rg.buckets[b], r)
+	}
+	e.putBucket(refs)
+	e.rungs = append(e.rungs, rg)
+}
+
+// refill builds a fresh root rung from the far spill. Width adapts to the
+// spill's span so typical occupancy stays near one bucket per window; the
+// arithmetic only shapes bucket boundaries, never firing order, so the
+// degenerate cases (one far event, clustered outliers) merely fall back to
+// plain-heap behavior.
+func (e *Engine) refill() {
+	far := e.far
+	lo, hi := e.farLo, e.farHi
+	// A small spill skips the calendar altogether: it becomes the current
+	// window directly, spanning through its last event. This is the idle
+	// regime — a handful of heartbeats and retry timers — where bucket
+	// bookkeeping would cost more than the heap it avoids.
+	if len(far) <= 8 {
+		e.far = e.getBucket()
+		e.adoptCur(far)
+		e.curEnd = satAfter(hi, 1)
+		return
+	}
+	nb := minRootBuckets
+	for nb < len(far)/2 && nb < maxRootBuckets {
+		nb <<= 1
+	}
+	// The root's span tracks the bulk of the spill, not its extremes: a few
+	// far-future outliers (maintenance timers, horizon sentinels) would
+	// otherwise stretch the bucket width until every near-term bucket holds
+	// thousands of refs and has to be re-laddered. 2*(mean-lo) equals the
+	// true span for a uniform spill and shrinks under skew; whatever falls
+	// past the root stays in far for a later refill, by which time the
+	// clock is closer and the span estimate tighter.
+	var sum Time
+	for _, r := range far {
+		sum += r.at - lo
+	}
+	span := hi - lo
+	if bulk := 2*(sum/Time(len(far))) + 1; bulk < span {
+		span = bulk
+	}
+	width := span/Time(nb) + 1
+	rg := rung{
+		start:   lo,
+		width:   width,
+		end:     satAfter(lo, span+Time(nb)), // >= lo + nb*width, saturated
+		count:   0,
+		buckets: e.getBuckets(nb),
+	}
+	kept := far[:0]
+	var keptLo, keptHi Time
+	for _, r := range far {
+		if r.at >= rg.end {
+			if len(kept) == 0 {
+				keptLo, keptHi = r.at, r.at
+			} else {
+				if r.at < keptLo {
+					keptLo = r.at
+				}
+				if r.at > keptHi {
+					keptHi = r.at
+				}
+			}
+			kept = append(kept, r)
+			continue
+		}
+		b := int((r.at - lo) / width)
+		if b >= nb {
+			b = nb - 1
+		}
+		if rg.buckets[b] == nil {
+			rg.buckets[b] = e.getBucket()
+		}
+		rg.buckets[b] = append(rg.buckets[b], r)
+		rg.count++
+	}
+	e.far = kept
+	e.farLo, e.farHi = keptLo, keptHi
+	e.rungs = append(e.rungs, rg)
+}
+
+// advance moves the current window forward: adopt the next non-empty
+// bucket (splitting it first if overweight), pop exhausted rungs, or
+// re-ladder the far spill. Reports whether any pending ref exists.
+func (e *Engine) advance() bool {
+	for {
+		if e.curFront < len(e.cur) { // a refill may have filled the window directly
+			return true
+		}
+		if n := len(e.rungs); n > 0 {
+			rg := &e.rungs[n-1]
+			if rg.count == 0 {
+				// Extend the empty current window to the rung's end so
+				// later inserts in this range stay correctly routed.
+				e.curEnd = rg.end
+				for _, b := range rg.buckets {
+					e.putBucket(b)
+				}
+				e.putBuckets(rg.buckets)
+				e.rungs = e.rungs[:n-1]
+				continue
+			}
+			j := rg.next
+			for len(rg.buckets[j]) == 0 {
+				j++
+			}
+			refs := rg.buckets[j]
+			rg.buckets[j] = nil
+			rg.next = j + 1
+			rg.count -= len(refs)
+			bstart := rg.start + Time(j)*rg.width
+			bend := satAfter(bstart, rg.width)
+			if j == len(rg.buckets)-1 || bend > rg.end {
+				bend = rg.end
+			}
+			if len(refs) > spawnThreshold && bend-bstart > 1 {
+				e.spawnRung(bstart, bend, refs)
+				continue
+			}
+			e.adoptCur(refs)
+			e.curEnd = bend
+			return true
+		}
+		if len(e.far) == 0 {
+			return false
+		}
+		e.refill()
+	}
+}
+
+// peekLive returns the earliest live ref without removing it, discarding
+// cancelled refs as it encounters them.
+func (e *Engine) peekLive() (ref, bool) {
+	for {
+		for e.curFront < len(e.cur) {
+			r := e.cur[e.curFront]
+			if e.slab[r.idx].gen == r.gen {
+				return r, true
+			}
+			e.popCur()
+		}
+		if !e.advance() {
+			return ref{}, false
+		}
 	}
 }
 
@@ -128,57 +567,70 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", t, e.now))
 	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
-	e.noteDepth()
+	e.schedule(t, fn)
 }
 
 // After schedules fn to fire d from now. Negative d fires "now" (after all
 // events already scheduled for the current instant).
 func (e *Engine) After(d time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
 	if d < 0 {
 		d = 0
 	}
-	e.At(e.now.Add(d), fn)
+	e.schedule(e.now.Add(d), fn)
 }
 
 // Timer is a handle to a scheduled event that can be cancelled before it
-// fires.
+// fires. The zero Timer is valid and inert.
 type Timer struct {
-	cancelled *bool
+	eng *Engine
+	idx int32
+	gen uint32
 }
 
-// Stop cancels the timer. It is safe to call multiple times, and after the
-// event has fired (in which case it has no effect).
-func (t *Timer) Stop() {
-	if t != nil && t.cancelled != nil {
-		*t.cancelled = true
+// Stop cancels the timer, releasing its slot — and its callback — at once.
+// It is safe to call multiple times, and after the event has fired (in
+// which case it has no effect).
+func (t Timer) Stop() {
+	e := t.eng
+	if e == nil {
+		return
+	}
+	if s := &e.slab[t.idx]; s.gen == t.gen && s.fn != nil {
+		e.release(t.idx)
 	}
 }
 
 // AfterTimer schedules fn to fire d from now and returns a Timer that can
 // cancel it.
-func (e *Engine) AfterTimer(d time.Duration, fn func()) *Timer {
+func (e *Engine) AfterTimer(d time.Duration, fn func()) Timer {
 	if fn == nil {
 		panic("sim: AfterTimer called with nil callback")
 	}
 	if d < 0 {
 		d = 0
 	}
-	cancelled := new(bool)
-	e.seq++
-	heap.Push(&e.queue, &event{at: e.now.Add(d), seq: e.seq, fn: fn, cancel: cancelled})
-	e.noteDepth()
-	return &Timer{cancelled: cancelled}
+	idx, gen := e.schedule(e.now.Add(d), fn)
+	return Timer{eng: e, idx: idx, gen: gen}
 }
 
 // Ticker repeatedly fires a callback at a fixed period until stopped.
 type Ticker struct {
 	stopped bool
+	timer   Timer
 }
 
-// Stop halts the ticker; the callback will not fire again.
-func (t *Ticker) Stop() { t.stopped = true }
+// Stop halts the ticker; the callback will not fire again, and the pending
+// tick's slot and closure are released immediately.
+func (t *Ticker) Stop() {
+	if t == nil || t.stopped {
+		return
+	}
+	t.stopped = true
+	t.timer.Stop()
+}
 
 // Every schedules fn to fire every period, with the first firing one full
 // period from now (matching heartbeat semantics: a heartbeat is sent after
@@ -193,16 +645,13 @@ func (e *Engine) Every(period time.Duration, fn func()) *Ticker {
 	t := &Ticker{}
 	var tick func()
 	tick = func() {
-		if t.stopped {
-			return
-		}
 		fn()
 		if t.stopped {
 			return
 		}
-		e.After(period, tick)
+		t.timer = e.AfterTimer(period, tick)
 	}
-	e.After(period, tick)
+	t.timer = e.AfterTimer(period, tick)
 	return t
 }
 
@@ -222,18 +671,17 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.at > deadline {
+	for {
+		r, ok := e.peekLive()
+		if !ok || r.at > deadline {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.cancel != nil && *next.cancel {
-			continue
-		}
-		e.now = next.at
+		e.popCur()
+		fn := e.slab[r.idx].fn
+		e.release(r.idx)
+		e.now = r.at
 		e.fired++
-		next.fn()
+		fn()
 	}
 	return e.now
 }
@@ -241,15 +689,15 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // Step fires the single next pending event (skipping cancelled ones) and
 // reports whether an event fired.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*event)
-		if next.cancel != nil && *next.cancel {
-			continue
-		}
-		e.now = next.at
-		e.fired++
-		next.fn()
-		return true
+	r, ok := e.peekLive()
+	if !ok {
+		return false
 	}
-	return false
+	e.popCur()
+	fn := e.slab[r.idx].fn
+	e.release(r.idx)
+	e.now = r.at
+	e.fired++
+	fn()
+	return true
 }

@@ -2,6 +2,7 @@ package yarn
 
 import (
 	"mrapid/internal/metrics"
+	"mrapid/internal/sim"
 	"mrapid/internal/topology"
 	"mrapid/internal/trace"
 )
@@ -16,12 +17,22 @@ type NM struct {
 	pendingRelease []*Container
 	running        map[ContainerID]*Container
 
+	// launches coalesces the start-container completions of one allocation
+	// burst: N containers granted to this node in one scheduler pass become
+	// one engine event, not N (same timeline — the callbacks run in the
+	// same consecutive order).
+	launches *sim.Coalescer
+
+	// launched is the node-labeled launch counter, bound once per registry.
+	launched    metrics.Counter
+	launchedSrc *metrics.Registry
+
 	// ContainersLaunched counts lifetime launches for metrics.
 	ContainersLaunched int64
 }
 
 func newNM(rm *RM, n *topology.Node) *NM {
-	return &NM{rm: rm, Node: n, running: make(map[ContainerID]*Container)}
+	return &NM{rm: rm, Node: n, running: make(map[ContainerID]*Container), launches: sim.NewCoalescer(rm.Eng)}
 }
 
 // StartContainer models the AM→NM start-container RPC followed by container
@@ -41,21 +52,29 @@ func (nm *NM) StartContainer(c *Container, warm bool, ready func()) {
 	var span trace.SpanID
 	if !warm {
 		delay += p.ContainerLaunch + p.JVMStart
-		span = nm.rm.Trace.StartSpan(c.App.Span, "nm/"+nm.Node.Name, "launch "+c.Tag, "launch",
-			trace.A("container", c.String()))
+		if nm.rm.Trace != nil {
+			span = nm.rm.Trace.StartSpan(c.App.Span, "nm/"+nm.Node.Name, "launch "+c.Tag, "launch",
+				trace.A("container", c.String()))
+		}
 	}
 	epoch := nm.Node.Epoch()
-	nm.rm.Eng.After(delay, func() {
+	nm.launches.After(delay, func() {
 		if !nm.Node.AliveEpoch(epoch) {
 			// The node died before (or while) the container process came up:
 			// ready never fires (the launch span stays open), and the RM
 			// reports the container lost once the liveness monitor notices.
 			return
 		}
-		nm.rm.Trace.EndSpan(span)
+		if span != 0 {
+			nm.rm.Trace.EndSpan(span)
+		}
 		nm.running[c.ID] = c
 		nm.ContainersLaunched++
-		nm.rm.Reg.Inc(metrics.With("yarn_containers_launched_total", "node", nm.Node.Name))
+		if nm.launchedSrc != nm.rm.Reg {
+			nm.launchedSrc = nm.rm.Reg
+			nm.launched = nm.rm.Reg.CounterHandle("yarn_containers_launched_total", "node", nm.Node.Name)
+		}
+		nm.launched.Inc()
 		ready()
 	})
 }

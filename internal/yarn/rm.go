@@ -59,6 +59,10 @@ type RM struct {
 	started       bool
 	tickers       []*sim.Ticker
 
+	// h caches pre-resolved metric handles for the per-grant and
+	// per-heartbeat paths; see handles().
+	h rmHandles
+
 	// queues, when configured, enforces per-tenant capacity ceilings.
 	queues *queues
 }
@@ -81,6 +85,31 @@ func NewRM(eng *sim.Engine, cluster *topology.Cluster, params costmodel.Params, 
 		rm.nms[n] = newNM(rm, n)
 	}
 	return rm
+}
+
+// rmHandles holds the pre-resolved metric handles for the RM's hot paths:
+// one histogram for allocation latency, one counter per achieved locality
+// level, one for AM heartbeats. Binding happens once per registry — Reg is
+// a public field assigned after construction (and swapped by some tests),
+// so handles() rebinds whenever the field changes rather than at NewRM.
+type rmHandles struct {
+	src          *metrics.Registry
+	allocLatency metrics.Observer
+	amHeartbeats metrics.Counter
+	allocations  [3]metrics.Counter
+}
+
+func (rm *RM) handles() *rmHandles {
+	if rm.h.src != rm.Reg {
+		rm.h.src = rm.Reg
+		rm.h.allocLatency = rm.Reg.HistogramHandle("yarn_alloc_latency_seconds")
+		rm.h.amHeartbeats = rm.Reg.CounterHandle("yarn_am_heartbeats_total")
+		for loc := range rm.h.allocations {
+			rm.h.allocations[loc] = rm.Reg.CounterHandle("yarn_allocations_total",
+				"locality", Locality(loc).String(), "sched", rm.Sched.Name())
+		}
+	}
+	return &rm.h
 }
 
 // Start begins NodeManager heartbeats, staggered deterministically across
@@ -147,7 +176,9 @@ func (rm *RM) nodeHeartbeat(nt *NodeTracker) {
 		rm.creditQueue(c.App, c.Resource)
 		delete(rm.live, c.ID)
 		rm.Metrics.Releases++
-		rm.Trace.Add("rm", "released %s", c)
+		if rm.Trace != nil {
+			rm.Trace.Add("rm", "released %s", c)
+		}
 	}
 	rm.Sched.OnNodeUpdate(rm, nt)
 }
@@ -179,11 +210,17 @@ func (rm *RM) expireNode(nt *NodeTracker) {
 // — their work had already completed.
 func (rm *RM) loseNodeContainers(nt *NodeTracker, why string) {
 	rm.nms[nt.Node].crash()
+	// All of a node's loss notifications share one RPC-latency event: the
+	// callbacks run consecutively in container order, exactly as N separate
+	// same-instant events would, at one queue insertion.
+	var lost []func()
 	for _, c := range rm.liveOnNode(nt.Node) {
 		delete(rm.live, c.ID)
 		rm.creditQueue(c.App, c.Resource)
 		rm.Metrics.ContainersLost++
-		rm.Trace.Add("rm", "lost %s (%s)", c, why)
+		if rm.Trace != nil {
+			rm.Trace.Add("rm", "lost %s (%s)", c, why)
+		}
 		if c.released {
 			continue
 		}
@@ -192,8 +229,15 @@ func (rm *RM) loseNodeContainers(nt *NodeTracker, why string) {
 		c.App.dropGranted(c)
 		if cb := c.App.OnContainerLost; cb != nil && c.App.Alive() {
 			cc := c
-			rm.Eng.After(rm.Params.RPCLatency, func() { cb(cc) })
+			lost = append(lost, func() { cb(cc) })
 		}
+	}
+	if len(lost) > 0 {
+		rm.Eng.After(rm.Params.RPCLatency, func() {
+			for _, f := range lost {
+				f()
+			}
+		})
 	}
 	nt.Avail = nt.Cap
 }
@@ -278,17 +322,20 @@ func (rm *RM) Grant(ask *Ask, nt *NodeTracker) *Container {
 	loc := ask.LocalityOn(nt.Node)
 	rm.Metrics.Allocations++
 	rm.Metrics.ByLocality[loc]++
-	rm.Trace.Add("rm", "granted %s to app %d (%s)", c, ask.App.ID, loc)
-	// The scheduling-wait span: ask arrival → grant. A same-heartbeat D+
-	// answer shows ~2×RPC of wait; a stock grant shows the node-heartbeat
-	// wait the paper's Figure 2 attributes to allocation.
-	rm.Trace.SpanSince(ask.App.Span, "rm", "alloc "+ask.Tag, "schedule", ask.arrived,
-		trace.A("app", fmt.Sprint(ask.App.ID)),
-		trace.A("container", fmt.Sprint(int(c.ID))),
-		trace.A("node", nt.Node.Name),
-		trace.A("locality", loc.String()))
-	rm.Reg.Observe("yarn_alloc_latency_seconds", rm.Eng.Now().Sub(ask.arrived).Seconds())
-	rm.Reg.Inc(metrics.With("yarn_allocations_total", "locality", loc.String(), "sched", rm.Sched.Name()))
+	if rm.Trace != nil {
+		rm.Trace.Add("rm", "granted %s to app %d (%s)", c, ask.App.ID, loc)
+		// The scheduling-wait span: ask arrival → grant. A same-heartbeat D+
+		// answer shows ~2×RPC of wait; a stock grant shows the node-heartbeat
+		// wait the paper's Figure 2 attributes to allocation.
+		rm.Trace.SpanSince(ask.App.Span, "rm", "alloc "+ask.Tag, "schedule", ask.arrived,
+			trace.A("app", fmt.Sprint(ask.App.ID)),
+			trace.A("container", fmt.Sprint(int(c.ID))),
+			trace.A("node", nt.Node.Name),
+			trace.A("locality", loc.String()))
+	}
+	h := rm.handles()
+	h.allocLatency.Observe(rm.Eng.Now().Sub(ask.arrived).Seconds())
+	h.allocations[loc].Inc()
 	return c
 }
 
@@ -303,7 +350,7 @@ func (rm *RM) Allocate(app *App, asks []*Ask, respond func([]*Container)) {
 	}
 	rm.Eng.After(rm.Params.RPCLatency, func() {
 		rm.Metrics.AMHeartbeats++
-		rm.Reg.Inc("yarn_am_heartbeats_total")
+		rm.handles().amHeartbeats.Inc()
 		if app.State == AppKilled || app.State == AppFinished {
 			rm.Eng.After(rm.Params.RPCLatency, func() { respond(nil) })
 			return
