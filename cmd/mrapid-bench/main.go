@@ -29,6 +29,7 @@ func main() {
 		workers  = flag.Int("workers", -1, "host worker threads for map/reduce computations: 0|1 sequential, >1 pool size, -1 all cores (figures are identical either way)")
 		nodeFail = flag.String("node-fail", "", "node-fault schedule 'node@at[:restartAfter]', comma-separated, injected into every simulation (times measured from cluster-ready)")
 		shuffle  = flag.Bool("shuffle-service", false, "attach the per-node consolidating shuffle service to every simulation")
+		memoOn   = flag.Bool("memo", false, "attach the cross-job memoization cache to every framework-backed simulation (repeat submissions over unchanged inputs skip execution)")
 		codec    = flag.String("shuffle-codec", "none", "shuffle-service wire codec: none | lz")
 		jsonOut  = flag.String("json", "", "also write the regenerated figures as a JSON array to this path (CI artifact)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
@@ -66,7 +67,7 @@ func main() {
 
 	opts := bench.Options{
 		Scale: *scale, Seed: *seed, HostWorkers: *workers, NodeFaults: faults,
-		ShuffleService: *shuffle, ShuffleCodec: *codec,
+		ShuffleService: *shuffle, ShuffleCodec: *codec, MemoCache: *memoOn,
 		SeriesOut: *seriesOut, DashOut: *dashOut, EngineBenchOut: *engineOut,
 	}
 	opts.FlightRecorder = *seriesOut != "" || *dashOut != "" || *engineOut != ""

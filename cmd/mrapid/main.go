@@ -66,6 +66,7 @@ func main() {
 		dashOut  = flag.String("dash-out", "", "enable the flight recorder and write its HTML dashboard here")
 		phaseRep = flag.Bool("report", false, "print the critical-path phase-attribution report")
 		shuffle  = flag.Bool("shuffle-service", false, "attach the per-node consolidating shuffle service (one fetch per node & partition, in-node combine)")
+		memoOn   = flag.Bool("memo", false, "attach the cross-job memoization cache: repeat submissions of an identical job over unchanged inputs are served from the cache without launching anything (pairs well with -repeat and workload mode)")
 		codec    = flag.String("shuffle-codec", "none", "shuffle-service wire codec: none | lz")
 		jobs     = flag.Int("jobs", 1, "number of jobs; > 1 switches to multi-job workload mode through the JobServer")
 		tenants  = flag.Int("tenants", 2, "workload mode: tenant capacity queues the jobs are spread over")
@@ -87,7 +88,7 @@ func main() {
 		return
 	}
 	if *jobs > 1 {
-		if err := runWorkload(*cluster, *jobs, *tenants, *arrival, *policy, *seed, *workers, *nodeFail, svc, *predict, *serOut, *dashOut); err != nil {
+		if err := runWorkload(*cluster, *jobs, *tenants, *arrival, *policy, *seed, *workers, *nodeFail, svc, *predict, *memoOn, *serOut, *dashOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
 			os.Exit(1)
 		}
@@ -95,7 +96,7 @@ func main() {
 	}
 	obs := observability{TraceOut: *traceOut, MetricsOut: *metOut, Report: *phaseRep, SeriesOut: *serOut, DashOut: *dashOut}
 	est := estimatorSetting{Predict: *predict, Repeat: *repeat, ShowHistory: *showHist}
-	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN, *nodeFail, svc, obs, est); err != nil {
+	if err := run(*job, *mode, *cluster, *files, *sizeMB, *rows, *samples, *maps, *seed, *workers, *verbose, *traceN, *nodeFail, svc, *memoOn, obs, est); err != nil {
 		fmt.Fprintf(os.Stderr, "mrapid: %v\n", err)
 		os.Exit(1)
 	}
@@ -132,7 +133,7 @@ type shuffleSetting struct {
 
 // runWorkload is the multi-job mode: a WordCount stream through the
 // JobServer on the chosen cluster, reported as a throughput/fairness table.
-func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed int64, workers int, nodeFail string, svc shuffleSetting, predict bool, seriesOut, dashOut string) error {
+func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed int64, workers int, nodeFail string, svc shuffleSetting, predict, memoOn bool, seriesOut, dashOut string) error {
 	var setup bench.ClusterSetup
 	switch cluster {
 	case "A3x4":
@@ -160,7 +161,7 @@ func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed
 	}
 	opts := bench.Options{
 		Seed: seed, HostWorkers: workers, NodeFaults: faults,
-		ShuffleService: svc.Enabled, ShuffleCodec: svc.Codec,
+		ShuffleService: svc.Enabled, ShuffleCodec: svc.Codec, MemoCache: memoOn,
 		SeriesOut: seriesOut, DashOut: dashOut,
 		FlightRecorder: seriesOut != "" || dashOut != "",
 	}
@@ -185,6 +186,9 @@ func runWorkload(cluster string, jobs, tenants int, arrival, policy string, seed
 		fmt.Printf("estimator: races=%d direct=%d (history=%d prediction=%d) slot-seconds=%.1f\n",
 			res.Races, res.DirectHistory+res.DirectPrediction, res.DirectHistory, res.DirectPrediction, res.SlotSeconds)
 		fmt.Printf("prediction: mean-rel-error=%.3f regret=%d\n", res.PredErrMean, res.Regret)
+	}
+	if memoOn {
+		fmt.Printf("memo cache: hits=%d misses=%d\n", res.MemoHits, res.MemoMisses)
 	}
 	if res.SLO != nil {
 		fmt.Printf("flight recorder: %d samples\n", res.FlightSamples)
@@ -383,7 +387,7 @@ func (o observability) flight() bool {
 	return o.SeriesOut != "" || o.DashOut != ""
 }
 
-func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int, nodeFail string, svc shuffleSetting, obs observability, est estimatorSetting) error {
+func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int64, maps int, seed int64, workers int, verbose bool, traceN int, nodeFail string, svc shuffleSetting, memoOn bool, obs observability, est estimatorSetting) error {
 	var setup bench.ClusterSetup
 	switch cluster {
 	case "A3x4":
@@ -399,6 +403,7 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 		setup.Params.ShuffleService = true
 		setup.Params.ShuffleCodec = svc.Codec
 	}
+	setup.Params.MemoCache = memoOn
 	faults, err := mapreduce.ParseNodeFaults(nodeFail)
 	if err != nil {
 		return err
@@ -533,6 +538,8 @@ func run(job, mode, cluster string, files int, sizeMB float64, rows, samples int
 			if repeat > 1 {
 				how := "raced"
 				switch {
+				case res.Winner == core.ModeMemo:
+					how = "served from the memo cache"
 				case res.FromPrediction:
 					how = "pre-decided (class estimator)"
 				case res.FromHistory:

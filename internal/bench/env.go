@@ -14,6 +14,7 @@ import (
 	"mrapid/internal/flight"
 	"mrapid/internal/hdfs"
 	"mrapid/internal/mapreduce"
+	"mrapid/internal/memo"
 	"mrapid/internal/metrics"
 	"mrapid/internal/shuffle"
 	"mrapid/internal/sim"
@@ -194,6 +195,16 @@ func NewEnv(setup ClusterSetup, v Variant) (*Env, error) {
 		if err := rt.ScheduleNodeFaults(setup.NodeFaults); err != nil {
 			return nil, err
 		}
+	}
+	// The cross-job memo cache hangs off the framework (the lookup lives in
+	// core.Submit); it needs the registry for its hit/miss counters, so
+	// turning it on implies observability.
+	if params.MemoCache && env.FW != nil {
+		env.EnableObservability(1 << 16)
+		env.FW.Memo = memo.New(env.Reg, cluster.Workers(), memo.Config{
+			MemBytes:  params.MemoMemBytes,
+			DiskBytes: params.MemoDiskBytes,
+		})
 	}
 	return env, nil
 }

@@ -38,6 +38,13 @@ type Options struct {
 	ShuffleService bool
 	ShuffleCodec   string
 
+	// MemoCache attaches the cross-job memoization cache (internal/memo) to
+	// every framework-backed simulation of the run: repeat submissions of an
+	// identical job over unchanged inputs are served from the cache without
+	// launching an AM or a container. Off by default — first-sight workloads
+	// are the paper's baseline. Outputs are byte-identical with it on or off.
+	MemoCache bool
+
 	// FlightRecorder turns on the flight recorder (internal/flight) for
 	// workload runs: virtual-clock time-series, per-tenant SLO burn rates,
 	// and the engine self-profile. Sampling is read-only on the virtual
@@ -61,6 +68,9 @@ func (o Options) applyTo(setup ClusterSetup) ClusterSetup {
 	}
 	if o.FlightRecorder {
 		setup.Params.FlightRecorder = true
+	}
+	if o.MemoCache {
+		setup.Params.MemoCache = true
 	}
 	return setup
 }
@@ -532,6 +542,7 @@ var Registry = []struct {
 	{"shuffle", Shuffle, "shuffle service: consolidated fetches, combine & compression"},
 	{"warm", Warm, "calibrating estimator: warm workloads skip the 2× dual-launch"},
 	{"dagquery", DAGQuery, "query DAG scheduler: parallel branches vs sequential chains"},
+	{"memo", Memo, "cross-job memoization: digest-keyed result reuse skips execution"},
 	{"engine", EngineStorm, "discrete-event engine self-benchmark (events/sec, allocs/event)"},
 }
 

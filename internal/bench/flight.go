@@ -61,6 +61,12 @@ func (e *Env) EnableFlightRecorder(slo flight.SLOConfig) *flight.Recorder {
 			sample("ampool_alive", float64(e.FW.Pool.AliveAMs()))
 			sample("ampool_size", float64(e.FW.Pool.Size()))
 		}
+		if e.FW != nil && e.FW.Memo != nil {
+			s := e.FW.Memo.Snapshot()
+			sample("memo_cache_mem_bytes", float64(s.MemBytes))
+			sample("memo_cache_disk_bytes", float64(s.DiskBytes))
+			sample("memo_cache_entries", float64(s.Entries))
+		}
 	})
 
 	rec.Start()

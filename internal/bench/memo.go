@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+
+	"mrapid/internal/core"
+	"mrapid/internal/memo"
+	"mrapid/internal/query"
+	"mrapid/internal/sim"
+)
+
+// memoWorkload is the repeat-heavy job stream both Memo rows run: three
+// tenants resubmitting the same three WordCount jobs (Mix=3 input sets,
+// job i reads set i%3) under fresh JobKeys, so neither the exact-match
+// history nor the class estimator — only the digest-keyed memo cache — can
+// recognize a repeat. Every set's first submission must execute; with the
+// cache on, later revisits whose first run has committed are served without
+// launching anything.
+func memoWorkload() WorkloadConfig {
+	return WorkloadConfig{
+		Jobs: 18, Tenants: 3, Arrival: "uniform:2s",
+		Speculative: true, UniqueKeys: true, Mix: 3,
+	}
+}
+
+// memoVariantPlan is dagQueryPlan(0) with the final sort flipped ascending:
+// the two group-by branches and the join compile to byte-identical stage
+// signatures, so a warm cache serves them, while the order-by is novel and
+// must run — the partial-overlap case of cross-query reuse.
+func memoVariantPlan() *query.Plan {
+	sales := query.Scan("sales").
+		Filter(query.Where("amount", query.OpGt, "100")).
+		GroupBy([]string{"cell"}, query.Sum("amount"), query.Count())
+	returns := query.Scan("returns").
+		Filter(query.Where("refund", query.OpGt, "20")).
+		GroupBy([]string{"cell"}, query.Sum("refund"))
+	return sales.Join(returns, "cell", "cell").OrderBy("sum(amount)", false)
+}
+
+// memoQueryStats is one cache mode's outcome over the query stream.
+type memoQueryStats struct {
+	makespan float64
+	slotSec  float64
+	hits     int64 // memo_hits_total at end of run
+	misses   int64 // memo_misses_total at end of run
+	stages   []int // per query
+	memoWins []int // per query, stages won by ModeMemo
+	rows     [][]string
+}
+
+// runMemoQueryMode drives a three-query stream through the DAG runner on a
+// fresh simulation — a cold join-heavy query, its exact repeat, and a
+// variant sharing everything but the final sort — submitted sequentially so
+// each query sees its predecessors' committed outputs. The only difference
+// between modes is whether the cross-job memo cache is attached.
+func runMemoQueryMode(memoOn bool, o Options) (*memoQueryStats, error) {
+	setup := A3x4()
+	setup.Seed = o.Seed
+	setup.Params.UberCacheBytes = int64(float64(setup.Params.UberCacheBytes) * o.Scale)
+	setup = o.applyTo(setup)
+	setup.Params.MemoCache = memoOn
+
+	v := VariantDPlus()
+	v.UseFramework = false
+	env, err := NewEnv(setup, v)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	env.EnableObservability(1 << 16)
+	fw := core.NewFramework(env.RT, dagQueryPool, core.FullUPlus())
+	srv, err := core.NewJobServer(fw, core.JobServerConfig{Policy: core.PolicyWeightedFair})
+	if err != nil {
+		return nil, err
+	}
+	ready := false
+	env.Eng.After(0, func() { fw.Start(func() { ready = true }) })
+	env.Eng.RunUntil(sim.Time(1 << 36))
+	if !ready {
+		return nil, fmt.Errorf("bench: AM pool failed to start")
+	}
+	env.FW = fw
+	if memoOn {
+		fw.Memo = memo.New(env.Reg, env.Cluster.Workers(), memo.Config{
+			MemBytes:  setup.Params.MemoMemBytes,
+			DiskBytes: setup.Params.MemoDiskBytes,
+		})
+	}
+
+	cat := query.NewCatalog(env.DFS, env.Cluster)
+	if err := dagQueryTables(cat, o); err != nil {
+		return nil, err
+	}
+	dr, err := query.NewDAGRunner(fw, srv, cat)
+	if err != nil {
+		return nil, err
+	}
+	dr.Mode = query.ViaDPlus
+
+	plans := []*query.Plan{dagQueryPlan(0), dagQueryPlan(0), memoVariantPlan()}
+	stats := &memoQueryStats{
+		stages:   make([]int, len(plans)),
+		memoWins: make([]int, len(plans)),
+		rows:     make([][]string, len(plans)),
+	}
+	start := env.Eng.Now()
+	var lastDone sim.Time
+	var runErr error
+	var launch func(i int)
+	launch = func(i int) {
+		dr.Run(plans[i], func(res *query.Result, err error) {
+			if err != nil {
+				if runErr == nil {
+					runErr = fmt.Errorf("bench: memo query %d failed: %w", i, err)
+				}
+				env.RM.Stop()
+				return
+			}
+			stats.rows[i] = canonQueryRows(res.Rows)
+			stats.stages[i] = res.Stages
+			for _, w := range res.Winners {
+				if w == core.ModeMemo {
+					stats.memoWins[i]++
+				}
+			}
+			lastDone = env.Eng.Now()
+			if i+1 < len(plans) {
+				launch(i + 1)
+			} else {
+				env.RM.Stop()
+			}
+		})
+	}
+	env.Eng.After(0, func() { launch(0) })
+	env.Eng.RunUntil(horizon)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if lastDone == 0 || stats.rows[len(plans)-1] == nil {
+		return nil, fmt.Errorf("bench: memo query stream did not finish within the horizon")
+	}
+	stats.makespan = lastDone.Sub(start).Seconds()
+	stats.slotSec = srv.SlotSeconds
+	counters := env.Reg.Counters()
+	stats.hits = counters["memo_hits_total"]
+	stats.misses = counters["memo_misses_total"]
+	return stats, nil
+}
+
+// Memo is the registered cross-job memoization experiment, in two halves.
+//
+// Jobs: an 18-job, 3-tenant speculative stream cycling over three distinct
+// input sets under fresh JobKeys — a repeat-heavy trace where only the
+// digest-keyed cache can recognize a resubmission. Cache off, every job
+// pays the full dual-launch; cache on, revisits are served from the cache
+// without an AM or a container.
+//
+// Queries: a cold join-heavy query, its exact repeat, and a variant sharing
+// all but the final sort, run through the DAG runner cache off vs on —
+// cross-query intermediate reuse via the query layer's stage signatures.
+//
+// Both halves enforce the cache's correctness contract: every output is
+// byte-identical (job hashes, query rows) between the off and on rows, the
+// exact repeat must be served entirely from the cache, the variant must hit
+// on exactly its shared subtree, and the warm rows must win on makespan and
+// slot-seconds.
+func Memo(o Options) (*Figure, error) {
+	o = o.normalized()
+	fig := &Figure{
+		ID:      "memo",
+		Title:   "Cross-job memoization: repeat-heavy jobs and overlapping queries, cache off vs on (A3x4, D+ env)",
+		XLabel:  "workload / cache",
+		Columns: []string{"makespan", "slot-sec", "hits", "misses", "hit-rate"},
+		Notes: []string{
+			"jobs: 18 speculative WordCounts over 3 input sets, fresh JobKeys — repeats only the digest cache can see",
+			"queries: cold + exact repeat + shared-subtree variant through the DAG runner, submitted sequentially",
+			"slot-sec is admission-cost × execution-time (jobs) or the query server's same integral (queries)",
+			"outputs are byte-identical between cache-off and cache-on rows (enforced)",
+		},
+	}
+	addPoint := func(label string, makespan, slotSec float64, hits, misses int64) {
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		fig.Points = append(fig.Points, Point{
+			X: float64(len(fig.Points)), Label: label,
+			Seconds: map[string]float64{
+				"makespan": makespan, "slot-sec": slotSec,
+				"hits": float64(hits), "misses": float64(misses), "hit-rate": rate,
+			},
+		})
+	}
+
+	// Jobs half.
+	off, err := RunThroughput(A3x4(), memoWorkload(), o)
+	if err != nil {
+		return nil, fmt.Errorf("bench: memo jobs, cache off: %w", err)
+	}
+	oOn := o
+	oOn.MemoCache = true
+	on, err := RunThroughput(A3x4(), memoWorkload(), oOn)
+	if err != nil {
+		return nil, fmt.Errorf("bench: memo jobs, cache on: %w", err)
+	}
+	for job, want := range off.OutputHashes {
+		if got := on.OutputHashes[job]; got != want {
+			return nil, fmt.Errorf("bench: memo changed %s output: %s vs %s", job, got, want)
+		}
+	}
+	if on.MemoHits == 0 {
+		return nil, fmt.Errorf("bench: repeat-heavy stream produced no cache hits (misses %d)", on.MemoMisses)
+	}
+	if on.SlotSeconds >= off.SlotSeconds {
+		return nil, fmt.Errorf("bench: cache-on slot-seconds %.2f did not beat cache-off %.2f", on.SlotSeconds, off.SlotSeconds)
+	}
+	addPoint("jobs/off", off.Makespan, off.SlotSeconds, 0, 0)
+	addPoint("jobs/on", on.Makespan, on.SlotSeconds, on.MemoHits, on.MemoMisses)
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"jobs: %d/%d lookups hit; cache-on saves %.1f%% slot-seconds and %.1f%% makespan",
+		on.MemoHits, on.MemoHits+on.MemoMisses,
+		(off.SlotSeconds-on.SlotSeconds)/off.SlotSeconds*100,
+		(off.Makespan-on.Makespan)/off.Makespan*100))
+
+	// Queries half.
+	qoff, err := runMemoQueryMode(false, o)
+	if err != nil {
+		return nil, err
+	}
+	qon, err := runMemoQueryMode(true, o)
+	if err != nil {
+		return nil, err
+	}
+	for i := range qoff.rows {
+		a, b := qoff.rows[i], qon.rows[i]
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("bench: memo query %d: cache off returned %d rows, on %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return nil, fmt.Errorf("bench: memo query %d row %d: off %q != on %q", i, j, a[j], b[j])
+			}
+		}
+	}
+	if qon.memoWins[0] != 0 {
+		return nil, fmt.Errorf("bench: cold query won %d stages from an empty cache", qon.memoWins[0])
+	}
+	if qon.memoWins[1] != qon.stages[1] {
+		return nil, fmt.Errorf("bench: exact repeat won %d of %d stages from the cache", qon.memoWins[1], qon.stages[1])
+	}
+	if qon.memoWins[2] != qon.stages[2]-1 {
+		return nil, fmt.Errorf("bench: shared-subtree variant won %d of %d stages, want all but the sort", qon.memoWins[2], qon.stages[2])
+	}
+	if qon.makespan >= qoff.makespan {
+		return nil, fmt.Errorf("bench: cache-on query makespan %.2fs did not beat cache-off %.2fs", qon.makespan, qoff.makespan)
+	}
+	addPoint("query/off", qoff.makespan, qoff.slotSec, 0, 0)
+	addPoint("query/on", qon.makespan, qon.slotSec, qon.hits, qon.misses)
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"queries: repeat served %d/%d stages, variant %d/%d (all but the sort); cache-on beats cache-off makespan by %.1f%%",
+		qon.memoWins[1], qon.stages[1], qon.memoWins[2], qon.stages[2],
+		(qoff.makespan-qon.makespan)/qoff.makespan*100))
+	return fig, nil
+}

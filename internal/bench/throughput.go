@@ -12,6 +12,7 @@ import (
 	"mrapid/internal/core"
 	"mrapid/internal/flight"
 	"mrapid/internal/mapreduce"
+	"mrapid/internal/memo"
 	"mrapid/internal/metrics"
 	"mrapid/internal/sim"
 	"mrapid/internal/workloads"
@@ -52,6 +53,12 @@ type WorkloadConfig struct {
 	// history never pre-decides a later job — only the class estimator can.
 	// This is the warm-workload regime: similar jobs, never the same one.
 	UniqueKeys bool
+
+	// Mix spreads the stream over this many distinct input sets (job i reads
+	// set i%Mix), each generated from its own seed. 0 or 1 keeps the classic
+	// single shared input. With the memo cache on, Mix controls the repeat
+	// structure: every set's first job misses, every revisit hits.
+	Mix int
 }
 
 // TenantStats aggregates one tenant's view of a workload run.
@@ -85,6 +92,12 @@ type ThroughputResult struct {
 	DirectPrediction int64
 	PredErrMean      float64
 	Regret           int64
+
+	// Memo accounting, non-zero only when Params.MemoCache was on: lookups
+	// served from the cross-job cache vs. missed (memo_hits_total /
+	// memo_misses_total at end of run).
+	MemoHits   int64
+	MemoMisses int64
 
 	// OutputHashes fingerprints each job's final output (job name → FNV-64a
 	// of the concatenated part files), so two runs of the same workload can
@@ -197,6 +210,14 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 	}
 	env.FW = fw
 	fw.Predict = cfg.Predict
+	// NewEnv can't attach the memo cache here (the framework is hand-built),
+	// so mirror its wiring: registry-backed counters, cluster-wide residency.
+	if setup.Params.MemoCache {
+		fw.Memo = memo.New(env.Reg, env.Cluster.Workers(), memo.Config{
+			MemBytes:  setup.Params.MemoMemBytes,
+			DiskBytes: setup.Params.MemoDiskBytes,
+		})
+	}
 
 	// Flight recorder: cluster gauges from the env, JobServer gauges here,
 	// and the SLO tracker fed through a tap that also keeps the raw events,
@@ -222,11 +243,23 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 		srv.Observer = tap
 	}
 
-	names, err := workloads.GenerateWordCountInput(env.DFS, env.Cluster, "/in/tp", workloads.WordCountConfig{
-		Files: 4, FileBytes: o.bytes(2 * mb), Seed: o.Seed,
-	})
-	if err != nil {
-		return nil, err
+	mix := cfg.Mix
+	if mix <= 0 {
+		mix = 1
+	}
+	inputSets := make([][]string, mix)
+	for m := 0; m < mix; m++ {
+		dir := "/in/tp"
+		if mix > 1 {
+			dir = fmt.Sprintf("/in/tp/%d", m)
+		}
+		names, err := workloads.GenerateWordCountInput(env.DFS, env.Cluster, dir, workloads.WordCountConfig{
+			Files: 4, FileBytes: o.bytes(2 * mb), Seed: o.Seed + int64(m),
+		})
+		if err != nil {
+			return nil, err
+		}
+		inputSets[m] = names
 	}
 	arrivals, err := arrivalTimes(cfg.Arrival, cfg.Jobs, o.Seed)
 	if err != nil {
@@ -257,7 +290,7 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 		if cfg.Speculative {
 			mode = core.ModeSpeculative
 		}
-		spec := workloads.WordCountSpec(fmt.Sprintf("wc-%s-%d", tenant, i), names, fmt.Sprintf("/out/tp/%d", i), false)
+		spec := workloads.WordCountSpec(fmt.Sprintf("wc-%s-%d", tenant, i), inputSets[i%mix], fmt.Sprintf("/out/tp/%d", i), false)
 		if cfg.UniqueKeys {
 			spec.JobKey = spec.Name
 		}
@@ -348,6 +381,8 @@ func RunThroughput(setup ClusterSetup, cfg WorkloadConfig, o Options) (*Throughp
 	if h := hists["estimator_prediction_error"]; h != nil {
 		res.PredErrMean = h.Mean()
 	}
+	res.MemoHits = counters["memo_hits_total"]
+	res.MemoMisses = counters["memo_misses_total"]
 
 	// Fingerprint every job's final output so runs of the same workload under
 	// different decision paths (race vs direct pick) can be proven identical.

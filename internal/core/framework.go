@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"mrapid/internal/mapreduce"
+	"mrapid/internal/memo"
 	"mrapid/internal/profiler"
 	"mrapid/internal/trace"
 	"mrapid/internal/yarn"
@@ -23,6 +24,14 @@ type Framework struct {
 	// only for the "reducing communication" ablation (Figures 14–15); the
 	// real framework always notifies directly.
 	NotifyPoll bool
+
+	// Memo, when non-nil, attaches the cross-job memoization cache: every
+	// Submit/SubmitSpeculative consults it first, a hit skips execution
+	// entirely (ModeMemo result, zero containers), and a miss commits the
+	// successful fresh output for future identical submissions. Attached by
+	// the bench/CLI layers when Params.MemoCache is set; nil means every
+	// submission executes.
+	Memo *memo.Cache
 
 	// Predict enables the online-calibrating estimator: speculative
 	// submissions whose workload class has passed the history's confidence

@@ -165,10 +165,33 @@ func (a *attempt) fail(err error) {
 // modes dispatch to a pooled AM (with AM-loss relaunch and pool-exhaustion
 // degradation), stock modes cold-submit. This is the mode-agnostic entry
 // the JobServer routes admitted jobs through.
+//
+// With a memoization cache attached, the cache is consulted first: a hit
+// serves the cached output instead of executing — no upload, no AM, no
+// containers — and a miss commits the successful fresh result on the way
+// out. SubmitSpeculative does its own lookup before its three-way branch,
+// so its internal submissions route through submitNoMemo.
 func (f *Framework) Submit(exec Executor, spec *mapreduce.JobSpec, done func(*mapreduce.Result)) {
 	if done == nil {
 		panic("core: Submit needs a completion callback")
 	}
+	serve, commit := f.memoLookup(spec)
+	if serve != nil {
+		serve(done)
+		return
+	}
+	if commit != nil {
+		inner := done
+		done = func(res *mapreduce.Result) {
+			commit(res)
+			inner(res)
+		}
+	}
+	f.submitNoMemo(exec, spec, done)
+}
+
+// submitNoMemo is Submit's execution body, past the memoization hook.
+func (f *Framework) submitNoMemo(exec Executor, spec *mapreduce.JobSpec, done func(*mapreduce.Result)) {
 	if !exec.UsesPool() {
 		exec.SubmitStock(f, spec, done)
 		return

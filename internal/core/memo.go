@@ -1,0 +1,174 @@
+package core
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"mrapid/internal/mapreduce"
+	"mrapid/internal/memo"
+	"mrapid/internal/profiler"
+	"mrapid/internal/trace"
+)
+
+// ModeMemo labels results served from the cross-job memoization cache: no
+// AM, no containers, the committed output of an earlier identical run
+// materialized under the "memo" transport.
+const ModeMemo ModeKind = "memo"
+
+// memoIdentity resolves a spec's cache identity: the content-sensitive key
+// and the digest of its current inputs. A caller-provided MemoKey (the
+// query layer's plan-content signature) wins outright; otherwise the
+// automatic path requires a fingerprintable spec — named transforms only
+// (MemoSafe), a real HDFS output, and inputs that are plain HDFS files,
+// not intermediate-store entries whose names say nothing about content.
+func (f *Framework) memoIdentity(spec *mapreduce.JobSpec) (key string, digest uint64, ok bool) {
+	if f.Memo == nil {
+		return "", 0, false
+	}
+	if spec.MemoKey != "" {
+		return spec.MemoKey, spec.MemoDigest, true
+	}
+	if spec.IntermediateOutput || !spec.MemoSafe() {
+		return "", 0, false
+	}
+	inputs := append([]string(nil), spec.InputFiles...)
+	sort.Strings(inputs)
+	h := fnv.New64a()
+	for _, in := range inputs {
+		if st := f.RT.Intermediates; st != nil && st.Has(in) {
+			return "", 0, false
+		}
+		d, err := f.RT.DFS.FileDigest(in)
+		if err != nil {
+			return "", 0, false
+		}
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(d >> (8 * i))
+		}
+		h.Write([]byte(in))
+		h.Write(buf[:])
+	}
+	return spec.SpecFingerprint(), h.Sum64(), true
+}
+
+// memoLookup consults the cache once per submission. A hit returns serve:
+// call it instead of executing and it materializes the cached output and
+// delivers a ModeMemo result. A miss returns commit: thread it through the
+// chosen execution path's completion so a successful fresh run is cached
+// (errors and partial runs never are). Both nil means this spec is not
+// memoizable — run normally, touch nothing.
+func (f *Framework) memoLookup(spec *mapreduce.JobSpec) (serve func(func(*mapreduce.Result)), commit func(*mapreduce.Result)) {
+	key, digest, ok := f.memoIdentity(spec)
+	if !ok {
+		return nil, nil
+	}
+	// Misses of every flavor — absent, invalidated by an input write, or
+	// lost with a dead disk node — fall through to normal execution; the
+	// lost case is precisely the stale-entry fault-tolerance contract.
+	hit, err := f.Memo.Lookup(key, digest)
+	if err == nil {
+		return func(done func(*mapreduce.Result)) {
+			f.materializeMemo(spec, hit, done)
+		}, nil
+	}
+	return nil, func(res *mapreduce.Result) {
+		if res == nil || res.Err != nil {
+			return
+		}
+		parts, ok := f.memoCollect(spec)
+		if !ok {
+			return
+		}
+		var cost float64
+		if res.Profile != nil {
+			cost = res.Profile.Elapsed().Seconds()
+		}
+		f.Memo.Commit(key, digest, parts, cost)
+	}
+}
+
+// memoCollect snapshots a freshly committed output: one byte slice per
+// reduce partition, from the intermediate store (intra-query stages) or
+// HDFS. Any unreadable part — e.g. a store entry whose producer died in
+// the commit window — aborts the collection; caching a torn output would
+// serve corrupt bytes forever.
+func (f *Framework) memoCollect(spec *mapreduce.JobSpec) ([][]byte, bool) {
+	parts := make([][]byte, spec.NumReduces)
+	for p := range parts {
+		name := mapreduce.PartFileName(spec.OutputFile, p)
+		if st := f.RT.Intermediates; st != nil && st.Has(name) {
+			data, ok := st.Contents(name)
+			if !ok {
+				return nil, false
+			}
+			parts[p] = data
+			continue
+		}
+		data, err := f.RT.DFS.Contents(name)
+		if err != nil {
+			return nil, false
+		}
+		parts[p] = data
+	}
+	return parts, true
+}
+
+// materializeMemo serves a cache hit: after the proxy round-trip (and a
+// disk read at the holder for disk-tier entries) the cached part files are
+// installed under the spec's output — intermediate store for intra-query
+// stages, HDFS otherwise — with each part observed under the "memo"
+// shuffle transport. The result carries a minimal profile: zero tasks,
+// zero containers, elapsed ≈ the RPC plus any disk read.
+func (f *Framework) materializeMemo(spec *mapreduce.JobSpec, hit *memo.Hit, done func(*mapreduce.Result)) {
+	rt := f.RT
+	prof := &profiler.JobProfile{
+		Job:         spec.Key(),
+		Mode:        string(ModeMemo),
+		SubmittedAt: rt.Eng.Now(),
+		AMPoolHit:   true,
+		NumReduces:  spec.NumReduces,
+	}
+	prof.Span = rt.Trace.StartSpan(0, "job", spec.Name+" (memo)", "", trace.A("mode", string(ModeMemo)))
+	install := func() {
+		rt.DeleteOutputPrefix(spec.OutputFile)
+		node := hit.Node
+		if node == nil {
+			// Memory-tier hits have no holder; intermediate-store entries
+			// still need one, so park them on the first live worker (the
+			// cache service's local spill target) deterministically.
+			for _, w := range rt.Cluster.Workers() {
+				if w.Alive() {
+					node = w
+					break
+				}
+			}
+		}
+		for p, data := range hit.Parts {
+			name := mapreduce.PartFileName(spec.OutputFile, p)
+			if spec.IntermediateOutput && rt.Intermediates != nil && node != nil {
+				rt.Intermediates.Put(name, data, node)
+			} else {
+				rt.DFS.Delete(name)
+				if _, err := rt.DFS.PutInstant(name, data, node); err != nil {
+					prof.DoneAt = rt.Eng.Now()
+					rt.Trace.EndSpan(prof.Span, trace.A("error", err.Error()))
+					done(&mapreduce.Result{Spec: spec, Mode: string(ModeMemo), Profile: prof, Err: err})
+					return
+				}
+			}
+			rt.ObserveShuffle("memo", "memo", int64(len(data)))
+		}
+		now := rt.Eng.Now()
+		prof.AMReadyAt, prof.FirstTaskAt, prof.MapsDoneAt, prof.DoneAt = now, now, now, now
+		rt.Trace.EndSpan(prof.Span, trace.A("memo_hit", "true"))
+		done(&mapreduce.Result{Spec: spec, Mode: string(ModeMemo), Profile: prof})
+	}
+	rt.Eng.After(rt.Params.RPCLatency, func() {
+		if !hit.InMemory && hit.Node != nil && hit.Bytes > 0 {
+			hit.Node.Disk.Use(hit.Bytes, install)
+			return
+		}
+		install()
+	})
+}

@@ -72,14 +72,37 @@ func (f *Framework) SubmitSpeculative(spec *mapreduce.JobSpec, done func(*SpecRe
 		panic("core: speculative execution needs an AM pool of at least 2")
 	}
 
+	// Step 0, ahead of even the history consult: the memoization cache. A
+	// hit ends the whole workflow — no mode ever runs, so there is nothing
+	// to decide and no outcome to record (a served result must not feed the
+	// estimator's calibration with near-zero elapsed times). On a miss the
+	// commit hook rides each branch's completion; the branches below submit
+	// through submitNoMemo/race so the one lookup here is the only one.
+	serve, commit := f.memoLookup(spec)
+	if serve != nil {
+		serve(func(res *mapreduce.Result) {
+			done(&SpecResult{Result: res, Winner: ModeMemo})
+		})
+		return
+	}
+	if commit != nil {
+		inner := done
+		done = func(out *SpecResult) {
+			if out.Result != nil {
+				commit(out.Result)
+			}
+			inner(out)
+		}
+	}
+
 	// Pre-decision from history (step 2).
 	if winner, ok := f.History.Winner(spec.Key()); ok {
 		f.RT.Reg.Inc(metrics.With("estimator_direct_total", "source", "history"))
-		run := f.SubmitUPlus
+		exec := Executor(uplusExecutor{})
 		if winner == ModeDPlus {
-			run = f.SubmitDPlus
+			exec = dplusExecutor{}
 		}
-		run(spec, func(res *mapreduce.Result) {
+		f.submitNoMemo(exec, spec, func(res *mapreduce.Result) {
 			f.recordOutcome(spec, winner, res)
 			out := &SpecResult{Result: res, Winner: winner, FromHistory: true}
 			if res.Profile != nil {
@@ -99,7 +122,7 @@ func (f *Framework) SubmitSpeculative(spec *mapreduce.JobSpec, done func(*SpecRe
 			f.RT.Reg.Inc(metrics.With("estimator_direct_total", "source", "prediction"))
 			f.RT.Trace.Add("proxy", "estimator pre-decision: %s direct (predicted %s, class %s over %d runs)",
 				pred.Mode, pred.Runtime, pred.Class, pred.Runs)
-			f.Submit(exec, spec, func(res *mapreduce.Result) {
+			f.submitNoMemo(exec, spec, func(res *mapreduce.Result) {
 				f.recordOutcome(spec, pred.Mode, res)
 				f.accountPrediction(pred, spec, res)
 				out := &SpecResult{

@@ -158,6 +158,21 @@ type Params struct {
 	// FlightRingCap bounds the samples retained per series (zero means the
 	// 4096 default); beyond it the oldest samples fall off the ring.
 	FlightRingCap int
+
+	// MemoCache enables the cross-job memoization cache (internal/memo): a
+	// repeat submission of an identical job spec over unchanged inputs
+	// (same transform symbols, parameters, and input write generations) is
+	// served from the cached output — no AM, no containers — under the
+	// "memo" transport label. Off by default; the served bytes are the
+	// committed output verbatim, so results are byte-identical either way.
+	MemoCache bool
+
+	// MemoMemBytes bounds the memoization cache's memory tier (the cache
+	// service's replicated RAM, always readable); MemoDiskBytes bounds the
+	// disk tier entries demote to (a single copy on one worker's local
+	// disk, lost with the node). Zero means the 256 MB / 1 GB defaults.
+	MemoMemBytes  int64
+	MemoDiskBytes int64
 }
 
 // Default returns the calibrated baseline used by all experiments. Values
@@ -195,6 +210,9 @@ func Default() Params {
 		FlightRecorder:          false,
 		FlightInterval:          250 * time.Millisecond,
 		FlightRingCap:           4096,
+		MemoCache:               false,
+		MemoMemBytes:            256 << 20,
+		MemoDiskBytes:           1 << 30,
 	}
 }
 
@@ -247,6 +265,10 @@ func (p Params) Validate() error {
 		return errBad("FlightInterval")
 	case p.FlightRingCap < 0:
 		return errBad("FlightRingCap")
+	case p.MemoMemBytes < 0:
+		return errBad("MemoMemBytes")
+	case p.MemoDiskBytes < 0:
+		return errBad("MemoDiskBytes")
 	}
 	return nil
 }

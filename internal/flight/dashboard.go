@@ -97,6 +97,30 @@ svg polyline{fill:none;stroke:#2563eb;stroke-width:1.5}
 		fmt.Fprintf(out, "</table>\n")
 	}
 
+	// Caches: present only when the run carried the cross-job memo cache
+	// (its counters then ride the registry sweep, and the bench gauge probe
+	// adds the residency series).
+	if hits, ok := r.lastValue("memo_hits_total"); ok {
+		misses, _ := r.lastValue("memo_misses_total")
+		inval, _ := r.lastValue("memo_invalidations_total")
+		lost, _ := r.lastValue("memo_lost_total")
+		evict, _ := r.lastValue("memo_evictions_total")
+		memB, _ := r.lastValue("memo_cache_mem_bytes")
+		dskB, _ := r.lastValue("memo_cache_disk_bytes")
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = hits / (hits + misses)
+		}
+		cls := "bad"
+		if rate > 0 {
+			cls = "ok"
+		}
+		fmt.Fprintf(out, "<h2>Caches</h2>\n<table><tr><th class=\"l\">cache</th><th>hit rate</th><th>hits</th><th>misses</th><th>invalidations</th><th>lost</th><th>evictions</th><th>mem bytes</th><th>disk bytes</th></tr>\n")
+		fmt.Fprintf(out, `<tr><td class="l">cross-job memo</td><td class="%s">%.1f%%</td><td>%.0f</td><td>%.0f</td><td>%.0f</td><td>%.0f</td><td>%.0f</td><td>%s</td><td>%s</td></tr>`+"\n",
+			cls, 100*rate, hits, misses, inval, lost, evict, promFloat(memB), promFloat(dskB))
+		fmt.Fprintf(out, "</table>\n")
+	}
+
 	if len(d.TopSpans) > 0 {
 		fmt.Fprintf(out, "<h2>Slowest phases</h2>\n<table><tr><th class=\"l\">component</th><th class=\"l\">span</th><th class=\"l\">phase</th><th>start</th><th>duration</th></tr>\n")
 		for _, s := range d.TopSpans {

@@ -172,6 +172,17 @@ func (r *Recorder) DroppedSpans() int64 { return r.tlog.Dropped() }
 // Series returns one series by full key, or nil.
 func (r *Recorder) Series(name string) *Series { return r.series[name] }
 
+// lastValue reads a series' most recent sample, reporting whether the
+// series exists and has one.
+func (r *Recorder) lastValue(name string) (float64, bool) {
+	s, ok := r.series[name]
+	if !ok {
+		return 0, false
+	}
+	last, ok := s.Last()
+	return last.Value, ok
+}
+
 // SeriesNames returns every recorded series key, sorted.
 func (r *Recorder) SeriesNames() []string {
 	names := make([]string, 0, len(r.series))

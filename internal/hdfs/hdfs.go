@@ -8,7 +8,9 @@
 package hdfs
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 
@@ -24,6 +26,13 @@ type Block struct {
 	Offset   int64 // offset of this block within the file
 	Data     []byte
 	Replicas []*topology.Node // placement order: first is the "primary"
+
+	// Gen is the NameNode's monotonic write generation, stamped when the
+	// block's bytes were (re)written. Any mutation — overwrite, append —
+	// produces a fresh generation, so (ID, Gen) identifies block *content*
+	// without hashing it. FileDigest folds these stamps into the cheap
+	// input-freshness check the cross-job memoization cache keys on.
+	Gen int64
 }
 
 // Size returns the block length in bytes.
@@ -62,6 +71,7 @@ type DFS struct {
 	replication int
 	files       map[string]*File
 	nextBlockID int
+	gen         int64 // monotonic write-generation counter (see Block.Gen)
 	rng         *rand.Rand
 
 	// BytesRead / BytesWritten tally costed traffic for metrics.
@@ -257,12 +267,14 @@ func (d *DFS) makeBlocks(name string, data []byte, writer *topology.Node) *File 
 			end = int64(len(data))
 		}
 		d.nextBlockID++
+		d.gen++
 		f.Blocks = append(f.Blocks, &Block{
 			ID:       d.nextBlockID,
 			File:     name,
 			Offset:   off,
 			Data:     data[off:end],
 			Replicas: d.place(writer),
+			Gen:      d.gen,
 		})
 		if len(data) == 0 {
 			break
@@ -473,4 +485,92 @@ func (d *DFS) Contents(name string) ([]byte, error) {
 		out = append(out, b.Data...)
 	}
 	return out, nil
+}
+
+// FileDigest folds a file's per-block (ID, generation, length) triples into
+// one 64-bit value. It is a pure NameNode metadata walk — no block data is
+// hashed and no I/O cost is charged — yet any content change is visible:
+// every write path stamps a fresh generation on the blocks it touches
+// (PutInstant/Write on creation, OverwriteInstant/Append on mutation). The
+// memoization cache uses it as the input-freshness half of its key.
+func (d *DFS) FileDigest(name string) (uint64, error) {
+	f, err := d.Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, b := range f.Blocks {
+		word(uint64(b.ID))
+		word(uint64(b.Gen))
+		word(uint64(len(b.Data)))
+	}
+	return h.Sum64(), nil
+}
+
+// OverwriteInstant replaces an existing file's contents (or creates the file)
+// without charging I/O cost, the mutation analogue of PutInstant. The old
+// blocks are discarded and every new block gets a fresh write generation, so
+// FileDigest changes and any memoized result derived from the old bytes is
+// invalidated.
+func (d *DFS) OverwriteInstant(name string, data []byte, writer *topology.Node) (*File, error) {
+	delete(d.files, name)
+	return d.PutInstant(name, data, writer)
+}
+
+// Append extends an existing file in place without charging I/O cost: the
+// last block absorbs bytes up to the block size (its generation is bumped —
+// its content changed), and the remainder spills into fresh blocks. Like the
+// other *Instant helpers it models out-of-band data arrival, e.g. a log
+// shipper adding records between measured jobs.
+func (d *DFS) Append(name string, data []byte, writer *topology.Node) (*File, error) {
+	f, err := d.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return f, nil
+	}
+	if n := len(f.Blocks); n > 0 {
+		last := f.Blocks[n-1]
+		if room := d.blockSize - last.Size(); room > 0 {
+			take := room
+			if take > int64(len(data)) {
+				take = int64(len(data))
+			}
+			// Copy-on-append: readers hold references to block data and
+			// treat it as immutable, so never grow the old slice in place.
+			grown := make([]byte, 0, last.Size()+take)
+			grown = append(grown, last.Data...)
+			grown = append(grown, data[:take]...)
+			last.Data = grown
+			d.gen++
+			last.Gen = d.gen
+			data = data[take:]
+		}
+	}
+	base := f.Size()
+	for len(data) > 0 {
+		end := d.blockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		d.nextBlockID++
+		d.gen++
+		f.Blocks = append(f.Blocks, &Block{
+			ID:       d.nextBlockID,
+			File:     name,
+			Offset:   base,
+			Data:     data[:end:end],
+			Replicas: d.place(writer),
+			Gen:      d.gen,
+		})
+		base += end
+		data = data[end:]
+	}
+	return f, nil
 }

@@ -105,6 +105,19 @@ func (st *IntermediateStore) Size(name string) (int64, bool) {
 // MemUsed reports the bytes currently held in memory.
 func (st *IntermediateStore) MemUsed() int64 { return st.memUsed }
 
+// Contents returns a held file's bytes without charging any cost — the
+// store-side counterpart of DFS.Contents, used by the memoization cache to
+// snapshot a committed output. It refuses entries whose producer node died
+// (the bytes are gone; pretending otherwise would cache data no consumer
+// could have read).
+func (st *IntermediateStore) Contents(name string) ([]byte, bool) {
+	f, ok := st.files[name]
+	if !ok || !f.available() {
+		return nil, false
+	}
+	return f.data, true
+}
+
 // Holder returns the node that committed (and holds) a file.
 func (st *IntermediateStore) Holder(name string) (*topology.Node, bool) {
 	f, ok := st.files[name]

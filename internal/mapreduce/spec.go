@@ -10,6 +10,10 @@ import (
 	"bytes"
 	"fmt"
 	"hash/fnv"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"mrapid/internal/hdfs"
@@ -142,6 +146,17 @@ type JobSpec struct {
 	// ReduceRate is the reduce function's throughput over its input bytes
 	// per second on one reference core.
 	ReduceRate float64
+
+	// MemoKey / MemoDigest, when MemoKey is non-empty, override the
+	// memoization cache's automatic identity for this job: MemoKey names the
+	// computation and MemoDigest fingerprints its inputs. The query layer
+	// sets them from plan-content signatures and lineage digests, because
+	// its transform closures all share one function symbol — the automatic
+	// SpecFingerprint/MemoSafe path would either refuse them or, worse,
+	// collide distinct predicates. Callers that set MemoKey take over the
+	// collision-freedom obligation.
+	MemoKey    string
+	MemoDigest uint64
 }
 
 // Validate checks the spec is runnable.
@@ -181,12 +196,84 @@ func (s *JobSpec) Key() string {
 // share a class key behave alike per input byte, so the decision maker's
 // calibrating estimator can generalize execution records across similar
 // jobs that never share an exact Key.
+//
+// ClassKey is intentionally shape-only and therefore lossy: two different
+// programs with the same structure (say, grep-for-ERROR and grep-for-WARN,
+// both LineFormat × 1 reduce × equal rates) share a class, which is exactly
+// what lets the estimator pool their timing samples. That lossiness makes it
+// unusable as a cache key — reusing grep-for-ERROR's output for a
+// grep-for-WARN submission would be wrong. SpecFingerprint is the
+// content-sensitive counterpart the memoization cache keys on.
 func (s *JobSpec) ClassKey() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%T|%d|%g|%g|%d|%v|%v|%v",
 		s.Format, s.NumReduces, s.MapRate, s.ReduceRate, s.MapFixedCost,
 		s.Combine != nil, s.MapFor != nil, s.SplitCost != nil)
 	return fmt.Sprintf("class-%016x", h.Sum64())
+}
+
+// funcSymbol resolves a function value to its linker symbol name
+// ("mrapid/internal/workloads.wordCountMap"), the identity the memoization
+// fingerprint hashes. Nil-safe: nil functions map to "".
+func funcSymbol(fn interface{}) string {
+	v := reflect.ValueOf(fn)
+	if !v.IsValid() || v.IsNil() {
+		return ""
+	}
+	f := runtime.FuncForPC(v.Pointer())
+	if f == nil {
+		return ""
+	}
+	return f.Name()
+}
+
+// SpecFingerprint fingerprints the job's *computation*: which transform
+// functions run (by linker symbol), with which parameters, over which input
+// set. Unlike the shape-only ClassKey it distinguishes grep-for-ERROR from
+// grep-for-WARN, WordCount with and without its combiner, and the same
+// program pointed at different files — any two specs that could produce
+// different output bytes get different fingerprints. Paired with the HDFS
+// write-generation digest of the inputs it forms the memoization cache key:
+// same fingerprint × same input digest ⇒ same committed output.
+//
+// The function identity is the package-level symbol name, which is exact for
+// named functions but blind to captured state — every closure from one
+// definition site shares a symbol. MemoSafe gates on that: specs carrying
+// closures are never auto-memoized (the query layer provides explicit
+// MemoKeys built from plan content instead).
+func (s *JobSpec) SpecFingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%T|%d|%g|%g|%d", s.Format, s.NumReduces,
+		s.MapRate, s.ReduceRate, s.MapFixedCost)
+	fmt.Fprintf(h, "|map=%s|combine=%s|reduce=%s|part=%s|mapfor=%s|splitcost=%s",
+		funcSymbol(s.Map), funcSymbol(s.Combine), funcSymbol(s.Reduce),
+		funcSymbol(s.Partition), funcSymbol(s.MapFor), funcSymbol(s.SplitCost))
+	// The input *set* is part of the computation; order is not (splits are
+	// planned per file), so hash a sorted copy.
+	inputs := append([]string(nil), s.InputFiles...)
+	sort.Strings(inputs)
+	for _, in := range inputs {
+		fmt.Fprintf(h, "|in=%s", in)
+	}
+	return fmt.Sprintf("spec-%016x", h.Sum64())
+}
+
+// MemoSafe reports whether SpecFingerprint fully captures this job's
+// computation: every configured transform must be a named package-level
+// function. A closure's symbol ends in a ".funcN" segment and is shared by
+// all instances from that definition site regardless of captured variables,
+// so two semantically different jobs could collide — such specs are only
+// memoized when the caller supplies an explicit MemoKey.
+func (s *JobSpec) MemoSafe() bool {
+	for _, sym := range []string{
+		funcSymbol(s.Map), funcSymbol(s.Combine), funcSymbol(s.Reduce),
+		funcSymbol(s.Partition), funcSymbol(s.MapFor), funcSymbol(s.SplitCost),
+	} {
+		if i := strings.LastIndexByte(sym, '.'); i >= 0 && strings.HasPrefix(sym[i+1:], "func") {
+			return false
+		}
+	}
+	return true
 }
 
 // partitioner returns the configured or default partition function.

@@ -1,0 +1,119 @@
+package mapreduce
+
+import "testing"
+
+// Named package-level transforms: distinct symbols with identical shapes,
+// so ClassKey cannot tell them apart but SpecFingerprint must.
+func fpMapA(_, line []byte, emit Emit)            { emit(line, nil) }
+func fpMapB(_, line []byte, emit Emit)            { emit(nil, line) }
+func fpReduce(key []byte, _ [][]byte, emit Emit)  { emit(key, nil) }
+func fpCombine(key []byte, _ [][]byte, emit Emit) { emit(key, nil) }
+
+// fpMakeGrep returns a parameterized closure from a single definition site,
+// the shape a query compiler's predicate factory has. noinline matters: an
+// inlined factory would give each call site its own closure symbol, hiding
+// exactly the collision this file pins down.
+//
+//go:noinline
+func fpMakeGrep(word string) MapFunc {
+	return func(_, line []byte, emit Emit) { emit([]byte(word), line) }
+}
+
+func fpSpec() *JobSpec {
+	return &JobSpec{
+		Name:       "fp",
+		JobKey:     "fp",
+		InputFiles: []string{"/in/a", "/in/b"},
+		OutputFile: "/out",
+		NumReduces: 2,
+		Format:     LineFormat{},
+		Map:        fpMapA,
+		Reduce:     fpReduce,
+		MapRate:    1e6,
+		ReduceRate: 2e6,
+	}
+}
+
+// TestSpecFingerprintSensitivity mirrors TestFingerprintSensitivity for the
+// job-spec fingerprint: identical specs agree, and every content change —
+// transform identity, parameters, input set — moves the fingerprint, even
+// when the shape-only ClassKey stays put.
+func TestSpecFingerprintSensitivity(t *testing.T) {
+	base := fpSpec()
+	if got, again := base.SpecFingerprint(), fpSpec().SpecFingerprint(); got != again {
+		t.Fatalf("identical specs disagree: %s vs %s", got, again)
+	}
+
+	// Same shape, different program: the workload-class key must pool them
+	// (that is its job) while the memo fingerprint must separate them.
+	other := fpSpec()
+	other.Map = fpMapB
+	if base.ClassKey() != other.ClassKey() {
+		t.Fatal("ClassKey should be shape-only: swapping the map symbol changed it")
+	}
+	if base.SpecFingerprint() == other.SpecFingerprint() {
+		t.Fatal("SpecFingerprint blind to the map function's identity")
+	}
+
+	mutations := map[string]func(*JobSpec){
+		"combiner added":  func(s *JobSpec) { s.Combine = fpCombine },
+		"reduce count":    func(s *JobSpec) { s.NumReduces = 3 },
+		"map rate":        func(s *JobSpec) { s.MapRate = 3e6 },
+		"reduce rate":     func(s *JobSpec) { s.ReduceRate = 1e6 },
+		"fixed cost":      func(s *JobSpec) { s.MapFixedCost = 1 },
+		"input added":     func(s *JobSpec) { s.InputFiles = append(s.InputFiles, "/in/c") },
+		"input removed":   func(s *JobSpec) { s.InputFiles = s.InputFiles[:1] },
+		"input renamed":   func(s *JobSpec) { s.InputFiles = []string{"/in/a", "/in/B"} },
+		"partitioner set": func(s *JobSpec) { s.Partition = HashPartition },
+		"format to fixed": func(s *JobSpec) { s.Format = FixedFormat{KeyLen: 10, ValLen: 90} },
+		"reduce swapped":  func(s *JobSpec) { s.Reduce = fpCombine },
+	}
+	for name, mutate := range mutations {
+		s := fpSpec()
+		mutate(s)
+		if s.SpecFingerprint() == base.SpecFingerprint() {
+			t.Errorf("%s: fingerprint unchanged", name)
+		}
+	}
+
+	// Input *order* is not part of the computation: splits are planned per
+	// file, so a permuted list is the same job.
+	perm := fpSpec()
+	perm.InputFiles = []string{"/in/b", "/in/a"}
+	if perm.SpecFingerprint() != base.SpecFingerprint() {
+		t.Fatal("input order changed the fingerprint")
+	}
+
+	// Name/JobKey are submission identity, not computation: two tenants
+	// submitting the same program over the same files must share an entry.
+	renamed := fpSpec()
+	renamed.Name, renamed.JobKey = "fp#2", "tenant-b"
+	if renamed.SpecFingerprint() != base.SpecFingerprint() {
+		t.Fatal("submission identity leaked into the fingerprint")
+	}
+}
+
+// TestMemoSafe pins the closure guard: named package-level transforms are
+// fingerprintable, closures (whose symbols collapse to one ".funcN" per
+// definition site regardless of captures) are not.
+func TestMemoSafe(t *testing.T) {
+	if !fpSpec().MemoSafe() {
+		t.Fatal("spec with named transforms reported unsafe")
+	}
+	capture := "x"
+	cl := fpSpec()
+	cl.Map = func(_, line []byte, emit Emit) { emit([]byte(capture), line) }
+	if cl.MemoSafe() {
+		t.Fatal("spec with a closure map reported memo-safe")
+	}
+	// The hazard MemoSafe exists for: two closures from one definition site
+	// with different captured state share a fingerprint.
+	s1, s2 := fpSpec(), fpSpec()
+	s1.Map, s2.Map = fpMakeGrep("ERROR"), fpMakeGrep("WARN")
+	if s1.SpecFingerprint() != s2.SpecFingerprint() {
+		t.Fatal("expected the closure collision the MemoSafe guard protects against")
+	}
+	if s1.MemoSafe() || s2.MemoSafe() {
+		t.Fatal("colliding closure specs reported memo-safe")
+	}
+}

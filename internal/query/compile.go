@@ -72,6 +72,14 @@ type Stage struct {
 	Out  *Table
 	Kind string // "groupby", "join", "orderby", "materialize"
 
+	// Sig is the stage's plan-content signature: operator, rendered
+	// predicates/aggregates, reduce count, and the signatures of everything
+	// upstream, all the way down to base-table scans. Two stages from
+	// *different* queries share a Sig exactly when they compute the same
+	// table from the same base tables — the identity the cross-job memo
+	// cache keys on (query IDs and temp-table paths never appear in it).
+	Sig string
+
 	// EstInBytes is the planner's input-size estimate that sized the
 	// stage's reduce count.
 	EstInBytes int64
@@ -104,13 +112,16 @@ type compiler struct {
 
 // source is a fusable input: files plus a row transform pending application
 // in the next stage's map function. producer is the stage that wrote the
-// files (-1 for base tables); estBytes is the planner's size estimate.
+// files (-1 for base tables); estBytes is the planner's size estimate. sig
+// accumulates the plan-content signature of the rows this source yields —
+// scan plus any fused filters/projections, or a producer stage's Sig.
 type source struct {
 	files     []string
 	schema    Schema
 	transform func(Row) (Row, bool) // nil = identity
 	producer  int
 	estBytes  int64
+	sig       string
 }
 
 // apply runs the pending transform.
@@ -222,7 +233,13 @@ func (c *compiler) compileNode(p *Plan) (*source, error) {
 		if len(t.Files) == 0 {
 			return nil, fmt.Errorf("query: table %q has no files", t.Name)
 		}
-		return &source{files: t.Files, schema: t.Schema, producer: -1, estBytes: c.tableBytes(t.Files)}, nil
+		return &source{
+			files:    t.Files,
+			schema:   t.Schema,
+			producer: -1,
+			estBytes: c.tableBytes(t.Files),
+			sig:      fmt.Sprintf("scan[%s|%s]", t.Name, strings.Join(t.Schema, ",")),
+		}, nil
 
 	case nodeFilter:
 		src, err := c.compileNode(p.left)
@@ -253,6 +270,11 @@ func (c *compiler) compileNode(p *Plan) (*source, error) {
 			}
 			return r, true
 		}
+		rendered := make([]string, len(conds))
+		for i, cond := range conds {
+			rendered[i] = cond.Col + string(cond.Op) + cond.Val
+		}
+		src.sig = fmt.Sprintf("filter[%s](%s)", strings.Join(rendered, "&"), src.sig)
 		return src, nil
 
 	case nodeProject:
@@ -283,6 +305,7 @@ func (c *compiler) compileNode(p *Plan) (*source, error) {
 			return out, true
 		}
 		src.schema = append(Schema(nil), p.cols...)
+		src.sig = fmt.Sprintf("project[%s](%s)", strings.Join(p.cols, ","), src.sig)
 		return src, nil
 
 	case nodeGroupBy:
@@ -371,6 +394,7 @@ func (c *compiler) materialize(src *source) (*Stage, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.Sig = fmt.Sprintf("materialize[]x%d(%s)", len(out.Files), src.sig)
 	st.Spec.Map = func(_, line []byte, emit mapreduce.Emit) {
 		row, ok := src.apply(decodeStageLine(line))
 		if !ok {
@@ -492,6 +516,12 @@ func (c *compiler) groupByStage(src *source, keys []string, aggs []Agg) (*source
 	if err != nil {
 		return nil, err
 	}
+	aggNames := make([]string, len(aggs))
+	for i, a := range aggs {
+		aggNames[i] = a.Name()
+	}
+	st.Sig = fmt.Sprintf("groupby[%s;%s]x%d(%s)",
+		strings.Join(keys, ","), strings.Join(aggNames, ","), len(out.Files), src.sig)
 	skipped := c.errs
 	st.Spec.Map = func(_, line []byte, emit mapreduce.Emit) {
 		row, ok := src.apply(decodeStageLine(line))
@@ -558,7 +588,7 @@ func (c *compiler) groupByStage(src *source, keys []string, aggs []Agg) (*source
 	}
 	// Grouping collapses rows; a quarter of the input is a workable prior
 	// for sizing downstream stages.
-	return &source{files: out.Files, schema: outSchema, producer: st.ID, estBytes: src.estBytes / 4}, nil
+	return &source{files: out.Files, schema: outSchema, producer: st.ID, estBytes: src.estBytes / 4, sig: st.Sig}, nil
 }
 
 // joinStage emits the repartition join job: both sides' files feed one job
@@ -582,6 +612,8 @@ func (c *compiler) joinStage(left, right *source, leftCol, rightCol string) (*so
 	if err != nil {
 		return nil, err
 	}
+	st.Sig = fmt.Sprintf("join[%s=%s]x%d(%s|%s)",
+		leftCol, rightCol, len(out.Files), left.sig, right.sig)
 
 	leftFiles := map[string]bool{}
 	for _, f := range left.files {
@@ -625,7 +657,7 @@ func (c *compiler) joinStage(left, right *source, leftCol, rightCol string) (*so
 			}
 		}
 	}
-	return &source{files: out.Files, schema: outSchema, producer: st.ID, estBytes: estIn}, nil
+	return &source{files: out.Files, schema: outSchema, producer: st.ID, estBytes: estIn, sig: st.Sig}, nil
 }
 
 // orderByStage emits the single-reducer sort job. Numeric columns sort
@@ -643,6 +675,7 @@ func (c *compiler) orderByStage(src *source, col string, desc bool) (*source, er
 	if err != nil {
 		return nil, err
 	}
+	st.Sig = fmt.Sprintf("orderby[%s;desc=%v]x1(%s)", col, desc, src.sig)
 	st.Spec.Map = func(_, line []byte, emit mapreduce.Emit) {
 		row, ok := src.apply(decodeStageLine(line))
 		if !ok {
@@ -655,7 +688,7 @@ func (c *compiler) orderByStage(src *source, col string, desc bool) (*source, er
 			emit(key, v)
 		}
 	}
-	return &source{files: out.Files, schema: src.schema, producer: st.ID, estBytes: src.estBytes}, nil
+	return &source{files: out.Files, schema: src.schema, producer: st.ID, estBytes: src.estBytes, sig: st.Sig}, nil
 }
 
 // sortKey builds an order-preserving byte encoding of a column value:

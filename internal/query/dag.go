@@ -3,6 +3,7 @@ package query
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"mrapid/internal/core"
 	"mrapid/internal/mapreduce"
@@ -154,6 +155,69 @@ func (d *dagRun) submitReady() {
 	}
 }
 
+// stampMemo gives a ready stage its cross-query cache identity before
+// submission: MemoKey is the plan-content signature (query IDs never appear
+// in it, so an identical stage of a *different* query maps to the same
+// entry), MemoDigest is the recursive lineage digest — every base table's
+// current (block, generation) digest folded up through the stage's
+// dependency subtree. A base file that cannot be digested (e.g. dropped
+// between compile and launch) leaves the stage unstamped: it runs normally
+// and is never cached.
+func (d *dagRun) stampMemo(st *Stage) {
+	if d.r.FW.Memo == nil || st.Sig == "" {
+		return
+	}
+	if digest, ok := d.stageDigest(st, make(map[int]uint64)); ok {
+		st.Spec.MemoKey = "query:" + st.Sig
+		st.Spec.MemoDigest = digest
+	}
+}
+
+// stageDigest folds a stage's signature, its dependencies' digests
+// (recursively), and the digests of the base-table files it reads directly.
+// Intermediate inputs contribute through their producer's digest, not their
+// (query-scoped, content-free) file names.
+func (d *dagRun) stageDigest(st *Stage, cache map[int]uint64) (uint64, bool) {
+	if v, ok := cache[st.ID]; ok {
+		return v, true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(st.Sig))
+	produced := map[string]bool{}
+	for _, dep := range st.Deps {
+		dd, ok := d.stageDigest(d.compiled.Stages[dep], cache)
+		if !ok {
+			return 0, false
+		}
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(dd >> (8 * i))
+		}
+		h.Write(buf[:])
+		for _, f := range d.compiled.Stages[dep].Out.Files {
+			produced[f] = true
+		}
+	}
+	for _, f := range st.Spec.InputFiles {
+		if produced[f] {
+			continue
+		}
+		fd, err := d.rt().DFS.FileDigest(f)
+		if err != nil {
+			return 0, false
+		}
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(fd >> (8 * i))
+		}
+		h.Write([]byte(f))
+		h.Write(buf[:])
+	}
+	v := h.Sum64()
+	cache[st.ID] = v
+	return v, true
+}
+
 // launch submits one ready stage. Empty-input stages short-circuit: their
 // output files materialize empty without running a job.
 func (d *dagRun) launch(st *Stage) {
@@ -175,6 +239,7 @@ func (d *dagRun) launch(st *Stage) {
 		})
 		return
 	}
+	d.stampMemo(st)
 	err := d.r.Srv.SubmitAs(d.tenant, d.r.Queue, d.r.jobMode(), st.Spec, func(jr *mapreduce.Result) {
 		winner := core.ModeKind(jr.Mode)
 		d.complete(st, winner, jr.Err)

@@ -14,6 +14,7 @@ import (
 	"mrapid/internal/costmodel"
 	"mrapid/internal/hdfs"
 	"mrapid/internal/mapreduce"
+	"mrapid/internal/memo"
 	"mrapid/internal/metrics"
 	"mrapid/internal/sim"
 	"mrapid/internal/topology"
@@ -558,5 +559,108 @@ func TestAggSkipsNonNumeric(t *testing.T) {
 	}
 	if got := e.run.FW.RT.Reg.Get("query_agg_parse_errors"); got != 12 {
 		t.Fatalf("query_agg_parse_errors metric = %d, want 12", got)
+	}
+}
+
+// TestDAGCrossQueryMemoReuse is the query-layer hook end to end: with the
+// cross-job memo cache attached, a repeat of an identical query is served
+// entirely from cache (every stage ModeMemo, zero containers launched,
+// identical rows); a *different* query sharing the aggregated-sales subtree
+// reuses that one materialized stage; mutating a base table invalidates the
+// whole lineage and forces fresh execution.
+func TestDAGCrossQueryMemoReuse(t *testing.T) {
+	e := newDAGEnv(t, 4)
+	rt := e.dag.FW.RT
+	reg := rt.Reg
+	e.rm.Reg = reg
+	e.dag.FW.Memo = memo.New(reg, rt.Cluster.Workers(), memo.Config{})
+
+	e.mustCreate(t, "sales", salesSchema, salesRows(200, 21), 3)
+	e.mustCreate(t, "returns", returnsSchema, returnsRows(80), 2)
+
+	launched := func() int64 {
+		var n int64
+		for name, v := range reg.Counters() {
+			if strings.HasPrefix(name, "yarn_containers_launched_total") {
+				n += v
+			}
+		}
+		return n
+	}
+
+	res1 := e.execDAG(t, branchyPlan())
+	for _, w := range res1.Winners {
+		if w == core.ModeMemo {
+			t.Fatalf("cold query served from cache: %v", res1.Winners)
+		}
+	}
+	if reg.Get("memo_misses_total") != int64(res1.Stages) {
+		t.Fatalf("cold query misses = %d, want one per stage (%d)",
+			reg.Get("memo_misses_total"), res1.Stages)
+	}
+	// These tiny stages all race to U+ wins inside pooled AMs, so the cold
+	// count may be zero; the repeat must not add launches of any kind —
+	// not even AM-pool replenishment.
+	base := launched()
+
+	// Identical repeat: every stage is a hit, no containers move.
+	res2 := e.execDAG(t, branchyPlan())
+	for i, w := range res2.Winners {
+		if w != core.ModeMemo {
+			t.Fatalf("repeat stage %d winner = %q, want memo (%v)", i, w, res2.Winners)
+		}
+	}
+	if reg.Get("memo_hits_total") != int64(res1.Stages) {
+		t.Fatalf("repeat hits = %d, want %d", reg.Get("memo_hits_total"), res1.Stages)
+	}
+	if got := launched(); got != base {
+		t.Fatalf("repeat query launched %d containers", got-base)
+	}
+	if !reflect.DeepEqual(canonRows(res1.Rows), canonRows(res2.Rows)) {
+		t.Fatal("memo-served query rows differ from the fresh run")
+	}
+
+	// A different query over the same aggregated-sales subtree: the shared
+	// group-by stage is served from cache, the new downstream work runs.
+	shared := Scan("sales").
+		Filter(Where("amount", OpGt, "200")).
+		GroupBy([]string{"region"}, Sum("amount"), Count()).
+		OrderBy("count(*)", false)
+	res3 := e.execDAG(t, shared)
+	if res3.Winners[0] != core.ModeMemo {
+		t.Fatalf("shared subtree stage winner = %q, want memo (%v)", res3.Winners[0], res3.Winners)
+	}
+	if res3.Winners[len(res3.Winners)-1] == core.ModeMemo {
+		t.Fatalf("novel order-by stage cannot be a cache hit (%v)", res3.Winners)
+	}
+
+	// Mutate a base-table block: the write generation moves, every entry
+	// over sales is stale, and the repeat runs fresh end to end.
+	sales, err := e.cat.Lookup("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := rt.DFS.Contents(sales.Files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.DFS.OverwriteInstant(sales.Files[0], old, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Invalidation is dependency-precise: the sales group-by (0), the join
+	// (2), and the order-by (3) all fold the mutated table into their
+	// lineage and must run fresh; the returns group-by (1) reads an
+	// untouched table and legitimately still hits.
+	res4 := e.execDAG(t, branchyPlan())
+	for _, i := range []int{0, 2, 3} {
+		if res4.Winners[i] == core.ModeMemo {
+			t.Fatalf("post-mutation stage %d served from cache (%v)", i, res4.Winners)
+		}
+	}
+	if res4.Winners[1] != core.ModeMemo {
+		t.Fatalf("untouched returns subtree should still hit (%v)", res4.Winners)
+	}
+	if !reflect.DeepEqual(canonRows(res1.Rows), canonRows(res4.Rows)) {
+		t.Fatal("identical-bytes overwrite changed the result rows")
 	}
 }
